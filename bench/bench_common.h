@@ -1,0 +1,57 @@
+#pragma once
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench prints: a banner identifying the paper artifact it
+// regenerates, the resolved configuration (seed / repeats / scale), the
+// measured table(s), and a short "expected shape" note restating the
+// paper's qualitative claim the numbers should exhibit.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/env_config.h"
+
+namespace ftnav::benchharness {
+
+inline void print_banner(const std::string& artifact,
+                         const std::string& description,
+                         const BenchConfig& config) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", artifact.c_str(), description.c_str());
+  std::printf("%s\n", describe(config).c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void print_shape_note(const std::string& note) {
+  std::printf("expected shape: %s\n\n", note.c_str());
+}
+
+/// BER axis of the Grid World training figures (0.1%..1.0%).
+inline std::vector<double> grid_training_bers(bool full) {
+  if (full)
+    return {0.001, 0.002, 0.003, 0.004, 0.005,
+            0.006, 0.007, 0.008, 0.009, 0.010};
+  return {0.001, 0.003, 0.005, 0.008, 0.010};
+}
+
+/// Injection-episode axis for an `episodes`-long training run. Spans
+/// the whole run including the final episode (the paper's EI=1000
+/// column on a 1000-episode run: no time left to heal).
+inline std::vector<int> grid_injection_episodes(int episodes, bool full) {
+  std::vector<int> points;
+  const int buckets = full ? 10 : 5;
+  for (int i = 0; i < buckets; ++i) {
+    const int point = episodes * i / (buckets - 1);
+    points.push_back(std::min(point, episodes - 1));
+  }
+  return points;
+}
+
+/// BER axis of the drone figures (paper: 0, 1e-5 .. 1e-1).
+inline std::vector<double> drone_bers(bool full) {
+  if (full) return {0.0, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1};
+  return {0.0, 1e-4, 1e-3, 1e-2, 1e-1};
+}
+
+}  // namespace ftnav::benchharness

@@ -1,0 +1,80 @@
+// Fig. 8: the adaptive exploration-rate adjustment scheme (§5.1) applied
+// to the Fig. 2 training campaigns -- heatmaps with mitigation enabled,
+// side by side with the unmitigated baseline.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "experiments/grid_training.h"
+
+int main() {
+  using namespace ftnav;
+  using namespace ftnav::benchharness;
+  const BenchConfig config = bench_config_from_env();
+  print_banner("Figure 8",
+               "dynamic exploration-rate adjustment during training "
+               "(x=25%, y=50, alpha=0.8/0.4, T=100)",
+               config);
+
+  const int episodes = 1000;  // paper scale; NN needs the full budget
+
+  for (GridPolicyKind kind :
+       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
+    const bool tabular = kind == GridPolicyKind::kTabular;
+    TrainingHeatmapConfig heatmap_config;
+    heatmap_config.kind = kind;
+    heatmap_config.episodes = episodes;
+    heatmap_config.bers = grid_training_bers(config.full_scale);
+    heatmap_config.injection_episodes =
+        grid_injection_episodes(episodes, config.full_scale);
+    // The NN arm runs 4 heatmaps (baseline+mitigated, transient+permanent)
+    // with per-episode evaluation; keep fast-mode cells affordable.
+    if (!tabular && !config.full_scale) {
+      heatmap_config.bers = {0.001, 0.005, 0.010};
+      heatmap_config.injection_episodes = {0, episodes / 2, episodes - 1};
+    }
+    heatmap_config.repeats =
+        config.resolve_repeats(tabular ? 10 : 2, tabular ? 100 : 20);
+    heatmap_config.seed = config.seed;
+
+    for (bool mitigated : {false, true}) {
+      heatmap_config.mitigated = mitigated;
+      std::printf("--- Fig. 8%c (%s) %s: transient faults, success rate "
+                  "(%%) ---\n",
+                  tabular ? 'a' : 'b', to_string(kind).c_str(),
+                  mitigated ? "WITH mitigation" : "baseline");
+      std::printf("%s\n",
+                  run_transient_training_heatmap(heatmap_config)
+                      .render(0)
+                      .c_str());
+    }
+
+    heatmap_config.mitigated = true;
+    const PermanentTrainingSweep sweep =
+        run_permanent_training_sweep(heatmap_config);
+    heatmap_config.mitigated = false;
+    const PermanentTrainingSweep base =
+        run_permanent_training_sweep(heatmap_config);
+    Table table({"BER", "SA0 base", "SA0 mitig", "SA1 base", "SA1 mitig"});
+    for (std::size_t i = 0; i < sweep.bers.size(); ++i) {
+      table.add_row({format_double(sweep.bers[i] * 100.0, 1) + "%",
+                     format_double(base.stuck_at_0_success[i], 0),
+                     format_double(sweep.stuck_at_0_success[i], 0),
+                     format_double(base.stuck_at_1_success[i], 0),
+                     format_double(sweep.stuck_at_1_success[i], 0)});
+    }
+    std::printf("--- permanent faults, success%% baseline vs mitigated "
+                "(%s) ---\n%s\n",
+                to_string(kind).c_str(), table.render().c_str());
+  }
+
+  print_shape_note(
+      "the permanent-fault penalty is relieved (the controller reverts "
+      "to high exploration and slows its decay, letting the agent route "
+      "around stuck cells). Reproduction note: the paper's transient "
+      "gains rely on exploration-starved recovery; our exploring-starts "
+      "training self-heals transients regardless of the rate, so the "
+      "transient heatmaps show little mitigation delta here -- see "
+      "EXPERIMENTS.md");
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Micro-benchmarks (google-benchmark) backing the paper's §5.2 claim
+// that range-based anomaly detection costs <3% runtime, plus the cost
+// of the injection primitives themselves (the tool-chain is advertised
+// as enabling *rapid* fault analysis).
+
+#include <benchmark/benchmark.h>
+
+#include "core/anomaly_detector.h"
+#include "core/injector.h"
+#include "nn/c3f2.h"
+#include "nn/quantized_engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace ftnav;
+
+void BM_QFormatEncodeDecode(benchmark::State& state) {
+  const QFormat fmt = QFormat::q_1_4_11();
+  double v = 0.12345;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(v = fmt.decode(fmt.encode(v)) + 1e-7);
+  }
+}
+BENCHMARK(BM_QFormatEncodeDecode);
+
+void BM_FaultMapSample(benchmark::State& state) {
+  Rng rng(1);
+  const auto words = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        FaultMap::sample(FaultType::kTransientFlip, 0.001, words, 16, rng));
+  }
+}
+BENCHMARK(BM_FaultMapSample)->Arg(1024)->Arg(65536);
+
+void BM_StuckAtMaskApply(benchmark::State& state) {
+  Rng rng(2);
+  const auto words = static_cast<std::size_t>(state.range(0));
+  const FaultMap map =
+      FaultMap::sample(FaultType::kStuckAt1, 0.001, words, 16, rng);
+  const StuckAtMask mask = StuckAtMask::compile(map);
+  std::vector<Word> buffer(words, 0x1234);
+  for (auto _ : state) {
+    mask.apply(buffer);
+    benchmark::DoNotOptimize(buffer.data());
+  }
+}
+BENCHMARK(BM_StuckAtMaskApply)->Arg(1024)->Arg(65536);
+
+void BM_DynamicTransientInjection(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<float> values(static_cast<std::size_t>(state.range(0)), 0.5f);
+  const QFormat fmt = QFormat::q_1_4_11();
+  for (auto _ : state) {
+    inject_transient_values(values, fmt, 1e-4, rng);
+    benchmark::DoNotOptimize(values.data());
+  }
+}
+BENCHMARK(BM_DynamicTransientInjection)->Arg(4096)->Arg(65536);
+
+void BM_AnomalyCheckPerValue(benchmark::State& state) {
+  RangeAnomalyDetector detector(QFormat::q_1_4_11(), 1, 0.1);
+  detector.calibrate(0, -2.0);
+  detector.calibrate(0, 2.0);
+  detector.finalize();
+  float v = 0.5f;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(detector.filter(0, v));
+  }
+}
+BENCHMARK(BM_AnomalyCheckPerValue);
+
+// The §5.2 overhead claim, measured end to end: one C3F2 inference with
+// and without weight protection. Compare the two reported times; the
+// protected run should be within a few percent.
+void BM_C3F2InferenceBaseline(benchmark::State& state) {
+  Rng rng(4);
+  const C3F2Config config = C3F2Config::preset(C3F2Preset::kFast);
+  Network net = make_c3f2(config, rng);
+  QuantizedInferenceEngine engine(net, QFormat::q_1_4_11(),
+                                  config.input_shape());
+  Tensor input(config.input_shape());
+  input.fill(0.4f);
+  Rng run(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer(input, run));
+  }
+}
+BENCHMARK(BM_C3F2InferenceBaseline);
+
+void BM_C3F2InferenceProtected(benchmark::State& state) {
+  Rng rng(4);
+  const C3F2Config config = C3F2Config::preset(C3F2Preset::kFast);
+  Network net = make_c3f2(config, rng);
+  QuantizedInferenceEngine engine(net, QFormat::q_1_4_11(),
+                                  config.input_shape());
+  engine.enable_weight_protection(0.1);
+  Tensor input(config.input_shape());
+  input.fill(0.4f);
+  Rng run(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(engine.infer(input, run));
+  }
+}
+BENCHMARK(BM_C3F2InferenceProtected);
+
+}  // namespace
+
+BENCHMARK_MAIN();

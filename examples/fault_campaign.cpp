@@ -1,0 +1,102 @@
+// fault_campaign: a small command-line front-end for the fault
+// injection tool-chain -- configure a Grid World inference campaign
+// without writing any code.
+//
+//   ./build/examples/fault_campaign [--policy tabular|nn]
+//       [--mode tm|t1|sa0|sa1] [--ber <fraction>] [--repeats <n>]
+//       [--density low|middle|high] [--mitigate] [--seed <n>]
+//
+// Example:
+//   ./build/examples/fault_campaign --policy nn --mode tm --ber 0.005 \
+//       --repeats 200 --mitigate
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "experiments/grid_inference.h"
+#include "util/stats.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--policy tabular|nn] [--mode tm|t1|sa0|sa1] "
+               "[--ber f] [--repeats n] [--density low|middle|high] "
+               "[--mitigate] [--seed n]\n",
+               argv0);
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ftnav;
+
+  InferenceCampaignConfig config;
+  config.kind = GridPolicyKind::kTabular;
+  config.train_episodes = 1200;
+  config.repeats = 100;
+  InferenceFaultMode mode = InferenceFaultMode::kTransientM;
+  double ber = 0.005;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) usage(argv[0]);
+      return argv[++i];
+    };
+    if (arg == "--policy") {
+      const std::string v = next();
+      if (v == "tabular") config.kind = GridPolicyKind::kTabular;
+      else if (v == "nn") config.kind = GridPolicyKind::kNeuralNet;
+      else usage(argv[0]);
+    } else if (arg == "--mode") {
+      const std::string v = next();
+      if (v == "tm") mode = InferenceFaultMode::kTransientM;
+      else if (v == "t1") mode = InferenceFaultMode::kTransient1;
+      else if (v == "sa0") mode = InferenceFaultMode::kStuckAt0;
+      else if (v == "sa1") mode = InferenceFaultMode::kStuckAt1;
+      else usage(argv[0]);
+    } else if (arg == "--ber") {
+      ber = std::atof(next());
+      if (ber < 0.0 || ber > 1.0) usage(argv[0]);
+    } else if (arg == "--repeats") {
+      config.repeats = std::atoi(next());
+      if (config.repeats <= 0) usage(argv[0]);
+    } else if (arg == "--density") {
+      const std::string v = next();
+      if (v == "low") config.density = ObstacleDensity::kLow;
+      else if (v == "middle") config.density = ObstacleDensity::kMiddle;
+      else if (v == "high") config.density = ObstacleDensity::kHigh;
+      else usage(argv[0]);
+    } else if (arg == "--mitigate") {
+      config.mitigated = true;
+    } else if (arg == "--seed") {
+      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else {
+      usage(argv[0]);
+    }
+  }
+
+  config.bers = {ber};
+  std::printf("campaign: policy=%s mode=%s ber=%.4f repeats=%d "
+              "mitigated=%s seed=%llu\n",
+              to_string(config.kind).c_str(), to_string(mode).c_str(), ber,
+              config.repeats, config.mitigated ? "yes" : "no",
+              static_cast<unsigned long long>(config.seed));
+
+  const InferenceCampaignResult result = run_inference_campaign(config);
+  const double success =
+      result.success_by_mode[static_cast<std::size_t>(mode)][0];
+  const auto ci = wilson_interval(
+      static_cast<std::size_t>(success / 100.0 * config.repeats + 0.5),
+      static_cast<std::size_t>(config.repeats));
+  std::printf("success rate: %.1f%%  (95%% CI: %.1f%% .. %.1f%%)\n", success,
+              ci.low * 100.0, ci.high * 100.0);
+  if (config.mitigated)
+    std::printf("anomaly detections across campaign: %llu\n",
+                static_cast<unsigned long long>(result.detections));
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Hardened training demo: the adaptive exploration-rate controller
+// (paper §5.1) rescuing a training run from a heavy mid-training upset.
+//
+// Runs the same faulty scenario twice -- with the baseline decaying
+// schedule and with the adaptive controller -- and prints both recovery
+// traces side by side.
+//
+// Build & run:   ./build/examples/hardened_training
+
+#include <cstdio>
+
+#include "experiments/grid_training.h"
+
+int main() {
+  using namespace ftnav;
+
+  const int episodes = 700;
+  const int fault_episode = 400;
+  const double ber = 0.008;
+
+  std::printf("scenario: tabular Grid World training, transient upset at "
+              "episode %d with BER=%.1f%%\n\n",
+              fault_episode, ber * 100.0);
+
+  GridTrainResult results[2];
+  for (int mitigated = 0; mitigated < 2; ++mitigated) {
+    GridTrainSpec spec;
+    spec.kind = GridPolicyKind::kTabular;
+    spec.episodes = episodes;
+    spec.transient_ber = ber;
+    spec.transient_episode = fault_episode;
+    spec.mitigated = mitigated != 0;
+    spec.record_returns = true;
+    spec.track_reconvergence = true;
+    spec.seed = 2024;
+    results[mitigated] = run_grid_training(spec);
+  }
+
+  std::printf("%-10s %-22s %-22s\n", "episode", "baseline return",
+              "mitigated return");
+  for (int episode = fault_episode - 50; episode < episodes;
+       episode += 25) {
+    std::printf("%-10d %-22.2f %-22.2f\n", episode,
+                results[0].returns[static_cast<std::size_t>(episode)],
+                results[1].returns[static_cast<std::size_t>(episode)]);
+  }
+
+  for (int mitigated = 0; mitigated < 2; ++mitigated) {
+    const GridTrainResult& r = results[mitigated];
+    std::printf("\n%s:\n", mitigated ? "with adaptive exploration"
+                                     : "baseline schedule");
+    std::printf("  final greedy success: %s\n", r.success ? "yes" : "no");
+    std::printf("  episodes to re-converge after the fault: %s\n",
+                r.reconverge_episodes >= 0
+                    ? std::to_string(r.reconverge_episodes).c_str()
+                    : "never");
+    std::printf("  peak exploration rate: %.0f%%  transient detections: %d\n",
+                r.peak_exploration * 100.0, r.transient_detections);
+  }
+  return 0;
+}

@@ -1,0 +1,120 @@
+// Redundancy comparison: what the paper's mitigations buy you relative
+// to classic hardware protection (§1/§2 of the paper).
+//
+// Protects the same trained Grid World Q-table four ways, exposes all
+// four stores to the same memory bit error rate, and reports surviving
+// policy quality and the storage cost of each scheme.
+//
+// Build & run:   ./build/examples/redundancy_comparison
+
+#include <cstdio>
+
+#include "core/anomaly_detector.h"
+#include "core/fault_model.h"
+#include "core/redundancy.h"
+#include "rl/tabular_q.h"
+
+namespace {
+
+using namespace ftnav;
+
+bool rollout(const GridWorld& env, const QVector& table) {
+  int state = env.source_state();
+  for (int step = 0; step < 100; ++step) {
+    int best = 0;
+    double best_value = -1e30;
+    for (int action = 0; action < GridWorld::action_count(); ++action) {
+      const double value = table.get(
+          static_cast<std::size_t>(state) * GridWorld::action_count() +
+          static_cast<std::size_t>(action));
+      if (value > best_value) {
+        best_value = value;
+        best = action;
+      }
+    }
+    const auto result = env.step(state, best);
+    if (result.done) return result.reward > 0.0;
+    state = result.next_state;
+  }
+  return false;
+}
+
+}  // namespace
+
+int main() {
+  using namespace ftnav;
+
+  // Train the policy to protect.
+  const GridWorld env = GridWorld::preset(ObstacleDensity::kMiddle);
+  TabularQAgent agent(env);
+  Rng rng(2024);
+  for (int episode = 0; episode < 2000; ++episode)
+    agent.run_training_episode(std::max(0.05, 1.0 - episode / 100.0), rng);
+  const QVector golden = agent.table();
+  std::printf("trained tabular policy: success=%s, %zu words x %d bits\n\n",
+              agent.evaluate_success() ? "yes" : "no", golden.size(),
+              golden.format().total_bits());
+
+  // Calibrate the paper's range detector once.
+  RangeAnomalyDetector detector(golden.format(), 1, 0.1);
+  for (double v : golden.decode_all()) detector.calibrate(0, v);
+  detector.finalize();
+
+  const double ber = 0.02;
+  const int repeats = 300;
+  std::printf("memory BER %.1f%%, %d fault draws per scheme:\n\n",
+              ber * 100.0, repeats);
+  std::printf("%-28s %-10s %s\n", "scheme", "success", "storage overhead");
+
+  int plain = 0, filtered_wins = 0, ecc_wins = 0, tmr_wins = 0;
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    Rng fault_rng = rng.split(static_cast<std::uint64_t>(repeat) + 1);
+
+    QVector faulty = golden;
+    FaultMap map =
+        FaultMap::sample(FaultType::kTransientFlip, ber, faulty.size(),
+                         faulty.format().total_bits(), fault_rng);
+    map.apply_once(faulty.words());
+    plain += rollout(env, faulty) ? 1 : 0;
+
+    QVector filtered = faulty;
+    for (std::size_t i = 0; i < filtered.size(); ++i)
+      if (detector.is_anomalous_word(0, filtered.word(i)))
+        filtered.set(i, 0.0);
+    filtered_wins += rollout(env, filtered) ? 1 : 0;
+
+    EccProtectedStore ecc(golden);
+    const std::size_t ecc_bits = ecc.size() * ecc.raw_bits();
+    for (std::size_t k = 0;
+         k < static_cast<std::size_t>(ber * ecc_bits); ++k) {
+      const std::uint64_t pos = fault_rng.below(ecc_bits);
+      ecc.raw()[pos / ecc.raw_bits()] ^= std::uint64_t{1}
+                                         << (pos % ecc.raw_bits());
+    }
+    ecc_wins += rollout(env, ecc.snapshot()) ? 1 : 0;
+
+    TmrStore tmr(golden);
+    FaultMap tmr_map = FaultMap::sample(
+        FaultType::kTransientFlip, ber, tmr.raw().size(),
+        golden.format().total_bits(), fault_rng);
+    tmr_map.apply_once(tmr.raw());
+    tmr_wins += rollout(env, tmr.snapshot()) ? 1 : 0;
+  }
+
+  const HammingSecDed codec(golden.format().total_bits());
+  std::printf("%-28s %5.1f%%     %s\n", "unprotected",
+              100.0 * plain / repeats, "+0%");
+  std::printf("%-28s %5.1f%%     %s\n", "range anomaly detection",
+              100.0 * filtered_wins / repeats, "+0% (no redundant bits)");
+  char ecc_overhead[32];
+  std::snprintf(ecc_overhead, sizeof ecc_overhead, "+%.0f%%",
+                codec.storage_overhead() * 100.0);
+  std::printf("%-28s %5.1f%%     %s\n", "SEC-DED Hamming ECC",
+              100.0 * ecc_wins / repeats, ecc_overhead);
+  std::printf("%-28s %5.1f%%     %s\n", "TMR (majority vote)",
+              100.0 * tmr_wins / repeats, "+200%");
+  std::printf("\nthe paper's argument in one table: redundancy recovers "
+              "almost everything\nbut costs bits; the range detector "
+              "closes most of the gap for free.\n");
+  return 0;
+}

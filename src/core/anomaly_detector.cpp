@@ -1,0 +1,123 @@
+#include "core/anomaly_detector.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftnav {
+
+RangeAnomalyDetector::RangeAnomalyDetector(QFormat format,
+                                           std::size_t layer_count,
+                                           double margin)
+    : format_(format), margin_(margin), bounds_(layer_count) {
+  if (layer_count == 0)
+    throw std::invalid_argument("RangeAnomalyDetector: zero layers");
+  if (margin < 0.0)
+    throw std::invalid_argument("RangeAnomalyDetector: negative margin");
+}
+
+void RangeAnomalyDetector::calibrate(std::size_t layer, double value) {
+  LayerBounds& b = bounds_.at(layer);
+  if (!b.calibrated) {
+    b.low = value;
+    b.high = value;
+    b.calibrated = true;
+  } else {
+    b.low = std::min(b.low, value);
+    b.high = std::max(b.high, value);
+  }
+  finalized_ = false;
+}
+
+void RangeAnomalyDetector::calibrate(std::size_t layer,
+                                     std::span<const float> values) {
+  for (float v : values) calibrate(layer, static_cast<double>(v));
+}
+
+std::int32_t RangeAnomalyDetector::integer_part(double value) const noexcept {
+  const std::int32_t raw = format_.to_raw(format_.encode(value));
+  // Arithmetic right shift of two's complement = floor division.
+  return raw >> format_.fraction_bits();
+}
+
+void RangeAnomalyDetector::finalize() {
+  for (LayerBounds& b : bounds_) {
+    if (!b.calibrated) continue;
+    // Widen the bound away from zero by the margin (1.1*a_i, 1.1*b_i in
+    // the paper's notation, where a_i <= 0 <= b_i typically).
+    const double lo = b.low - margin_ * std::abs(b.low);
+    const double hi = b.high + margin_ * std::abs(b.high);
+    b.raw_low = integer_part(lo);
+    b.raw_high = integer_part(hi);
+  }
+  finalized_ = true;
+}
+
+bool RangeAnomalyDetector::is_anomalous_word(std::size_t layer,
+                                             Word word) const {
+  const LayerBounds& b = bounds_.at(layer);
+  if (!finalized_ || !b.calibrated) return false;
+  const std::int32_t integer =
+      format_.to_raw(word) >> format_.fraction_bits();
+  return integer < b.raw_low || integer > b.raw_high;
+}
+
+bool RangeAnomalyDetector::is_anomalous(std::size_t layer,
+                                        double value) const {
+  const LayerBounds& b = bounds_.at(layer);
+  if (!finalized_ || !b.calibrated) return false;
+  const std::int32_t integer = integer_part(value);
+  return integer < b.raw_low || integer > b.raw_high;
+}
+
+float RangeAnomalyDetector::filter(std::size_t layer, float value) {
+  ++checks_;
+  if (is_anomalous(layer, value)) {
+    ++detections_;
+    return 0.0f;  // skip the operation around the broken value
+  }
+  return value;
+}
+
+std::size_t RangeAnomalyDetector::filter_all(std::size_t layer,
+                                             std::span<float> values) {
+  std::size_t found = 0;
+  for (float& v : values) {
+    ++checks_;
+    if (is_anomalous(layer, v)) {
+      ++detections_;
+      ++found;
+      v = 0.0f;
+    }
+  }
+  return found;
+}
+
+const LayerBounds& RangeAnomalyDetector::bounds(std::size_t layer) const {
+  return bounds_.at(layer);
+}
+
+void RangeAnomalyDetector::reset_counters() noexcept {
+  detections_ = 0;
+  checks_ = 0;
+}
+
+std::string RangeAnomalyDetector::describe() const {
+  std::ostringstream out;
+  out << "RangeAnomalyDetector(" << format_.name() << ", margin="
+      << margin_ << ")\n";
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    const LayerBounds& b = bounds_[i];
+    out << "  layer " << i << ": ";
+    if (b.calibrated) {
+      out << "[" << b.low << ", " << b.high << "] int-thresholds ["
+          << b.raw_low << ", " << b.raw_high << "]\n";
+    } else {
+      out << "(uncalibrated)\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace ftnav

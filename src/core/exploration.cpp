@@ -1,0 +1,110 @@
+#include "core/exploration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftnav {
+
+AdaptiveExplorationController::AdaptiveExplorationController(
+    ExplorationConfig config, bool enabled)
+    : config_(config), enabled_(enabled), rate_(config.initial_rate) {
+  if (config.initial_rate < config.steady_rate)
+    throw std::invalid_argument(
+        "ExplorationConfig: initial rate below steady rate");
+  if (config.episodes_to_steady <= 0)
+    throw std::invalid_argument(
+        "ExplorationConfig: episodes_to_steady must be positive");
+  if (config.drop_window <= 0)
+    throw std::invalid_argument(
+        "ExplorationConfig: drop_window must be positive");
+  decay_per_episode_ = (config.initial_rate - config.steady_rate) /
+                       static_cast<double>(config.episodes_to_steady);
+  // peak_adjusted_rate_ reports the largest rate the controller
+  // *adjusted to* after a detection (Fig. 9's "adjusted exploration
+  // ratio"); the initial schedule itself does not count.
+}
+
+bool AdaptiveExplorationController::in_steady_exploitation() const noexcept {
+  return rate_ <= config_.steady_rate + 1e-12;
+}
+
+void AdaptiveExplorationController::end_episode(double cumulative_reward) {
+  if (!has_reward_ || cumulative_reward > best_reward_) {
+    best_reward_ = cumulative_reward;
+    has_reward_ = true;
+  }
+  if (enabled_) detect_and_recover(cumulative_reward);
+
+  recent_rewards_.push_back(cumulative_reward);
+  while (recent_rewards_.size() >
+         static_cast<std::size_t>(config_.drop_window))
+    recent_rewards_.pop_front();
+
+  advance_decay();
+  ++episode_;
+  if (cooldown_ > 0) --cooldown_;
+  if (in_steady_exploitation() && steady_episode_ < 0)
+    steady_episode_ = episode_;
+}
+
+void AdaptiveExplorationController::detect_and_recover(double reward) {
+  if (cooldown_ > 0 || !has_reward_) return;
+  const double r_max = std::max({std::abs(best_reward_),
+                                 config_.expected_max_reward, 1e-9});
+
+  // --- transient detection: reward drop > x% within the y-episode window.
+  double window_peak = reward;
+  for (double r : recent_rewards_) window_peak = std::max(window_peak, r);
+  const double drop = window_peak - reward;
+  // Normalized reward drop f(r), clamped to [0, 1] (a crash from +max
+  // to -max would otherwise read as a 200% drop and saturate the rate).
+  const double f_r = std::min(drop / r_max, 1.0);
+  if (f_r > config_.drop_threshold && !recent_rewards_.empty()) {
+    // f(t) = t / T characterizes how late in training the fault landed.
+    const double f_t = static_cast<double>(episode_) /
+                       static_cast<double>(config_.episodes_to_steady);
+    const double boost = config_.alpha * std::min(f_r, f_r * f_t);  // Eq. (6)
+    rate_ = std::clamp(rate_ + boost, config_.steady_rate,
+                       config_.initial_rate);
+    peak_adjusted_rate_ = std::max(peak_adjusted_rate_, rate_);
+    ++transient_detections_;
+    cooldown_ = config_.detection_cooldown;
+    // A recovery boost restarts the decay clock toward steady state.
+    steady_episode_ = -1;
+    return;
+  }
+
+  // --- permanent detection: stuck in steady exploitation at low reward.
+  const double good_reward =
+      std::max(best_reward_, config_.expected_max_reward);
+  if (in_steady_exploitation() &&
+      reward < config_.permanent_fraction * good_reward) {
+    ++permanent_detections_;
+    // Revert to the initial exploration rate and slow the decay by 2^n.
+    rate_ = config_.initial_rate;
+    peak_adjusted_rate_ = std::max(peak_adjusted_rate_, rate_);
+    decay_per_episode_ =
+        (config_.initial_rate - config_.steady_rate) /
+        (static_cast<double>(config_.episodes_to_steady) *
+         std::pow(2.0, permanent_detections_));
+    cooldown_ = config_.detection_cooldown;
+    steady_episode_ = -1;
+  }
+}
+
+void AdaptiveExplorationController::advance_decay() {
+  rate_ = std::max(config_.steady_rate, rate_ - decay_per_episode_);
+}
+
+std::string AdaptiveExplorationController::describe() const {
+  std::ostringstream out;
+  out << "AdaptiveExplorationController(enabled=" << (enabled_ ? "yes" : "no")
+      << ", rate=" << rate_ << ", episode=" << episode_
+      << ", transient=" << transient_detections_
+      << ", permanent=" << permanent_detections_ << ")";
+  return out.str();
+}
+
+}  // namespace ftnav

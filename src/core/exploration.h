@@ -1,0 +1,100 @@
+#pragma once
+// Adaptive exploration-rate adjustment (paper §5.1, Fig. 8/9).
+//
+// Baseline behaviour is a decaying epsilon-greedy schedule: high
+// exploration early, decaying linearly to a steady exploitation rate
+// over T episodes. The controller layers the paper's fault detection
+// and recovery on top:
+//
+//   Detection
+//     * transient: cumulative reward drops by more than x% (of the best
+//       reward seen) within y consecutive episodes;
+//     * permanent: the agent is in steady exploitation but reward stays
+//       below 50% of the best reward seen.
+//   Recovery
+//     * transient: ER_new = ER_old + alpha * min(f(r), f(r)*f(t)), with
+//       f(r) = dr / r_max the normalized reward drop and f(t) = t / T
+//       the fault-time factor (Eq. 6);
+//     * permanent: revert the rate to its initial value and slow the
+//       decay by 2^n, where n counts permanent detections so far.
+//
+// The controller is pure bookkeeping -- agents ask it for the current
+// exploration rate each episode and report the episode's cumulative
+// reward afterwards -- so it works unchanged for tabular and NN policies.
+
+#include <cstddef>
+#include <deque>
+#include <string>
+
+namespace ftnav {
+
+/// Tuning knobs; defaults are the paper's Grid World choices.
+struct ExplorationConfig {
+  double initial_rate = 1.0;   ///< exploration rate at episode 0
+  double steady_rate = 0.05;   ///< steady exploitation rate
+  int episodes_to_steady = 100;  ///< T: episodes of baseline decay
+  double alpha = 0.8;          ///< adjustment coefficient (Eq. 6)
+  double drop_threshold = 0.25;  ///< x: fractional reward drop
+  int drop_window = 50;        ///< y: episodes the drop may span
+  double permanent_fraction = 0.5;  ///< permanent-fault reward threshold
+  int detection_cooldown = 25;  ///< episodes between detections
+  /// Known attainable episode reward (Grid World: +1 on reaching the
+  /// goal). Normalizes f(r) and anchors the permanent-fault threshold
+  /// even when a faulty run never observed a good episode.
+  double expected_max_reward = 1.0;
+};
+
+class AdaptiveExplorationController {
+ public:
+  /// `enabled == false` reproduces the unmitigated baseline schedule
+  /// (used for the paper's "no mitigation" comparison arms).
+  explicit AdaptiveExplorationController(ExplorationConfig config = {},
+                                         bool enabled = true);
+
+  /// Exploration rate for the upcoming episode.
+  double rate() const noexcept { return rate_; }
+
+  /// True once the baseline decay has reached the steady rate and no
+  /// recovery boost is active.
+  bool in_steady_exploitation() const noexcept;
+
+  /// Reports the finished episode's cumulative reward; runs detection,
+  /// applies recovery and advances the decay. Call once per episode.
+  void end_episode(double cumulative_reward);
+
+  int episode() const noexcept { return episode_; }
+  int transient_detections() const noexcept { return transient_detections_; }
+  int permanent_detections() const noexcept { return permanent_detections_; }
+  /// Episode at which steady exploitation was (most recently) reached,
+  /// or -1 while still decaying. Fig. 9's "episodes taken before steady
+  /// exploitation".
+  int steady_reached_episode() const noexcept { return steady_episode_; }
+  double best_reward() const noexcept { return best_reward_; }
+  /// Largest exploration rate a *detection* ever adjusted to (Fig. 9a/9b
+  /// reports the adjusted exploration ratio); 0 if nothing was detected.
+  double peak_adjusted_rate() const noexcept { return peak_adjusted_rate_; }
+  double decay_per_episode() const noexcept { return decay_per_episode_; }
+
+  const ExplorationConfig& config() const noexcept { return config_; }
+  std::string describe() const;
+
+ private:
+  void detect_and_recover(double reward);
+  void advance_decay();
+
+  ExplorationConfig config_;
+  bool enabled_;
+  double rate_;
+  double decay_per_episode_;
+  int episode_ = 0;
+  int steady_episode_ = -1;
+  int cooldown_ = 0;
+  double best_reward_ = 0.0;
+  bool has_reward_ = false;
+  double peak_adjusted_rate_ = 0.0;
+  int transient_detections_ = 0;
+  int permanent_detections_ = 0;
+  std::deque<double> recent_rewards_;  // window of the last y episodes
+};
+
+}  // namespace ftnav

@@ -1,0 +1,107 @@
+#pragma once
+// Hardware fault model (paper §3.2).
+//
+// Two physical fault classes are abstracted as bit-level models:
+//   * permanent faults (manufacturing defects) -> stuck-at-0 / stuck-at-1
+//   * transient faults (particle strikes, voltage droop) -> random bit-flips
+//
+// Faults live in memory buffers: the tabular value buffer for table-based
+// policies, and the input / weight / activation buffers of a NN
+// accelerator. Datapath (MAC) faults are modeled as corrupted values in
+// the output (activation) buffer, following Ares / Li et al.
+//
+// A FaultMap is a sampled set of (word, bit) sites of one fault type at a
+// given bit error rate. Bit error rate (BER) is defined as
+//     faulty bit positions / total bit positions in the buffer,
+// matching the paper's axes ("number of faults (bit error rate)").
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "fixed/qformat.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+/// Fault type (paper §3.2).
+enum class FaultType : std::uint8_t {
+  kTransientFlip,  ///< soft error: random bit-flip
+  kStuckAt0,       ///< permanent: bit held low
+  kStuckAt1,       ///< permanent: bit held high
+};
+
+/// True for the stuck-at (permanent) fault types.
+bool is_permanent(FaultType type) noexcept;
+
+/// Human-readable name ("transient", "stuck-at-0", "stuck-at-1").
+std::string to_string(FaultType type);
+
+/// Memory buffer a fault lands in (paper §3.2, "Fault location").
+enum class BufferKind : std::uint8_t {
+  kTabular,     ///< Q-table value buffer (tabular policies)
+  kInput,       ///< feature-map / input buffer
+  kWeight,      ///< filter / weight buffer
+  kActivation,  ///< output-activation buffer (also absorbs MAC faults)
+};
+
+std::string to_string(BufferKind kind);
+
+/// One faulty bit position inside a buffer.
+struct FaultSite {
+  std::uint32_t word_index = 0;
+  std::uint8_t bit = 0;
+
+  bool operator==(const FaultSite&) const noexcept = default;
+};
+
+/// A sampled set of fault sites of a single type.
+///
+/// Sampling draws `round(ber * words * bits_per_word)` *distinct* bit
+/// positions uniformly at random, so the realized fault count is the
+/// deterministic quantity the paper reports on its heatmap axes while
+/// site placement stays random per repeat.
+class FaultMap {
+ public:
+  FaultMap() = default;
+  FaultMap(FaultType type, std::vector<FaultSite> sites);
+
+  /// Samples a fault map for a buffer of `words` words of width
+  /// `bits_per_word`. Throws std::invalid_argument for ber outside
+  /// [0, 1] or bits_per_word outside [1, 32].
+  static FaultMap sample(FaultType type, double ber, std::size_t words,
+                         int bits_per_word, Rng& rng);
+
+  /// Samples an exact number of distinct fault sites.
+  static FaultMap sample_count(FaultType type, std::size_t fault_bits,
+                               std::size_t words, int bits_per_word,
+                               Rng& rng);
+
+  FaultType type() const noexcept { return type_; }
+  std::span<const FaultSite> sites() const noexcept { return sites_; }
+  std::size_t size() const noexcept { return sites_.size(); }
+  bool empty() const noexcept { return sites_.empty(); }
+
+  /// Applies the fault once to a word buffer: XOR for transient flips,
+  /// AND/OR for stuck-at faults. For permanent faults prefer compiling a
+  /// StuckAtMask and re-applying it after every write.
+  void apply_once(std::span<Word> words) const;
+
+  /// Restricts sites to words inside [begin, end) and rebases indices to
+  /// `begin` -- used to target a sub-range (e.g. one NN layer's slice of
+  /// the weight buffer).
+  FaultMap slice(std::size_t begin, std::size_t end) const;
+
+ private:
+  FaultType type_ = FaultType::kTransientFlip;
+  std::vector<FaultSite> sites_;
+};
+
+/// Number of faulty bits implied by a BER over a buffer, using the same
+/// rounding FaultMap::sample applies.
+std::size_t fault_bits_for_ber(double ber, std::size_t words,
+                               int bits_per_word);
+
+}  // namespace ftnav

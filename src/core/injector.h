@@ -1,0 +1,80 @@
+#pragma once
+// Fault injection engines (paper §3.3).
+//
+// Injection has two modes:
+//   * static  -- applied to a buffer before execution (permanent faults,
+//                and transient faults in read-only weight buffers);
+//   * dynamic -- applied during execution as tensor-level operations
+//                (transient faults in inputs/activations, which are
+//                rewritten every step).
+//
+// Permanent faults must survive writes: StuckAtMask compiles a FaultMap
+// into per-word AND/OR masks that are re-applied after every buffer
+// update, which is how a real stuck cell behaves under training.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/fault_model.h"
+#include "fixed/qformat.h"
+#include "fixed/qvector.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+/// Compiled permanent-fault overlay: word := (word & and_mask) | or_mask.
+class StuckAtMask {
+ public:
+  StuckAtMask() = default;
+
+  /// Compiles a stuck-at fault map. Throws std::invalid_argument if the
+  /// map's type is transient. Multiple sites per word are merged.
+  static StuckAtMask compile(const FaultMap& map);
+
+  /// Merges another stuck-at overlay into this one. Later stuck-at-1
+  /// wins over earlier stuck-at-0 on the same bit (last-write semantics).
+  void merge(const StuckAtMask& other);
+
+  bool empty() const noexcept { return entries_.empty(); }
+  std::size_t faulty_word_count() const noexcept { return entries_.size(); }
+
+  /// Enforces the stuck bits over a word buffer.
+  void apply(std::span<Word> words) const noexcept;
+
+  /// Enforces the stuck bits over a QVector.
+  void apply(QVector& buffer) const noexcept { apply(buffer.words()); }
+
+ private:
+  struct Entry {
+    std::uint32_t word_index = 0;
+    Word and_mask = ~Word{0};
+    Word or_mask = 0;
+  };
+  std::vector<Entry> entries_;
+};
+
+/// Applies a transient bit-flip fault map once to a quantized buffer.
+void inject_transient(QVector& buffer, const FaultMap& map);
+
+/// Dynamic injection: flips `round(ber * bits)` random bits across a
+/// float tensor *through* its fixed-point encoding -- each hit value is
+/// encoded, bit-flipped and decoded in place. This is the tensor-level
+/// operation the paper uses to keep dynamic injection cheap.
+/// Returns the number of bits flipped.
+std::size_t inject_transient_values(std::span<float> values,
+                                    const QFormat& format, double ber,
+                                    Rng& rng);
+
+/// Dynamic stuck-at enforcement over a float tensor: every value passes
+/// through its encoding with the stuck bits forced. Used for permanent
+/// activation faults, where the buffer is rewritten each step but the
+/// cells stay broken.
+void enforce_stuck_values(std::span<float> values, const QFormat& format,
+                          const StuckAtMask& mask);
+
+/// Round-trips every value through the fixed-point format (quantization
+/// without faults); models writing a float tensor into a clean buffer.
+void quantize_values(std::span<float> values, const QFormat& format) noexcept;
+
+}  // namespace ftnav

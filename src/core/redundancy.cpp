@@ -1,0 +1,181 @@
+#include "core/redundancy.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace ftnav {
+namespace {
+
+/// Parity bits needed so that 2^p >= data + p + 1.
+int parity_bits_for(int data_bits) {
+  int p = 0;
+  while ((1 << p) < data_bits + p + 1) ++p;
+  return p;
+}
+
+}  // namespace
+
+HammingSecDed::HammingSecDed(int data_bits)
+    : data_bits_(data_bits), parity_bits_(parity_bits_for(data_bits)) {
+  if (data_bits < 1 || data_bits > 26)
+    throw std::invalid_argument("HammingSecDed: data_bits outside [1,26]");
+}
+
+std::uint64_t HammingSecDed::encode(Word data) const noexcept {
+  const int n = data_bits_ + parity_bits_;  // Hamming positions 1..n
+  std::uint64_t codeword = 0;
+
+  // Scatter data bits into non-power-of-two positions (1-indexed).
+  int data_index = 0;
+  for (int pos = 1; pos <= n; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    if ((data >> data_index) & 1u)
+      codeword |= std::uint64_t{1} << (pos - 1);
+    ++data_index;
+  }
+  // Parity bit at position 2^k covers positions with that bit set.
+  for (int k = 0; k < parity_bits_; ++k) {
+    const int pbit = 1 << k;
+    int parity = 0;
+    for (int pos = 1; pos <= n; ++pos) {
+      if (pos == pbit) continue;
+      if ((pos & pbit) && ((codeword >> (pos - 1)) & 1u)) parity ^= 1;
+    }
+    if (parity) codeword |= std::uint64_t{1} << (pbit - 1);
+  }
+  // Overall parity (even) in the top bit for double-error detection.
+  if (std::popcount(codeword) & 1)
+    codeword |= std::uint64_t{1} << n;
+  return codeword;
+}
+
+HammingSecDed::DecodeResult HammingSecDed::decode(
+    std::uint64_t codeword) const noexcept {
+  const int n = data_bits_ + parity_bits_;
+  DecodeResult result;
+
+  // Syndrome: XOR of positions of set bits.
+  int syndrome = 0;
+  for (int pos = 1; pos <= n; ++pos)
+    if ((codeword >> (pos - 1)) & 1u) syndrome ^= pos;
+  const bool overall_parity_ok = (std::popcount(codeword) & 1) == 0;
+
+  if (syndrome != 0) {
+    if (overall_parity_ok) {
+      // Even total parity with a nonzero syndrome: two bit errors.
+      result.uncorrectable = true;
+    } else if (syndrome <= n) {
+      codeword ^= std::uint64_t{1} << (syndrome - 1);
+      result.corrected = true;
+    } else {
+      result.uncorrectable = true;  // syndrome points outside the word
+    }
+  } else if (!overall_parity_ok) {
+    // The overall parity bit itself flipped; data is intact.
+    result.corrected = true;
+  }
+
+  // Gather data bits.
+  int data_index = 0;
+  for (int pos = 1; pos <= n; ++pos) {
+    if (is_power_of_two(pos)) continue;
+    if ((codeword >> (pos - 1)) & 1u)
+      result.data |= Word{1} << data_index;
+    ++data_index;
+  }
+  return result;
+}
+
+// ------------------------------------------------------ EccProtectedStore
+
+EccProtectedStore::EccProtectedStore(QFormat format, std::size_t size)
+    : format_(format), codec_(format.total_bits()) {
+  codewords_.assign(size, codec_.encode(0));
+}
+
+EccProtectedStore::EccProtectedStore(const QVector& values)
+    : format_(values.format()), codec_(values.format().total_bits()) {
+  codewords_.reserve(values.size());
+  for (Word w : values.words()) codewords_.push_back(codec_.encode(w));
+}
+
+Word EccProtectedStore::word(std::size_t i) {
+  const auto result = codec_.decode(codewords_.at(i));
+  if (result.corrected) ++corrections_;
+  if (result.uncorrectable) ++uncorrectable_;
+  return result.data;
+}
+
+double EccProtectedStore::get(std::size_t i) {
+  return format_.decode(word(i));
+}
+
+void EccProtectedStore::set(std::size_t i, double value) {
+  codewords_.at(i) = codec_.encode(format_.encode(value));
+}
+
+QVector EccProtectedStore::snapshot() {
+  QVector out(format_, codewords_.size());
+  for (std::size_t i = 0; i < codewords_.size(); ++i)
+    out.set_word(i, word(i));
+  return out;
+}
+
+void EccProtectedStore::scrub() {
+  for (std::size_t i = 0; i < codewords_.size(); ++i)
+    codewords_[i] = codec_.encode(word(i));
+}
+
+void EccProtectedStore::reset_counters() noexcept {
+  corrections_ = 0;
+  uncorrectable_ = 0;
+}
+
+// --------------------------------------------------------------- TmrStore
+
+TmrStore::TmrStore(QFormat format, std::size_t size)
+    : format_(format), size_(size), replicas_(3 * size, 0) {}
+
+TmrStore::TmrStore(const QVector& values)
+    : format_(values.format()), size_(values.size()) {
+  replicas_.reserve(3 * size_);
+  for (int replica = 0; replica < 3; ++replica)
+    for (Word w : values.words()) replicas_.push_back(w);
+}
+
+Word TmrStore::word(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("TmrStore::word");
+  const Word a = replicas_[i];
+  const Word b = replicas_[size_ + i];
+  const Word c = replicas_[2 * size_ + i];
+  return (a & b) | (a & c) | (b & c);  // per-bit majority
+}
+
+double TmrStore::get(std::size_t i) const {
+  return format_.decode(word(i));
+}
+
+void TmrStore::set(std::size_t i, double value) {
+  if (i >= size_) throw std::out_of_range("TmrStore::set");
+  const Word w = format_.encode(value);
+  replicas_[i] = w;
+  replicas_[size_ + i] = w;
+  replicas_[2 * size_ + i] = w;
+}
+
+QVector TmrStore::snapshot() const {
+  QVector out(format_, size_);
+  for (std::size_t i = 0; i < size_; ++i) out.set_word(i, word(i));
+  return out;
+}
+
+void TmrStore::scrub() {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const Word voted = word(i);
+    replicas_[i] = voted;
+    replicas_[size_ + i] = voted;
+    replicas_[2 * size_ + i] = voted;
+  }
+}
+
+}  // namespace ftnav

@@ -1,0 +1,147 @@
+#pragma once
+// Traditional redundancy-based protection baselines (paper §1/§2).
+//
+// The paper motivates its lightweight mitigations by contrast with
+// ECC [13], DMR [14] and TMR [23], which "bring large overhead in the
+// hardware cost and energy". To make that comparison concrete, this
+// module implements the baselines:
+//
+//   * HammingSecDed -- single-error-correct / double-error-detect
+//     Hamming code over each stored word (the classic memory-ECC
+//     construction). Storage overhead: parity_bits()+1 extra bits per
+//     word (e.g. 5 bits on an 8-bit word, 62.5%).
+//   * TmrStore -- triple modular redundancy with per-bit majority
+//     voting on read. Storage overhead: 200%.
+//
+// Both wrap a QVector-shaped word store and expose the same
+// fault-injection surface (a span of raw words covering every replica
+// or codeword), so campaigns can compare them against the paper's
+// range-based detector under identical BERs.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "fixed/qformat.h"
+#include "fixed/qvector.h"
+
+namespace ftnav {
+
+/// SEC-DED Hamming codec for words of `data_bits` (1..26) bits.
+///
+/// Layout: the codeword places parity bits at power-of-two positions
+/// (1-indexed), data bits elsewhere, plus an overall parity bit for
+/// double-error detection.
+class HammingSecDed {
+ public:
+  explicit HammingSecDed(int data_bits);
+
+  int data_bits() const noexcept { return data_bits_; }
+  /// Hamming parity bits (excluding the overall DED parity bit).
+  int parity_bits() const noexcept { return parity_bits_; }
+  /// Total codeword width: data + parity + 1 overall parity bit.
+  int codeword_bits() const noexcept { return data_bits_ + parity_bits_ + 1; }
+  /// Fractional storage overhead vs the bare word.
+  double storage_overhead() const noexcept {
+    return static_cast<double>(codeword_bits() - data_bits_) /
+           static_cast<double>(data_bits_);
+  }
+
+  /// Encodes the low data_bits() of `data` into a codeword.
+  std::uint64_t encode(Word data) const noexcept;
+
+  struct DecodeResult {
+    Word data = 0;
+    bool corrected = false;        ///< a single-bit error was repaired
+    bool uncorrectable = false;    ///< double-bit error detected
+  };
+
+  /// Decodes (and corrects) a possibly-corrupted codeword.
+  DecodeResult decode(std::uint64_t codeword) const noexcept;
+
+ private:
+  bool is_power_of_two(int x) const noexcept { return (x & (x - 1)) == 0; }
+
+  int data_bits_;
+  int parity_bits_;
+};
+
+/// ECC-protected word store: each logical word of `format.total_bits()`
+/// lives in memory as a SEC-DED codeword. Reads correct single-bit
+/// upsets transparently; statistics record correction activity.
+class EccProtectedStore {
+ public:
+  EccProtectedStore(QFormat format, std::size_t size);
+  /// Encodes an existing buffer.
+  explicit EccProtectedStore(const QVector& values);
+
+  const QFormat& format() const noexcept { return format_; }
+  std::size_t size() const noexcept { return codewords_.size(); }
+  const HammingSecDed& codec() const noexcept { return codec_; }
+
+  /// Decoded (corrected) value at `i`.
+  double get(std::size_t i);
+  /// Encodes a value into slot `i`.
+  void set(std::size_t i, double value);
+
+  /// Corrected word (bit pattern) at `i`.
+  Word word(std::size_t i);
+
+  /// Raw codeword memory -- the fault-injection surface. Total faultable
+  /// bits = size() * codec().codeword_bits().
+  std::span<std::uint64_t> raw() noexcept { return codewords_; }
+  /// Bit width of each raw element that faults may target.
+  int raw_bits() const noexcept { return codec_.codeword_bits(); }
+
+  /// Decodes every slot into a plain QVector (correcting along the way).
+  QVector snapshot();
+
+  /// Scrub pass: rewrites every slot from its corrected value, clearing
+  /// accumulated single-bit upsets (memory-controller scrubbing).
+  void scrub();
+
+  std::uint64_t corrections() const noexcept { return corrections_; }
+  std::uint64_t uncorrectable() const noexcept { return uncorrectable_; }
+  void reset_counters() noexcept;
+
+ private:
+  QFormat format_;
+  HammingSecDed codec_;
+  std::vector<std::uint64_t> codewords_;
+  std::uint64_t corrections_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+};
+
+/// Triple-modular-redundancy store: three replicas, per-bit majority
+/// vote on read. Tolerates any single-replica corruption per bit.
+class TmrStore {
+ public:
+  TmrStore(QFormat format, std::size_t size);
+  explicit TmrStore(const QVector& values);
+
+  const QFormat& format() const noexcept { return format_; }
+  std::size_t size() const noexcept { return size_; }
+
+  double get(std::size_t i) const;
+  void set(std::size_t i, double value);
+  /// Majority-voted word at `i`.
+  Word word(std::size_t i) const;
+
+  /// All three replicas concatenated (replica r of word i lives at
+  /// index r * size() + i) -- the fault-injection surface.
+  std::span<Word> raw() noexcept { return replicas_; }
+
+  /// Majority-voted snapshot as a plain QVector.
+  QVector snapshot() const;
+
+  /// Rewrites all replicas from the voted values.
+  void scrub();
+
+ private:
+  QFormat format_;
+  std::size_t size_;
+  std::vector<Word> replicas_;  // 3 * size_
+};
+
+}  // namespace ftnav

@@ -1,0 +1,80 @@
+#include "envs/drone_camera.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftnav {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<double> depth_profile(const DroneWorld& world, const Pose2D& pose,
+                                  const CameraConfig& config) {
+  if (config.image_hw < 2)
+    throw std::invalid_argument("depth_profile: image too small");
+  const double fov = config.fov_deg * kPi / 180.0;
+  std::vector<double> depths(static_cast<std::size_t>(config.image_hw));
+  for (int col = 0; col < config.image_hw; ++col) {
+    // Leftmost column looks left of heading (image x grows rightward,
+    // world angle grows CCW).
+    const double frac =
+        static_cast<double>(col) / static_cast<double>(config.image_hw - 1);
+    const double angle = pose.heading + fov * (0.5 - frac);
+    depths[static_cast<std::size_t>(col)] =
+        world.raycast(pose.x, pose.y, angle, config.max_range);
+  }
+  return depths;
+}
+
+Tensor render_camera(const DroneWorld& world, const Pose2D& pose,
+                     const CameraConfig& config) {
+  const std::vector<double> depths = depth_profile(world, pose, config);
+  const int hw = config.image_hw;
+  Tensor image(Shape{3, hw, hw});
+  const double vfov = config.fov_deg * kPi / 180.0;  // square pixels
+
+  for (int col = 0; col < hw; ++col) {
+    const double d = std::max(depths[static_cast<std::size_t>(col)], 0.05);
+    // Vertical angular half-extent of the wall band at this depth.
+    const double wall_angle = std::atan2(config.wall_half_height, d);
+    const double wall_shade =
+        std::clamp(1.0 - d / config.max_range, 0.0, 1.0);
+    for (int row = 0; row < hw; ++row) {
+      const double frac =
+          static_cast<double>(row) / static_cast<double>(hw - 1);
+      const double phi = vfov * (0.5 - frac);  // +up, -down
+      double r, g, b;
+      if (std::abs(phi) <= wall_angle) {
+        // Wall pixel: brightness encodes proximity.
+        r = wall_shade;
+        g = 0.8 * wall_shade + 0.2 * (1.0 - std::abs(phi) / (vfov * 0.5));
+        b = 1.0 - wall_shade;
+      } else if (phi < 0.0) {
+        // Floor pixel: implied ground distance at this declination.
+        const double floor_d =
+            std::min(config.camera_height / std::tan(-phi), config.max_range);
+        const double shade =
+            0.5 * std::clamp(1.0 - floor_d / config.max_range, 0.0, 1.0);
+        r = shade;
+        g = 0.6 * shade;
+        b = 0.3 + 0.4 * shade;
+      } else {
+        // Ceiling pixel: constant-height ceiling shading.
+        const double ceil_d =
+            std::min(config.camera_height / std::tan(phi), config.max_range);
+        const double shade =
+            0.35 * std::clamp(1.0 - ceil_d / config.max_range, 0.0, 1.0);
+        r = 0.2 + shade;
+        g = 0.2 + shade;
+        b = 0.25 + shade;
+      }
+      image.ref(0, row, col) = static_cast<float>(r);
+      image.ref(1, row, col) = static_cast<float>(g);
+      image.ref(2, row, col) = static_cast<float>(b);
+    }
+  }
+  return image;
+}
+
+}  // namespace ftnav

@@ -1,0 +1,149 @@
+#include "envs/drone_env.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ftnav {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+const std::array<double, DroneEnvConfig::kYawBins>&
+DroneEnvConfig::yaw_options_deg() {
+  static const std::array<double, kYawBins> options = {-40.0, -20.0, 0.0,
+                                                       20.0, 40.0};
+  return options;
+}
+
+const std::array<double, DroneEnvConfig::kExtentBins>&
+DroneEnvConfig::extent_options_m() {
+  static const std::array<double, kExtentBins> options = {0.3, 0.6, 0.9,
+                                                          1.2, 1.5};
+  return options;
+}
+
+std::pair<int, int> DroneEnvConfig::decode_action(int action) {
+  if (action < 0 || action >= action_count())
+    throw std::invalid_argument("DroneEnvConfig: bad action id");
+  return {action % kYawBins, action / kYawBins};
+}
+
+DroneEnv::DroneEnv(const DroneWorld& world, DroneEnvConfig config)
+    : world_(&world), config_(config), pose_(world.start_pose()) {
+  if (config.max_steps <= 0)
+    throw std::invalid_argument("DroneEnv: max_steps must be positive");
+}
+
+Tensor DroneEnv::reset(Rng& rng) {
+  pose_ = world_->start_pose();
+  // Jitter the start so repeated campaigns see varied trajectories
+  // (PEDRA similarly randomizes initial conditions per episode).
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const double jx =
+        pose_.x + rng.uniform(-config_.start_jitter, config_.start_jitter);
+    const double jy =
+        pose_.y + rng.uniform(-config_.start_jitter, config_.start_jitter);
+    if (!world_->collides(jx, jy, config_.drone_radius)) {
+      pose_.x = jx;
+      pose_.y = jy;
+      break;
+    }
+  }
+  pose_.heading = world_->start_pose().heading +
+                  rng.uniform(-0.15, 0.15);
+  distance_ = 0.0;
+  steps_ = 0;
+  done_ = false;
+  crashed_ = false;
+  stalled_ = false;
+  yaw_history_.clear();
+  return observe();
+}
+
+Tensor DroneEnv::observe() const {
+  return render_camera(*world_, pose_, config_.camera);
+}
+
+double DroneEnv::frontal_clearance() const noexcept {
+  double best = config_.camera.max_range;
+  for (double offset_deg : {-20.0, 0.0, 20.0}) {
+    const double angle = pose_.heading + offset_deg * kPi / 180.0;
+    best = std::min(best, world_->raycast(pose_.x, pose_.y, angle,
+                                          config_.camera.max_range));
+  }
+  return best;
+}
+
+DroneEnv::StepResult DroneEnv::step(int action) {
+  if (done_) throw std::logic_error("DroneEnv::step: episode finished");
+  const auto [yaw_index, extent_index] = DroneEnvConfig::decode_action(action);
+  const double yaw =
+      DroneEnvConfig::yaw_options_deg()[static_cast<std::size_t>(yaw_index)] *
+      kPi / 180.0;
+  const double extent = DroneEnvConfig::extent_options_m()
+      [static_cast<std::size_t>(extent_index)];
+
+  pose_.heading += yaw;
+  // Normalize heading to (-pi, pi] to keep trig well-conditioned.
+  while (pose_.heading > kPi) pose_.heading -= 2.0 * kPi;
+  while (pose_.heading <= -kPi) pose_.heading += 2.0 * kPi;
+
+  StepResult result;
+  // Swept motion in 0.1 m increments.
+  const double step_size = 0.1;
+  double remaining = extent;
+  while (remaining > 1e-9) {
+    const double move = std::min(step_size, remaining);
+    const double nx = pose_.x + move * std::cos(pose_.heading);
+    const double ny = pose_.y + move * std::sin(pose_.heading);
+    if (world_->collides(nx, ny, config_.drone_radius)) {
+      crashed_ = true;
+      done_ = true;
+      break;
+    }
+    pose_.x = nx;
+    pose_.y = ny;
+    distance_ += move;
+    remaining -= move;
+  }
+
+  ++steps_;
+  if (!done_ && (steps_ >= config_.max_steps ||
+                 distance_ >= config_.max_distance))
+    done_ = true;
+
+  // Circling detector (see DroneEnvConfig::stall_window).
+  if (!done_ && config_.stall_window > 0) {
+    yaw_history_.push_back(yaw);
+    double net_turn = 0.0;
+    const std::size_t window =
+        std::min(yaw_history_.size(),
+                 static_cast<std::size_t>(config_.stall_window));
+    for (std::size_t k = yaw_history_.size() - window;
+         k < yaw_history_.size(); ++k)
+      net_turn += yaw_history_[k];
+    if (std::abs(net_turn) >= config_.stall_turns * 2.0 * kPi) {
+      stalled_ = true;
+      done_ = true;
+    }
+  }
+
+  if (crashed_) {
+    result.reward = -config_.crash_penalty;
+  } else {
+    // Shaping: full reward at `safe_distance` of clearance, scaled by
+    // how boldly the drone moved (longer safe strides score higher).
+    const double clearance = frontal_clearance();
+    const double clearance_score =
+        std::clamp(clearance / config_.safe_distance, 0.0, 1.0);
+    const double stride_score =
+        extent / DroneEnvConfig::extent_options_m().back();
+    result.reward = clearance_score * (0.5 + 0.5 * stride_score);
+  }
+  result.done = done_;
+  result.crashed = crashed_;
+  return result;
+}
+
+}  // namespace ftnav

@@ -1,0 +1,197 @@
+#include "envs/drone_world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace ftnav {
+namespace {
+
+/// Ray / AABB intersection (slab method). Returns the entry distance
+/// along the ray, or +inf when the ray misses the box or starts past it.
+double ray_box_entry(double ox, double oy, double dx, double dy,
+                     const Box& box) noexcept {
+  double t_min = 0.0;
+  double t_max = std::numeric_limits<double>::infinity();
+  // X slab.
+  if (std::abs(dx) < 1e-12) {
+    if (ox < box.x_min || ox > box.x_max)
+      return std::numeric_limits<double>::infinity();
+  } else {
+    double t1 = (box.x_min - ox) / dx;
+    double t2 = (box.x_max - ox) / dx;
+    if (t1 > t2) std::swap(t1, t2);
+    t_min = std::max(t_min, t1);
+    t_max = std::min(t_max, t2);
+  }
+  // Y slab.
+  if (std::abs(dy) < 1e-12) {
+    if (oy < box.y_min || oy > box.y_max)
+      return std::numeric_limits<double>::infinity();
+  } else {
+    double t1 = (box.y_min - oy) / dy;
+    double t2 = (box.y_max - oy) / dy;
+    if (t1 > t2) std::swap(t1, t2);
+    t_min = std::max(t_min, t1);
+    t_max = std::min(t_max, t2);
+  }
+  if (t_min > t_max) return std::numeric_limits<double>::infinity();
+  return t_min;
+}
+
+}  // namespace
+
+DroneWorld::DroneWorld(double width, double height,
+                       std::vector<Box> obstacles, Pose2D start,
+                       std::string name)
+    : width_(width),
+      height_(height),
+      obstacles_(std::move(obstacles)),
+      start_(start),
+      name_(std::move(name)) {
+  if (width <= 0.0 || height <= 0.0)
+    throw std::invalid_argument("DroneWorld: non-positive domain");
+  for (const Box& box : obstacles_) {
+    if (box.x_min >= box.x_max || box.y_min >= box.y_max)
+      throw std::invalid_argument("DroneWorld: degenerate obstacle");
+  }
+  if (collides(start.x, start.y, 0.05))
+    throw std::invalid_argument("DroneWorld: start pose inside an obstacle");
+}
+
+DroneWorld DroneWorld::indoor_long() {
+  // 50 m x 14 m corridor loop: a central divider splits the hall into
+  // two long lanes joined at both ends, so a competent policy can fly
+  // laps indefinitely (PEDRA's indoor-long similarly allows long MSF).
+  // Staggered pillars in each lane force a slalom.
+  std::vector<Box> obstacles = {
+      // Central divider.
+      {8.0, 5.5, 42.0, 8.5},
+      // Bottom-lane pillars.
+      {17.0, 1.5, 18.5, 3.0},
+      {27.0, 3.0, 28.5, 4.5},
+      {36.0, 1.0, 37.5, 2.5},
+      // Top-lane pillars.
+      {14.0, 10.5, 15.5, 12.0},
+      {24.0, 8.7, 25.5, 10.2},
+      {33.0, 11.0, 34.5, 12.5},
+  };
+  return DroneWorld(50.0, 14.0, std::move(obstacles), Pose2D{4.0, 3.0, 0.0},
+                    "indoor-long");
+}
+
+DroneWorld DroneWorld::indoor_vanleer() {
+  // 30 m x 30 m floor split into four rooms by walls with door gaps,
+  // plus furniture-like pillars inside the rooms.
+  std::vector<Box> walls = {
+      // Vertical wall at x ~ 15 with a door gap y in (12, 18).
+      {14.5, 0.0, 15.5, 12.0},
+      {14.5, 18.0, 15.5, 30.0},
+      // Horizontal wall at y ~ 15 with door gaps x in (5, 9), (21, 25).
+      {0.0, 14.5, 5.0, 15.5},
+      {9.0, 14.5, 21.0, 15.5},
+      {25.0, 14.5, 30.0, 15.5},
+      // Pillars inside rooms.
+      {6.0, 5.0, 7.5, 6.5},
+      {22.0, 6.0, 23.5, 7.5},
+      {6.5, 22.0, 8.0, 23.5},
+      {22.5, 21.5, 24.0, 23.0},
+  };
+  return DroneWorld(30.0, 30.0, std::move(walls), Pose2D{3.0, 3.0, 0.0},
+                    "indoor-vanleer");
+}
+
+DroneWorld DroneWorld::random_clutter(double width, double height,
+                                      int pillar_count,
+                                      std::uint64_t seed) {
+  if (width < 10.0 || height < 10.0)
+    throw std::invalid_argument("random_clutter: domain too small");
+  if (pillar_count < 0)
+    throw std::invalid_argument("random_clutter: negative pillar count");
+  Rng rng(seed);
+  const Pose2D start{2.0, height / 2.0, 0.0};
+  std::vector<Box> pillars;
+  pillars.reserve(static_cast<std::size_t>(pillar_count));
+  int guard = 0;
+  while (static_cast<int>(pillars.size()) < pillar_count &&
+         guard++ < pillar_count * 64) {
+    const double w = rng.uniform(0.8, 2.0);
+    const double h = rng.uniform(0.8, 2.0);
+    const double x = rng.uniform(2.0, width - 2.0 - w);
+    const double y = rng.uniform(2.0, height - 2.0 - h);
+    const Box candidate{x, y, x + w, y + h};
+    // Keep the start area clear.
+    if (candidate.inflated(1.5).contains(start.x, start.y)) continue;
+    // Leave at least 2 m between pillars so passages stay flyable.
+    bool overlaps = false;
+    for (const Box& existing : pillars) {
+      const Box grown = existing.inflated(2.0);
+      if (candidate.x_min < grown.x_max && candidate.x_max > grown.x_min &&
+          candidate.y_min < grown.y_max && candidate.y_max > grown.y_min) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (!overlaps) pillars.push_back(candidate);
+  }
+  return DroneWorld(width, height, std::move(pillars), start,
+                    "random-clutter-" + std::to_string(seed));
+}
+
+double DroneWorld::raycast(double x, double y, double heading,
+                           double max_range) const noexcept {
+  const double dx = std::cos(heading);
+  const double dy = std::sin(heading);
+  double best = max_range;
+
+  // Domain boundary: distance until the ray exits [0,w] x [0,h].
+  double t_exit = std::numeric_limits<double>::infinity();
+  if (dx > 1e-12) t_exit = std::min(t_exit, (width_ - x) / dx);
+  if (dx < -1e-12) t_exit = std::min(t_exit, (0.0 - x) / dx);
+  if (dy > 1e-12) t_exit = std::min(t_exit, (height_ - y) / dy);
+  if (dy < -1e-12) t_exit = std::min(t_exit, (0.0 - y) / dy);
+  best = std::min(best, std::max(0.0, t_exit));
+
+  for (const Box& box : obstacles_) {
+    if (box.contains(x, y)) return 0.0;
+    const double t = ray_box_entry(x, y, dx, dy, box);
+    if (t >= 0.0 && t < best) best = t;
+  }
+  return best;
+}
+
+bool DroneWorld::collides(double x, double y, double radius) const noexcept {
+  if (x < radius || x > width_ - radius || y < radius ||
+      y > height_ - radius)
+    return true;
+  for (const Box& box : obstacles_)
+    if (box.inflated(radius).contains(x, y)) return true;
+  return false;
+}
+
+std::string DroneWorld::render(int cols, int rows) const {
+  std::ostringstream out;
+  for (int r = rows - 1; r >= 0; --r) {
+    for (int c = 0; c < cols; ++c) {
+      const double x = (c + 0.5) * width_ / cols;
+      const double y = (r + 0.5) * height_ / rows;
+      char ch = '.';
+      for (const Box& box : obstacles_)
+        if (box.contains(x, y)) ch = '#';
+      const double dx = x - start_.x;
+      const double dy = y - start_.y;
+      if (dx * dx + dy * dy <
+          (width_ / cols) * (width_ / cols))
+        ch = 'S';
+      out << ch;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftnav

@@ -1,0 +1,219 @@
+#include "envs/gridworld.h"
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace ftnav {
+
+GridWorld::GridWorld(const std::vector<std::string>& rows) {
+  n_ = static_cast<int>(rows.size());
+  if (n_ < 2) throw std::invalid_argument("GridWorld: grid too small");
+  cells_.reserve(static_cast<std::size_t>(n_) * n_);
+  for (const std::string& row : rows) {
+    if (static_cast<int>(row.size()) != n_)
+      throw std::invalid_argument("GridWorld: map is not square");
+    for (char ch : row) {
+      switch (ch) {
+        case '.': cells_.push_back(Cell::kFree); break;
+        case 'X': cells_.push_back(Cell::kHell); break;
+        case 'G':
+          if (goal_ >= 0)
+            throw std::invalid_argument("GridWorld: duplicate goal");
+          goal_ = static_cast<int>(cells_.size());
+          cells_.push_back(Cell::kGoal);
+          break;
+        case 'S':
+          if (source_ >= 0)
+            throw std::invalid_argument("GridWorld: duplicate source");
+          source_ = static_cast<int>(cells_.size());
+          cells_.push_back(Cell::kSource);
+          break;
+        default:
+          throw std::invalid_argument("GridWorld: unknown map character");
+      }
+    }
+  }
+  if (source_ < 0) throw std::invalid_argument("GridWorld: missing source");
+  if (goal_ < 0) throw std::invalid_argument("GridWorld: missing goal");
+}
+
+GridWorld GridWorld::preset(ObstacleDensity density) {
+  switch (density) {
+    case ObstacleDensity::kLow:
+      return GridWorld({
+          "..........",
+          "...X......",
+          ".......G..",
+          "..X.......",
+          ".....X....",
+          ".X.....X..",
+          "....X.....",
+          ".......X..",
+          "..X.......",
+          "S.........",
+      });
+    case ObstacleDensity::kMiddle:
+      return GridWorld({
+          "....X.....",
+          ".X....X...",
+          "...X...G..",
+          ".....X....",
+          ".X...X..X.",
+          "...X......",
+          ".X....X...",
+          "....X...X.",
+          ".X........",
+          "S...X.....",
+      });
+    case ObstacleDensity::kHigh:
+      return GridWorld({
+          "..X...X...",
+          ".X...X..X.",
+          "...X...G..",
+          ".X..X...X.",
+          "....X.X...",
+          ".X.X....X.",
+          "......X...",
+          ".X..X...X.",
+          "...X...X..",
+          "S....X....",
+      });
+  }
+  throw std::invalid_argument("GridWorld::preset: unknown density");
+}
+
+bool GridWorld::solvable() const {
+  std::vector<bool> visited(static_cast<std::size_t>(state_count()), false);
+  std::vector<int> frontier = {source_};
+  visited[static_cast<std::size_t>(source_)] = true;
+  while (!frontier.empty()) {
+    std::vector<int> next;
+    for (int state : frontier) {
+      for (int action = 0; action < action_count(); ++action) {
+        const StepResult result = step(state, action);
+        if (result.next_state == goal_) return true;
+        if (!result.done &&
+            !visited[static_cast<std::size_t>(result.next_state)]) {
+          visited[static_cast<std::size_t>(result.next_state)] = true;
+          next.push_back(result.next_state);
+        }
+      }
+    }
+    frontier = std::move(next);
+  }
+  return false;
+}
+
+GridWorld GridWorld::random(int n, double obstacle_fraction,
+                            std::uint64_t seed) {
+  if (n < 3) throw std::invalid_argument("GridWorld::random: n < 3");
+  if (obstacle_fraction < 0.0 || obstacle_fraction > 0.5)
+    throw std::invalid_argument(
+        "GridWorld::random: obstacle_fraction outside [0, 0.5]");
+  Rng rng(seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    std::vector<std::string> rows(static_cast<std::size_t>(n),
+                                  std::string(static_cast<std::size_t>(n),
+                                              '.'));
+    // Source in the bottom-left quadrant, goal in the top-right.
+    const int source_row = n - 1 - static_cast<int>(rng.below(n / 3 + 1));
+    const int source_col = static_cast<int>(rng.below(n / 3 + 1));
+    const int goal_row = static_cast<int>(rng.below(n / 3 + 1));
+    const int goal_col = n - 1 - static_cast<int>(rng.below(n / 3 + 1));
+    rows[static_cast<std::size_t>(source_row)]
+        [static_cast<std::size_t>(source_col)] = 'S';
+    rows[static_cast<std::size_t>(goal_row)]
+        [static_cast<std::size_t>(goal_col)] = 'G';
+    const int obstacles =
+        static_cast<int>(obstacle_fraction * n * n + 0.5);
+    for (int placed = 0; placed < obstacles;) {
+      const auto row = static_cast<std::size_t>(rng.below(n));
+      const auto col = static_cast<std::size_t>(rng.below(n));
+      if (rows[row][col] != '.') continue;
+      rows[row][col] = 'X';
+      ++placed;
+    }
+    GridWorld world(rows);
+    if (world.solvable()) return world;
+  }
+  throw std::runtime_error(
+      "GridWorld::random: no solvable layout after 64 attempts");
+}
+
+Cell GridWorld::cell(int state) const {
+  if (state < 0 || state >= state_count())
+    throw std::invalid_argument("GridWorld::cell: bad state");
+  return cells_[static_cast<std::size_t>(state)];
+}
+
+int GridWorld::obstacle_count() const noexcept {
+  int count = 0;
+  for (Cell c : cells_)
+    if (c == Cell::kHell) ++count;
+  return count;
+}
+
+int GridWorld::state_of(int row, int col) const {
+  if (row < 0 || row >= n_ || col < 0 || col >= n_)
+    throw std::invalid_argument("GridWorld::state_of: out of range");
+  return row * n_ + col;
+}
+
+GridWorld::StepResult GridWorld::step(int state, int action) const {
+  if (state < 0 || state >= state_count())
+    throw std::invalid_argument("GridWorld::step: bad state");
+  if (action < 0 || action >= action_count())
+    throw std::invalid_argument("GridWorld::step: bad action");
+
+  int row = row_of(state);
+  int col = col_of(state);
+  switch (static_cast<GridAction>(action)) {
+    case GridAction::kUp: row -= 1; break;
+    case GridAction::kDown: row += 1; break;
+    case GridAction::kLeft: col -= 1; break;
+    case GridAction::kRight: col += 1; break;
+  }
+  StepResult result;
+  if (row < 0 || row >= n_ || col < 0 || col >= n_) {
+    result.next_state = state;  // bumping the wall leaves the agent put
+    return result;
+  }
+  result.next_state = row * n_ + col;
+  switch (cells_[static_cast<std::size_t>(result.next_state)]) {
+    case Cell::kGoal:
+      result.reward = 1.0;
+      result.done = true;
+      break;
+    case Cell::kHell:
+      result.reward = -1.0;
+      result.done = true;
+      break;
+    case Cell::kFree:
+    case Cell::kSource:
+      break;
+  }
+  return result;
+}
+
+std::string GridWorld::render(int agent_state) const {
+  std::ostringstream out;
+  for (int row = 0; row < n_; ++row) {
+    for (int col = 0; col < n_; ++col) {
+      const int state = row * n_ + col;
+      char ch = '.';
+      switch (cells_[static_cast<std::size_t>(state)]) {
+        case Cell::kFree: ch = '.'; break;
+        case Cell::kHell: ch = 'X'; break;
+        case Cell::kGoal: ch = 'G'; break;
+        case Cell::kSource: ch = 'S'; break;
+      }
+      if (state == agent_state) ch = 'A';
+      out << ch;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftnav

@@ -1,0 +1,319 @@
+#include "experiments/drone_campaigns.h"
+
+#include <stdexcept>
+
+#include "core/injector.h"
+#include "util/stats.h"
+
+namespace ftnav {
+namespace {
+
+/// Runs `repeats` greedy rollouts, drawing a fresh fault instance via
+/// `arm` (called with the engine and a per-repeat rng) before each.
+template <typename ArmFn>
+double msf_with_faults(QuantizedInferenceEngine& engine,
+                       const DroneWorld& world,
+                       const DroneEnvConfig& env_config, int repeats,
+                       Rng& rng, ArmFn&& arm) {
+  RunningStats distances;
+  DroneEnv env(world, env_config);
+  for (int repeat = 0; repeat < repeats; ++repeat) {
+    Rng repeat_rng = rng.split(static_cast<std::uint64_t>(repeat) + 1);
+    engine.reset_faults();
+    arm(engine, repeat_rng);
+    Tensor observation = env.reset(repeat_rng);
+    while (!env.done()) {
+      const int action =
+          static_cast<int>(engine.act(observation, repeat_rng));
+      (void)env.step(action);
+      observation = env.observe();
+    }
+    distances.add(env.flight_distance());
+  }
+  return distances.mean();
+}
+
+}  // namespace
+
+DroneTrainingCampaignResult run_drone_training_campaign(
+    const DroneWorld& world, const DroneTrainingCampaignConfig& config) {
+  const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+
+  std::vector<std::string> row_labels;
+  for (double fraction : config.injection_points)
+    row_labels.push_back("step " +
+                         format_double(fraction * 100.0, 0) + "%");
+  std::vector<std::string> col_labels;
+  for (double ber : config.bers) col_labels.push_back(format_double(ber, 5));
+
+  DroneTrainingCampaignResult result(row_labels, col_labels);
+  result.bers = config.bers;
+  Rng seeder(config.seed ^ 0x7a);
+
+  const int steps_budget =
+      config.fine_tune_episodes * bundle.env_config.max_steps;
+
+  // One fine-tuning run under a fault scenario, returning post-training
+  // greedy MSF.
+  const auto run_fine_tune = [&](std::optional<double> transient_ber,
+                                 int injection_step,
+                                 std::optional<FaultType> permanent,
+                                 double permanent_ber, Rng& rng) {
+    OnlineFineTuner tuner(bundle.network, FineTuneConfig{});
+    if (permanent && permanent_ber > 0.0) {
+      const FaultMap map = FaultMap::sample(
+          *permanent, permanent_ber, tuner.weights().size(),
+          tuner.weights().format().total_bits(), rng);
+      tuner.set_stuck(StuckAtMask::compile(map));
+    }
+    DroneEnv env(world, bundle.env_config);
+    int global_step = 0;
+    for (int episode = 0; episode < config.fine_tune_episodes; ++episode) {
+      Tensor observation = env.reset(rng);
+      while (!env.done()) {
+        if (transient_ber && *transient_ber > 0.0 &&
+            global_step == injection_step) {
+          const FaultMap map = FaultMap::sample(
+              FaultType::kTransientFlip, *transient_ber,
+              tuner.weights().size(),
+              tuner.weights().format().total_bits(), rng);
+          tuner.inject_transient(map);
+        }
+        const int action = tuner.act(observation, 0.05, rng);
+        const DroneEnv::StepResult step_result = env.step(action);
+        Tensor next = env.observe();
+        tuner.td_update(observation, action, step_result.reward, next,
+                        step_result.done);
+        observation = std::move(next);
+        ++global_step;
+      }
+    }
+    // Post-fine-tuning flight quality.
+    RunningStats distances;
+    for (int repeat = 0; repeat < config.eval_repeats; ++repeat) {
+      DroneEnv eval_env(world, bundle.env_config);
+      distances.add(tuner.evaluate_episode(eval_env, rng));
+    }
+    return distances.mean();
+  };
+
+  {
+    Rng rng = seeder.split(0);
+    result.fault_free_msf =
+        run_fine_tune(std::nullopt, 0, std::nullopt, 0.0, rng);
+  }
+  for (std::size_t r = 0; r < config.injection_points.size(); ++r) {
+    for (std::size_t c = 0; c < config.bers.size(); ++c) {
+      Rng rng = seeder.split(1000 + r * 50 + c);
+      const int step =
+          static_cast<int>(config.injection_points[r] * steps_budget);
+      result.transient.set(
+          r, c,
+          run_fine_tune(config.bers[c], step, std::nullopt, 0.0, rng));
+    }
+  }
+  for (std::size_t c = 0; c < config.bers.size(); ++c) {
+    Rng rng0 = seeder.split(5000 + c);
+    Rng rng1 = seeder.split(6000 + c);
+    result.stuck_at_0.push_back(run_fine_tune(
+        std::nullopt, 0, FaultType::kStuckAt0, config.bers[c], rng0));
+    result.stuck_at_1.push_back(run_fine_tune(
+        std::nullopt, 0, FaultType::kStuckAt1, config.bers[c], rng1));
+  }
+  return result;
+}
+
+EnvironmentSweepResult run_environment_sweep(
+    const DroneInferenceCampaignConfig& config) {
+  EnvironmentSweepResult result;
+  result.bers = config.bers;
+  Rng seeder(config.seed ^ 0x7b);
+  const std::vector<DroneWorld> worlds = {DroneWorld::indoor_long(),
+                                          DroneWorld::indoor_vanleer()};
+  for (const DroneWorld& world : worlds) {
+    result.environments.push_back(world.name());
+    const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+    QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
+                                    bundle.c3f2.input_shape());
+    std::vector<double> row;
+    for (double ber : config.bers) {
+      // Fault-free cells share one fixed stream (per environment) so
+      // every row reports the same baseline rollouts.
+      Rng rng = ber <= 0.0
+                    ? Rng(config.seed ^ (0xb05e + result.environments.size()))
+                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
+                                   result.environments.size());
+      row.push_back(msf_with_faults(
+          engine, world, bundle.env_config, config.repeats, rng,
+          [&](QuantizedInferenceEngine& e, Rng& r) {
+            if (ber <= 0.0) return;
+            const FaultMap map = FaultMap::sample(
+                FaultType::kTransientFlip, ber, e.weight_word_count(),
+                e.format().total_bits(), r);
+            e.inject_weight_faults(map);
+          }));
+    }
+    result.msf.push_back(std::move(row));
+  }
+  return result;
+}
+
+std::string to_string(DroneFaultLocation location) {
+  switch (location) {
+    case DroneFaultLocation::kInput: return "Input";
+    case DroneFaultLocation::kWeightTransient: return "Weight";
+    case DroneFaultLocation::kActivationTransient: return "Act (T)";
+    case DroneFaultLocation::kActivationPermanent: return "Act (P)";
+  }
+  return "unknown";
+}
+
+LocationSweepResult run_location_sweep(
+    const DroneWorld& world, const DroneInferenceCampaignConfig& config) {
+  LocationSweepResult result;
+  result.bers = config.bers;
+  const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+  QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
+                                  bundle.c3f2.input_shape());
+  Rng seeder(config.seed ^ 0x7c);
+
+  for (int location_index = 0; location_index < 4; ++location_index) {
+    const auto location = static_cast<DroneFaultLocation>(location_index);
+    std::vector<double> row;
+    for (double ber : config.bers) {
+      Rng rng = ber <= 0.0
+                    ? Rng(config.seed ^ 0xb05e)
+                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
+                                   location_index * 131);
+      row.push_back(msf_with_faults(
+          engine, world, bundle.env_config, config.repeats, rng,
+          [&](QuantizedInferenceEngine& e, Rng& r) {
+            if (ber <= 0.0) return;
+            switch (location) {
+              case DroneFaultLocation::kInput:
+                e.set_input_transient_ber(ber);
+                break;
+              case DroneFaultLocation::kWeightTransient: {
+                const FaultMap map = FaultMap::sample(
+                    FaultType::kTransientFlip, ber, e.weight_word_count(),
+                    e.format().total_bits(), r);
+                e.inject_weight_faults(map);
+                break;
+              }
+              case DroneFaultLocation::kActivationTransient:
+                e.set_activation_transient_ber(ber);
+                break;
+              case DroneFaultLocation::kActivationPermanent: {
+                const FaultMap map = FaultMap::sample(
+                    FaultType::kStuckAt1, ber, e.activation_buffer_size(),
+                    e.format().total_bits(), r);
+                e.set_activation_stuck(StuckAtMask::compile(map));
+                break;
+              }
+            }
+          }));
+    }
+    result.msf.push_back(std::move(row));
+  }
+  return result;
+}
+
+LayerSweepResult run_layer_sweep(const DroneWorld& world,
+                                 const DroneInferenceCampaignConfig& config) {
+  LayerSweepResult result;
+  result.bers = config.bers;
+  const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+  QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
+                                  bundle.c3f2.input_shape());
+  result.layers = engine.layer_labels();
+  Rng seeder(config.seed ^ 0x7d);
+
+  for (std::size_t layer = 0; layer < engine.parametered_layer_count();
+       ++layer) {
+    std::vector<double> row;
+    for (double ber : config.bers) {
+      Rng rng = ber <= 0.0
+                    ? Rng(config.seed ^ 0xb05e)
+                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
+                                   layer * 131);
+      row.push_back(msf_with_faults(
+          engine, world, bundle.env_config, config.repeats, rng,
+          [&](QuantizedInferenceEngine& e, Rng& r) {
+            if (ber <= 0.0) return;
+            e.inject_layer_weight_faults(layer, ber, r);
+          }));
+    }
+    result.msf.push_back(std::move(row));
+  }
+  return result;
+}
+
+DataTypeSweepResult run_data_type_sweep(
+    const DroneWorld& world, const DroneInferenceCampaignConfig& config) {
+  DataTypeSweepResult result;
+  result.bers = config.bers;
+  const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+  Rng seeder(config.seed ^ 0x7e);
+
+  // All three under the same (sign-magnitude) encoding so the sweep
+  // isolates the range-vs-resolution trade-off the paper studies.
+  const std::vector<QFormat> formats = {
+      QFormat::q_1_4_11(Encoding::kSignMagnitude),
+      QFormat::q_1_7_8(Encoding::kSignMagnitude),
+      QFormat::q_1_10_5(Encoding::kSignMagnitude)};
+  for (const QFormat& format : formats) {
+    result.formats.push_back(format.name());
+    QuantizedInferenceEngine engine(bundle.network, format,
+                                    bundle.c3f2.input_shape());
+    std::vector<double> row;
+    for (double ber : config.bers) {
+      Rng rng = seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
+                             result.formats.size() * 131);
+      row.push_back(msf_with_faults(
+          engine, world, bundle.env_config, config.repeats, rng,
+          [&](QuantizedInferenceEngine& e, Rng& r) {
+            if (ber <= 0.0) return;
+            const FaultMap map = FaultMap::sample(
+                FaultType::kTransientFlip, ber, e.weight_word_count(),
+                e.format().total_bits(), r);
+            e.inject_weight_faults(map);
+          }));
+    }
+    result.msf.push_back(std::move(row));
+  }
+  return result;
+}
+
+DroneMitigationResult run_drone_mitigation_comparison(
+    const DroneWorld& world, const DroneInferenceCampaignConfig& config) {
+  DroneMitigationResult result;
+  result.bers = config.bers;
+  const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+  Rng seeder(config.seed ^ 0x7f);
+
+  for (bool mitigated : {false, true}) {
+    QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
+                                    bundle.c3f2.input_shape());
+    if (mitigated) engine.enable_weight_protection(0.1);
+    std::vector<double>& out =
+        mitigated ? result.mitigated_msf : result.baseline_msf;
+    for (double ber : config.bers) {
+      Rng rng = seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
+                             (mitigated ? 977 : 0));
+      out.push_back(msf_with_faults(
+          engine, world, bundle.env_config, config.repeats, rng,
+          [&](QuantizedInferenceEngine& e, Rng& r) {
+            if (ber <= 0.0) return;
+            const FaultMap map = FaultMap::sample(
+                FaultType::kTransientFlip, ber, e.weight_word_count(),
+                e.format().total_bits(), r);
+            e.inject_weight_faults(map);
+          }));
+    }
+    if (mitigated && engine.weight_detector() != nullptr)
+      result.detections = engine.weight_detector()->detections();
+  }
+  return result;
+}
+
+}  // namespace ftnav

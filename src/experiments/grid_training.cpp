@@ -1,0 +1,396 @@
+#include "experiments/grid_training.h"
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/injector.h"
+#include "rl/mlp_q.h"
+#include "rl/tabular_q.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ftnav {
+namespace {
+
+/// Uniform interface over the two Grid World policy kinds.
+class GridAgentHandle {
+ public:
+  GridAgentHandle(GridPolicyKind kind, const GridWorld& env, Rng& rng) {
+    if (kind == GridPolicyKind::kTabular) {
+      tabular_ = std::make_unique<TabularQAgent>(env);
+    } else {
+      mlp_ = std::make_unique<MlpQAgent>(env, MlpQConfig{}, rng);
+    }
+  }
+
+  double train_episode(double epsilon, Rng& rng) {
+    return tabular_ ? tabular_->run_training_episode(epsilon, rng)
+                    : mlp_->run_training_episode(epsilon, rng);
+  }
+  bool evaluate_success() {
+    return tabular_ ? tabular_->evaluate_success() : mlp_->evaluate_success();
+  }
+  double evaluate_return() {
+    return tabular_ ? tabular_->evaluate_return() : mlp_->evaluate_return();
+  }
+  QVector& store() {
+    return tabular_ ? tabular_->table() : mlp_->weights();
+  }
+  void inject_transient(const FaultMap& map) {
+    if (tabular_)
+      tabular_->inject_transient(map);
+    else
+      mlp_->inject_transient(map);
+  }
+  void set_stuck(const StuckAtMask& mask) {
+    if (tabular_)
+      tabular_->set_stuck(mask);
+    else
+      mlp_->set_stuck(mask);
+  }
+
+ private:
+  std::unique_ptr<TabularQAgent> tabular_;
+  std::unique_ptr<MlpQAgent> mlp_;
+};
+
+double default_alpha(GridPolicyKind kind) {
+  // Paper §5.1: alpha = 0.8 for tabular, 0.4 for NN (the NN self-heals
+  // faster, so it needs a smaller exploration boost).
+  return kind == GridPolicyKind::kTabular ? 0.8 : 0.4;
+}
+
+}  // namespace
+
+std::string to_string(GridPolicyKind kind) {
+  return kind == GridPolicyKind::kTabular ? "tabular" : "NN";
+}
+
+GridTrainResult run_grid_training(const GridTrainSpec& spec) {
+  if (spec.episodes <= 0)
+    throw std::invalid_argument("GridTrainSpec: episodes must be positive");
+  const GridWorld env = GridWorld::preset(spec.density);
+  Rng rng(spec.seed);
+  Rng fault_rng = rng.split(0x5eed);
+  GridAgentHandle agent(spec.kind, env, rng);
+
+  ExplorationConfig exploration = spec.exploration;
+  exploration.alpha = spec.alpha_override >= 0.0
+                          ? spec.alpha_override
+                          : default_alpha(spec.kind);
+  AdaptiveExplorationController controller(exploration, spec.mitigated);
+
+  GridTrainResult result;
+  if (spec.record_returns) result.returns.reserve(spec.episodes);
+
+  int consecutive_successes = 0;
+  const bool has_transient = spec.transient_ber.has_value();
+
+  for (int episode = 0; episode < spec.episodes; ++episode) {
+    if (has_transient && episode == spec.transient_episode &&
+        *spec.transient_ber > 0.0) {
+      const FaultMap map = FaultMap::sample(
+          FaultType::kTransientFlip, *spec.transient_ber,
+          agent.store().size(), agent.store().format().total_bits(),
+          fault_rng);
+      agent.inject_transient(map);
+    }
+    if (spec.permanent_type && episode == spec.permanent_episode &&
+        spec.permanent_ber > 0.0) {
+      const FaultMap map = FaultMap::sample(
+          *spec.permanent_type, spec.permanent_ber, agent.store().size(),
+          agent.store().format().total_bits(), fault_rng);
+      agent.set_stuck(StuckAtMask::compile(map));
+    }
+
+    const double train_return = agent.train_episode(controller.rate(), rng);
+
+    // The controller (and Fig. 3's curves) key on policy quality: the
+    // greedy-from-source return. Training returns are too noisy under
+    // exploring starts to carry the paper's reward-drop detection.
+    // The evaluation rollout is skipped when nothing consumes it.
+    const bool needs_eval = spec.mitigated || spec.record_returns ||
+                            spec.track_reconvergence;
+    const double eval_return =
+        needs_eval ? agent.evaluate_return() : train_return;
+    controller.end_episode(eval_return);
+    if (spec.record_returns) result.returns.push_back(eval_return);
+
+    if (spec.track_reconvergence && has_transient &&
+        episode >= spec.transient_episode &&
+        result.reconverge_episodes < 0) {
+      if (eval_return > 0.0) {
+        ++consecutive_successes;
+        if (consecutive_successes >= 5)
+          result.reconverge_episodes =
+              episode - spec.transient_episode - 4;
+      } else {
+        consecutive_successes = 0;
+      }
+    }
+  }
+
+  result.success = agent.evaluate_success();
+  result.final_return = agent.evaluate_return();
+  result.peak_exploration = controller.peak_adjusted_rate();
+  result.steady_episode = controller.steady_reached_episode();
+  result.transient_detections = controller.transient_detections();
+  result.permanent_detections = controller.permanent_detections();
+  return result;
+}
+
+HeatmapGrid run_transient_training_heatmap(
+    const TrainingHeatmapConfig& config) {
+  std::vector<std::string> row_labels;
+  for (double ber : config.bers)
+    row_labels.push_back(format_double(ber * 100.0, 1) + "%");
+  std::vector<std::string> col_labels;
+  for (int episode : config.injection_episodes)
+    col_labels.push_back(std::to_string(episode));
+
+  HeatmapGrid grid(row_labels, col_labels);
+  Rng seeder(config.seed);
+  for (std::size_t r = 0; r < config.bers.size(); ++r) {
+    for (std::size_t c = 0; c < config.injection_episodes.size(); ++c) {
+      std::size_t successes = 0;
+      for (int repeat = 0; repeat < config.repeats; ++repeat) {
+        GridTrainSpec spec;
+        spec.kind = config.kind;
+        spec.density = config.density;
+        spec.episodes = config.episodes;
+        spec.transient_ber = config.bers[r];
+        spec.transient_episode = config.injection_episodes[c];
+        spec.mitigated = config.mitigated;
+        spec.seed = seeder.split(r * 1000 + c * 10 +
+                                 static_cast<std::size_t>(repeat))();
+        if (run_grid_training(spec).success) ++successes;
+      }
+      grid.set(r, c,
+               100.0 * static_cast<double>(successes) /
+                   static_cast<double>(config.repeats));
+    }
+  }
+  return grid;
+}
+
+PermanentTrainingSweep run_permanent_training_sweep(
+    const TrainingHeatmapConfig& config) {
+  PermanentTrainingSweep sweep;
+  sweep.bers = config.bers;
+  Rng seeder(config.seed ^ 0x9e37);
+  for (FaultType type : {FaultType::kStuckAt0, FaultType::kStuckAt1}) {
+    for (std::size_t r = 0; r < config.bers.size(); ++r) {
+      std::size_t successes = 0;
+      for (int repeat = 0; repeat < config.repeats; ++repeat) {
+        GridTrainSpec spec;
+        spec.kind = config.kind;
+        spec.density = config.density;
+        spec.episodes = config.episodes;
+        spec.permanent_type = type;
+        spec.permanent_ber = config.bers[r];
+        spec.permanent_episode = 0;
+        spec.mitigated = config.mitigated;
+        spec.seed = seeder.split(r * 100 +
+                                 static_cast<std::size_t>(repeat))();
+        if (run_grid_training(spec).success) ++successes;
+      }
+      const double pct = 100.0 * static_cast<double>(successes) /
+                         static_cast<double>(config.repeats);
+      (type == FaultType::kStuckAt0 ? sweep.stuck_at_0_success
+                                    : sweep.stuck_at_1_success)
+          .push_back(pct);
+    }
+  }
+  return sweep;
+}
+
+ValueHistogramResult trained_value_histogram(GridPolicyKind kind,
+                                             ObstacleDensity density,
+                                             int episodes,
+                                             std::uint64_t seed) {
+  GridTrainSpec spec;
+  spec.kind = kind;
+  spec.density = density;
+  spec.episodes = episodes;
+  spec.seed = seed;
+
+  // Re-run the training inline so we can reach the trained store.
+  const GridWorld env = GridWorld::preset(density);
+  Rng rng(seed);
+  GridAgentHandle agent(kind, env, rng);
+  ExplorationConfig exploration;
+  AdaptiveExplorationController controller(exploration, false);
+  for (int episode = 0; episode < episodes; ++episode) {
+    (void)agent.train_episode(controller.rate(), rng);
+    controller.end_episode(agent.evaluate_return());
+  }
+
+  const QVector& store = agent.store();
+  ValueHistogramResult result{
+      Histogram(store.format().min_value(),
+                store.format().max_value() + store.format().resolution(),
+                32),
+      count_bits(store.words(), store.format().total_bits()), 0.0, 0.0};
+  const auto values = store.decode_all();
+  result.histogram.add_all(values);
+  result.min_value = result.histogram.observed_min();
+  result.max_value = result.histogram.observed_max();
+  return result;
+}
+
+std::vector<RewardCurve> run_reward_curves(GridPolicyKind kind, int episodes,
+                                           std::uint64_t seed) {
+  // Scenario shape follows Fig. 3: two transient upsets (one mid-, one
+  // late-training), one stuck-at-0 and one stuck-at-1, plus fault-free.
+  struct Scenario {
+    std::string label;
+    std::optional<double> transient_ber;
+    double transient_at = 0.0;  // fraction of the episode budget
+    std::optional<FaultType> permanent;
+    double permanent_ber = 0.0;
+  };
+  const std::vector<Scenario> scenarios = {
+      {"fault-free", std::nullopt, 0.0, std::nullopt, 0.0},
+      {"transient BER=0.6% @25%", 0.006, 0.25, std::nullopt, 0.0},
+      {"transient BER=0.6% @85%", 0.006, 0.85, std::nullopt, 0.0},
+      {"stuck-at-0 BER=0.2%", std::nullopt, 0.0, FaultType::kStuckAt0,
+       0.002},
+      {"stuck-at-1 BER=0.3%", std::nullopt, 0.0, FaultType::kStuckAt1,
+       0.003},
+  };
+
+  std::vector<RewardCurve> curves;
+  for (const Scenario& scenario : scenarios) {
+    GridTrainSpec spec;
+    spec.kind = kind;
+    spec.episodes = episodes;
+    spec.seed = seed;
+    spec.record_returns = true;
+    if (scenario.transient_ber) {
+      spec.transient_ber = scenario.transient_ber;
+      spec.transient_episode =
+          static_cast<int>(scenario.transient_at * episodes);
+    }
+    if (scenario.permanent) {
+      spec.permanent_type = scenario.permanent;
+      spec.permanent_ber = scenario.permanent_ber;
+    }
+    curves.push_back(
+        RewardCurve{scenario.label, run_grid_training(spec).returns});
+  }
+  return curves;
+}
+
+TransientConvergenceResult run_transient_convergence(
+    GridPolicyKind kind, const std::vector<double>& bers, int fault_episode,
+    int max_extra_episodes, int repeats, std::uint64_t seed) {
+  TransientConvergenceResult result;
+  result.bers = bers;
+  Rng seeder(seed ^ 0xc0ffee);
+  for (std::size_t b = 0; b < bers.size(); ++b) {
+    RunningStats episodes_taken;
+    int failures = 0;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      GridTrainSpec spec;
+      spec.kind = kind;
+      spec.episodes = fault_episode + max_extra_episodes;
+      spec.transient_ber = bers[b];
+      spec.transient_episode = fault_episode;
+      spec.track_reconvergence = true;
+      spec.seed = seeder.split(b * 100 + static_cast<std::size_t>(repeat))();
+      const GridTrainResult run = run_grid_training(spec);
+      if (run.reconverge_episodes >= 0) {
+        episodes_taken.add(run.reconverge_episodes);
+      } else {
+        ++failures;
+        episodes_taken.add(max_extra_episodes);  // censored at the cap
+      }
+    }
+    result.mean_episodes_to_converge.push_back(episodes_taken.mean());
+    result.failure_fraction.push_back(static_cast<double>(failures) /
+                                      static_cast<double>(repeats));
+  }
+  return result;
+}
+
+PermanentConvergenceResult run_permanent_convergence(
+    GridPolicyKind kind, const std::vector<double>& bers, int early_episode,
+    int late_episode, int extra_episodes, int repeats, std::uint64_t seed) {
+  PermanentConvergenceResult result;
+  result.bers = bers;
+  Rng seeder(seed ^ 0xdead);
+  const auto run_cell = [&](FaultType type, int inject_at, double ber,
+                            std::size_t salt) {
+    std::size_t successes = 0;
+    for (int repeat = 0; repeat < repeats; ++repeat) {
+      GridTrainSpec spec;
+      spec.kind = kind;
+      spec.episodes = inject_at + extra_episodes;
+      spec.permanent_type = type;
+      spec.permanent_ber = ber;
+      spec.permanent_episode = inject_at;
+      spec.seed = seeder.split(salt * 131 + static_cast<std::size_t>(repeat))();
+      if (run_grid_training(spec).success) ++successes;
+    }
+    return 100.0 * static_cast<double>(successes) /
+           static_cast<double>(repeats);
+  };
+  for (std::size_t b = 0; b < bers.size(); ++b) {
+    result.sa0_early.push_back(
+        run_cell(FaultType::kStuckAt0, early_episode, bers[b], b * 4 + 0));
+    result.sa0_late.push_back(
+        run_cell(FaultType::kStuckAt0, late_episode, bers[b], b * 4 + 1));
+    result.sa1_early.push_back(
+        run_cell(FaultType::kStuckAt1, early_episode, bers[b], b * 4 + 2));
+    result.sa1_late.push_back(
+        run_cell(FaultType::kStuckAt1, late_episode, bers[b], b * 4 + 3));
+  }
+  return result;
+}
+
+std::vector<ExplorationStudyRow> run_exploration_study(
+    GridPolicyKind kind, const std::vector<double>& bers, int episodes,
+    int repeats, std::uint64_t seed) {
+  std::vector<ExplorationStudyRow> rows;
+  Rng seeder(seed ^ 0xfeed);
+  for (FaultType type : {FaultType::kTransientFlip, FaultType::kStuckAt0,
+                         FaultType::kStuckAt1}) {
+    for (std::size_t b = 0; b < bers.size(); ++b) {
+      RunningStats peak, steady, recovery;
+      for (int repeat = 0; repeat < repeats; ++repeat) {
+        GridTrainSpec spec;
+        spec.kind = kind;
+        spec.episodes = episodes;
+        spec.mitigated = true;
+        spec.seed = seeder.split(b * 100 + static_cast<std::size_t>(repeat) +
+                                 static_cast<std::size_t>(type) * 7919)();
+        if (type == FaultType::kTransientFlip) {
+          spec.transient_ber = bers[b];
+          spec.transient_episode = static_cast<int>(0.6 * episodes);
+          spec.track_reconvergence = true;
+        } else {
+          spec.permanent_type = type;
+          spec.permanent_ber = bers[b];
+        }
+        const GridTrainResult run = run_grid_training(spec);
+        peak.add(run.peak_exploration * 100.0);
+        steady.add(run.steady_episode >= 0 ? run.steady_episode : episodes);
+        if (type == FaultType::kTransientFlip)
+          recovery.add(run.reconverge_episodes >= 0
+                           ? run.reconverge_episodes
+                           : episodes - spec.transient_episode);
+      }
+      ExplorationStudyRow row;
+      row.type = type;
+      row.ber = bers[b];
+      row.mean_peak_exploration = peak.mean();
+      row.mean_episodes_to_steady = steady.mean();
+      row.mean_recovery_episodes =
+          type == FaultType::kTransientFlip ? recovery.mean() : -1.0;
+      rows.push_back(row);
+    }
+  }
+  return rows;
+}
+
+}  // namespace ftnav

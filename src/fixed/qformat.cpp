@@ -1,0 +1,141 @@
+#include "fixed/qformat.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace ftnav {
+
+std::string to_string(Encoding encoding) {
+  return encoding == Encoding::kTwosComplement ? "two's complement"
+                                               : "sign-magnitude";
+}
+
+QFormat::QFormat(int integer_bits, int fraction_bits, Encoding encoding)
+    : integer_bits_(integer_bits),
+      fraction_bits_(fraction_bits),
+      encoding_(encoding) {
+  if (integer_bits < 0 || fraction_bits < 0)
+    throw std::invalid_argument("QFormat: negative field width");
+  if (1 + integer_bits + fraction_bits > 32)
+    throw std::invalid_argument("QFormat: total width exceeds 32 bits");
+  if (1 + integer_bits + fraction_bits < 2)
+    throw std::invalid_argument("QFormat: need at least one value bit");
+  scale_ = std::ldexp(1.0, fraction_bits);
+  inv_scale_ = std::ldexp(1.0, -fraction_bits);
+}
+
+QFormat QFormat::with_encoding(Encoding encoding) const noexcept {
+  QFormat copy = *this;
+  copy.encoding_ = encoding;
+  return copy;
+}
+
+double QFormat::resolution() const noexcept { return inv_scale_; }
+
+std::int32_t QFormat::raw_max() const noexcept {
+  return static_cast<std::int32_t>((std::int64_t{1} << (total_bits() - 1)) -
+                                   1);
+}
+
+std::int32_t QFormat::raw_min() const noexcept {
+  if (encoding_ == Encoding::kSignMagnitude) return -raw_max();
+  return static_cast<std::int32_t>(-(std::int64_t{1} << (total_bits() - 1)));
+}
+
+double QFormat::max_value() const noexcept {
+  return static_cast<double>(raw_max()) * resolution();
+}
+
+double QFormat::min_value() const noexcept {
+  return static_cast<double>(raw_min()) * resolution();
+}
+
+Word QFormat::word_mask() const noexcept {
+  const int bits = total_bits();
+  return bits == 32 ? 0xffffffffu : ((Word{1} << bits) - 1u);
+}
+
+Word QFormat::sign_integer_mask() const noexcept {
+  Word mask = 0;
+  for (int b = fraction_bits_; b < total_bits(); ++b) mask |= Word{1} << b;
+  return mask;
+}
+
+Word QFormat::encode(double value) const noexcept {
+  const double scaled = value * scale_;
+  double rounded = std::nearbyint(scaled);
+  if (std::isnan(rounded)) rounded = 0.0;
+  if (rounded > raw_max()) rounded = raw_max();
+  if (rounded < raw_min()) rounded = raw_min();
+  return from_raw(static_cast<std::int64_t>(rounded));
+}
+
+double QFormat::decode(Word word) const noexcept {
+  return static_cast<double>(to_raw(word)) * inv_scale_;
+}
+
+std::int32_t QFormat::to_raw(Word word) const noexcept {
+  const int bits = total_bits();
+  Word value = word & word_mask();
+  if (encoding_ == Encoding::kSignMagnitude) {
+    const Word magnitude_mask = word_mask() >> 1;
+    const auto magnitude = static_cast<std::int32_t>(value & magnitude_mask);
+    return (value >> (bits - 1)) ? -magnitude : magnitude;
+  }
+  // Sign-extend from `bits` to 32.
+  if (bits < 32 && (value & (Word{1} << (bits - 1))) != 0)
+    value |= ~word_mask();
+  return static_cast<std::int32_t>(value);
+}
+
+Word QFormat::from_raw(std::int64_t raw) const noexcept {
+  if (raw > raw_max()) raw = raw_max();
+  if (raw < raw_min()) raw = raw_min();
+  if (encoding_ == Encoding::kSignMagnitude) {
+    if (raw < 0) {
+      return (Word{1} << (total_bits() - 1)) |
+             static_cast<Word>(-raw);
+    }
+    return static_cast<Word>(raw);
+  }
+  return static_cast<Word>(raw) & word_mask();
+}
+
+std::string QFormat::name() const {
+  std::string name = "Q(1," + std::to_string(integer_bits_) + "," +
+                     std::to_string(fraction_bits_) + ")";
+  if (encoding_ == Encoding::kSignMagnitude) name += "sm";
+  return name;
+}
+
+QFormat QFormat::grid_world_8bit() { return QFormat(3, 4); }
+QFormat QFormat::grid_world_weights() {
+  // Q(1,3,4): same width/resolution as the tabular store, but
+  // sign-magnitude, and with integer headroom above the trained weight
+  // range (about +-4, Fig. 2d) so the range detector has outliers to
+  // catch (Fig. 10a).
+  return QFormat(3, 4, Encoding::kSignMagnitude);
+}
+QFormat QFormat::q_1_4_11(Encoding encoding) {
+  return QFormat(4, 11, encoding);
+}
+QFormat QFormat::q_1_7_8(Encoding encoding) { return QFormat(7, 8, encoding); }
+QFormat QFormat::q_1_10_5(Encoding encoding) {
+  return QFormat(10, 5, encoding);
+}
+QFormat QFormat::drone_weights() {
+  return QFormat(4, 11, Encoding::kSignMagnitude);
+}
+
+Word flip_bit(Word word, int bit) noexcept { return word ^ (Word{1} << bit); }
+Word stick_bit_to_zero(Word word, int bit) noexcept {
+  return word & ~(Word{1} << bit);
+}
+Word stick_bit_to_one(Word word, int bit) noexcept {
+  return word | (Word{1} << bit);
+}
+bool get_bit(Word word, int bit) noexcept {
+  return (word >> bit) & 1u;
+}
+
+}  // namespace ftnav

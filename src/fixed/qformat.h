@@ -1,0 +1,120 @@
+#pragma once
+// Runtime-parameterized signed fixed-point formats.
+//
+// The paper evaluates Q(sign, integer, fraction) formats -- Q(1,4,11),
+// Q(1,7,8), Q(1,10,5) for the drone CNN, and 8-bit quantization for the
+// Grid World policies. Because the format itself is a *sweep parameter*
+// of the fault study (Fig. 7e), formats are runtime values rather than
+// template parameters. Values are stored in the low `total_bits()` bits
+// of a 32-bit word, which is exactly the representation faults are
+// injected into.
+//
+// Two bit encodings are supported:
+//   * two's complement -- the default, used for the tabular Q-table;
+//   * sign-magnitude   -- used for NN weight stores. NN weights cluster
+//     near zero, and under sign-magnitude their encodings are dominated
+//     by '0' bits regardless of sign. This reproduces the paper's
+//     measured bit statistics (Fig. 2d: 7.17x more '0' than '1' bits in
+//     NN weights vs 3.18x for tabular values) and hence its headline
+//     stuck-at-1 vs stuck-at-0 asymmetry; a symmetric weight
+//     distribution under pure two's complement has roughly equal 0/1
+//     bit counts and cannot show either effect. See DESIGN.md §5.
+
+#include <cstdint>
+#include <string>
+
+namespace ftnav {
+
+/// 32-bit container for a fixed-point encoding; only the low
+/// QFormat::total_bits() bits are meaningful.
+using Word = std::uint32_t;
+
+/// Bit-level encoding of signed fixed-point values.
+enum class Encoding : std::uint8_t {
+  kTwosComplement,
+  kSignMagnitude,
+};
+
+std::string to_string(Encoding encoding);
+
+/// Signed fixed-point format descriptor: 1 sign bit, `integer_bits`
+/// integer bits, `fraction_bits` fraction bits.
+class QFormat {
+ public:
+  /// Requires integer_bits >= 0, fraction_bits >= 0 and a total width of
+  /// at most 32 bits; throws std::invalid_argument otherwise.
+  QFormat(int integer_bits, int fraction_bits,
+          Encoding encoding = Encoding::kTwosComplement);
+
+  int integer_bits() const noexcept { return integer_bits_; }
+  int fraction_bits() const noexcept { return fraction_bits_; }
+  Encoding encoding() const noexcept { return encoding_; }
+  /// Total width including the sign bit.
+  int total_bits() const noexcept { return 1 + integer_bits_ + fraction_bits_; }
+
+  /// Same field widths with a different bit encoding.
+  QFormat with_encoding(Encoding encoding) const noexcept;
+
+  /// Smallest representable increment, 2^-fraction_bits.
+  double resolution() const noexcept;
+  /// Largest representable value, 2^integer_bits - resolution().
+  double max_value() const noexcept;
+  /// Smallest (most negative) representable value: -2^integer_bits for
+  /// two's complement, -max_value() for sign-magnitude.
+  double min_value() const noexcept;
+
+  /// Mask selecting the meaningful low bits of a word.
+  Word word_mask() const noexcept;
+  /// Mask selecting the sign and integer bits only -- the bits the
+  /// paper's anomaly detector compares (fraction bits are ignored).
+  Word sign_integer_mask() const noexcept;
+  /// Bit index of the sign bit (the MSB of the encoding).
+  int sign_bit() const noexcept { return total_bits() - 1; }
+
+  /// Encodes with round-to-nearest and saturation at the format bounds.
+  Word encode(double value) const noexcept;
+  /// Decodes a word (only the low total_bits() are read).
+  double decode(Word word) const noexcept;
+
+  /// Signed integer v such that decode(word) == v * resolution().
+  std::int32_t to_raw(Word word) const noexcept;
+  /// Encodes a raw signed integer, saturating to the representable range.
+  Word from_raw(std::int64_t raw) const noexcept;
+
+  /// "Q(1,i,f)" -- the paper's notation ("Q(1,i,f)sm" for sign-magnitude).
+  std::string name() const;
+
+  bool operator==(const QFormat& other) const noexcept = default;
+
+  // Formats used by the paper's experiments.
+  static QFormat grid_world_8bit();    // Q(1,3,4): tabular values
+  static QFormat grid_world_weights(); // Q(1,3,4)sm: Grid World NN weights
+  static QFormat q_1_4_11(Encoding encoding = Encoding::kTwosComplement);
+  static QFormat q_1_7_8(Encoding encoding = Encoding::kTwosComplement);
+  static QFormat q_1_10_5(Encoding encoding = Encoding::kTwosComplement);
+  /// The drone weight-store format: Q(1,4,11) sign-magnitude.
+  static QFormat drone_weights();
+
+ private:
+  std::int32_t raw_max() const noexcept;
+  std::int32_t raw_min() const noexcept;
+
+  int integer_bits_;
+  int fraction_bits_;
+  Encoding encoding_;
+  // Cached scale factors: encode/decode run on every element of every
+  // buffer write, so 2^f and 2^-f must not be recomputed per call.
+  double scale_ = 1.0;       // 2^fraction_bits
+  double inv_scale_ = 1.0;   // 2^-fraction_bits
+};
+
+/// Flips bit `bit` of `word` (bit must be < 32).
+Word flip_bit(Word word, int bit) noexcept;
+/// Forces bit `bit` of `word` to zero.
+Word stick_bit_to_zero(Word word, int bit) noexcept;
+/// Forces bit `bit` of `word` to one.
+Word stick_bit_to_one(Word word, int bit) noexcept;
+/// Reads bit `bit` of `word`.
+bool get_bit(Word word, int bit) noexcept;
+
+}  // namespace ftnav

@@ -1,0 +1,72 @@
+#include "nn/c3f2.h"
+
+#include <stdexcept>
+
+namespace ftnav {
+
+C3F2Config C3F2Config::preset(C3F2Preset preset) {
+  C3F2Config config;
+  switch (preset) {
+    case C3F2Preset::kPaper:
+      // 103 -> Conv1 7x7/4 -> 25 -> pool2 -> 12 -> Conv2 5x5 -> 8
+      //     -> Conv3 3x3 -> 6 -> flatten 2304 -> FC1 1024 -> FC2 25
+      config.input_hw = 103;
+      config.conv1_filters = 96;
+      config.conv1_kernel = 7;
+      config.conv1_stride = 4;
+      config.conv2_filters = 64;
+      config.conv2_kernel = 5;
+      config.conv2_stride = 1;
+      config.conv3_filters = 64;
+      config.conv3_kernel = 3;
+      config.fc1_units = 1024;
+      break;
+    case C3F2Preset::kFast:
+      // 39 -> Conv1 5x5/2 -> 18 -> pool2 -> 9 -> Conv2 3x3/2 -> 4
+      //    -> Conv3 3x3 -> 2 -> flatten 128 -> FC1 128 -> FC2 25
+      config = C3F2Config{};
+      break;
+  }
+  return config;
+}
+
+Network make_c3f2(const C3F2Config& config, Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Conv2D>(config.input_channels,
+                                   config.conv1_filters, config.conv1_kernel,
+                                   config.conv1_stride, rng))
+      .set_label("Conv1");
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));
+  net.add(std::make_unique<Conv2D>(config.conv1_filters,
+                                   config.conv2_filters, config.conv2_kernel,
+                                   config.conv2_stride, rng))
+      .set_label("Conv2");
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Conv2D>(config.conv2_filters,
+                                   config.conv3_filters, config.conv3_kernel,
+                                   1, rng))
+      .set_label("Conv3");
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Flatten>());
+
+  // Derive the flattened feature count from the configured geometry so
+  // any consistent config works, not just the presets.
+  const Shape flat = [&] {
+    Shape shape = config.input_shape();
+    for (std::size_t i = 0; i < net.layer_count(); ++i)
+      shape = net.layer(i).output_shape(shape);
+    return shape;
+  }();
+  if (flat.channels <= 0)
+    throw std::invalid_argument("make_c3f2: degenerate feature map");
+
+  net.add(std::make_unique<Dense>(flat.channels, config.fc1_units, rng))
+      .set_label("FC1");
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(config.fc1_units, config.actions, rng))
+      .set_label("FC2");
+  return net;
+}
+
+}  // namespace ftnav

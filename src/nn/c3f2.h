@@ -1,0 +1,54 @@
+#pragma once
+// C3F2: the paper's drone navigation policy network (Fig. 6b) --
+// three convolutional layers followed by two fully connected layers,
+// producing Q-values over a 25-way perception-based action space.
+//
+// Two presets are provided:
+//   * kPaper -- 103x103x3 input, Conv1 96@7x7/4, Conv2 64@5x5, Conv3
+//     64@3x3, FC1 1024, FC2 25 (the geometry of Fig. 6b up to pooling
+//     placement, which the figure leaves ambiguous);
+//   * kFast  -- 39x39x3 input with proportionally scaled channels, the
+//     same 5-layer C3F2 topology. Used by benches/tests so every figure
+//     regenerates in minutes; the fault-propagation structure (early
+//     conv layers followed by pooling, late FC layers unmasked) is
+//     preserved, which is what Fig. 7d measures.
+
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+enum class C3F2Preset { kPaper, kFast };
+
+struct C3F2Config {
+  int input_hw = 39;       ///< square input height/width
+  int input_channels = 3;  ///< monocular RGB(-like) input
+  int actions = 25;        ///< paper's probabilistic action space
+  int conv1_filters = 16;
+  int conv1_kernel = 5;
+  int conv1_stride = 2;
+  int conv2_filters = 32;
+  int conv2_kernel = 3;
+  int conv2_stride = 2;
+  int conv3_filters = 32;
+  int conv3_kernel = 3;
+  int fc1_units = 128;
+
+  static C3F2Config preset(C3F2Preset preset);
+  Shape input_shape() const {
+    return Shape{input_channels, input_hw, input_hw};
+  }
+};
+
+/// Builds the C3F2 network:
+///   Conv1-ReLU-MaxPool2 / Conv2-ReLU / Conv3-ReLU / Flatten /
+///   FC1-ReLU / FC2 (Q-values).
+/// Max-pooling follows only the first conv stage, matching the paper's
+/// observation that the first two layers benefit from pooling/ReLU
+/// masking while later layers do not.
+Network make_c3f2(const C3F2Config& config, Rng& rng);
+
+/// Number of fault-targetable (parametered) layers in C3F2: 5.
+inline constexpr std::size_t kC3F2ParameteredLayers = 5;
+
+}  // namespace ftnav

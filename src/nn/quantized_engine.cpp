@@ -1,0 +1,124 @@
+#include "nn/quantized_engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ftnav {
+
+QuantizedInferenceEngine::QuantizedInferenceEngine(const Network& golden,
+                                                   QFormat format,
+                                                   Shape input_shape)
+    : net_(golden),
+      golden_params_(net_.snapshot_parameters()),
+      format_(format),
+      input_shape_(input_shape),
+      weights_(format, std::span<const float>(golden_params_)) {
+  if (!input_shape.valid())
+    throw std::invalid_argument("QuantizedInferenceEngine: bad input shape");
+  // Validate the stack against the input shape and record the largest
+  // layer-output footprint = the shared activation buffer size.
+  Shape shape = input_shape;
+  for (std::size_t i = 0; i < net_.layer_count(); ++i) {
+    shape = net_.layer(i).output_shape(shape);
+    activation_words_ = std::max(activation_words_, shape.element_count());
+  }
+  const auto parametered = net_.parametered_layers();
+  layer_ranges_.reserve(parametered.size());
+  for (std::size_t i = 0; i < parametered.size(); ++i)
+    layer_ranges_.push_back(net_.parameter_range(i));
+}
+
+void QuantizedInferenceEngine::inject_weight_faults(const FaultMap& map) {
+  if (map.type() != FaultType::kTransientFlip)
+    throw std::invalid_argument(
+        "inject_weight_faults: use set_weight_stuck for permanent faults");
+  map.apply_once(weights_.words());
+  weights_dirty_ = true;
+}
+
+void QuantizedInferenceEngine::inject_layer_weight_faults(std::size_t layer,
+                                                          double ber,
+                                                          Rng& rng) {
+  const auto [begin, end] = layer_ranges_.at(layer);
+  FaultMap map = FaultMap::sample(FaultType::kTransientFlip, ber,
+                                  end - begin, format_.total_bits(), rng);
+  map.apply_once(weights_.words().subspan(begin, end - begin));
+  weights_dirty_ = true;
+}
+
+void QuantizedInferenceEngine::set_weight_stuck(const StuckAtMask& mask) {
+  mask.apply(weights_);
+  weights_dirty_ = true;
+}
+
+void QuantizedInferenceEngine::reset_faults() {
+  weights_.encode_from(std::span<const float>(golden_params_));
+  input_ber_ = 0.0;
+  activation_ber_ = 0.0;
+  input_stuck_ = StuckAtMask();
+  activation_stuck_ = StuckAtMask();
+  weights_dirty_ = true;
+}
+
+void QuantizedInferenceEngine::enable_weight_protection(double margin) {
+  // One bounds entry per parametered layer, calibrated on the *golden*
+  // (fault-free) weights -- the paper instruments ranges after training.
+  RangeAnomalyDetector detector(format_, layer_ranges_.size(), margin);
+  for (std::size_t layer = 0; layer < layer_ranges_.size(); ++layer) {
+    const auto [begin, end] = layer_ranges_[layer];
+    for (std::size_t i = begin; i < end; ++i)
+      detector.calibrate(layer, golden_params_[i]);
+  }
+  detector.finalize();
+  weight_detector_ = std::move(detector);
+  weights_dirty_ = true;
+}
+
+void QuantizedInferenceEngine::load_weights_into_net() {
+  scratch_.resize(weights_.size());
+  weights_.decode_into(scratch_);
+  if (weight_detector_) {
+    for (std::size_t layer = 0; layer < layer_ranges_.size(); ++layer) {
+      const auto [begin, end] = layer_ranges_[layer];
+      weight_detector_->filter_all(
+          layer, std::span<float>(scratch_).subspan(begin, end - begin));
+    }
+  }
+  net_.restore_parameters(scratch_);
+  weights_dirty_ = false;
+}
+
+Tensor QuantizedInferenceEngine::infer(const Tensor& input, Rng& rng) {
+  if (input.shape() != input_shape_)
+    throw std::invalid_argument("infer: input shape mismatch");
+  if (weights_dirty_) load_weights_into_net();
+
+  // Input buffer: quantize, then dynamic faults.
+  Tensor x = input;
+  quantize_values(x.values(), format_);
+  if (input_ber_ > 0.0)
+    inject_transient_values(x.values(), format_, input_ber_, rng);
+  enforce_stuck_values(x.values(), format_, input_stuck_);
+
+  // Layer-by-layer execution; every layer output is a write into the
+  // quantized activation buffer. Activation *faults* target the ReLU
+  // feature maps -- the tensors a real accelerator parks in its big
+  // activation SRAM (the paper injects "in ReLU activation"); pooling
+  // indices and the final Q-head live in datapath registers.
+  for (std::size_t i = 0; i < net_.layer_count(); ++i) {
+    x = net_.layer(i).forward(x);
+    quantize_values(x.values(), format_);
+    if (net_.layer(i).kind() == LayerKind::kReLU) {
+      if (activation_ber_ > 0.0)
+        inject_transient_values(x.values(), format_, activation_ber_, rng);
+      enforce_stuck_values(x.values(), format_, activation_stuck_);
+    }
+  }
+  return x;
+}
+
+std::size_t QuantizedInferenceEngine::act(const Tensor& input, Rng& rng) {
+  return infer(input, rng).argmax();
+}
+
+}  // namespace ftnav

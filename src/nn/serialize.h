@@ -1,0 +1,37 @@
+#pragma once
+// Network parameter serialization.
+//
+// Simple versioned binary container for flat parameter vectors, so a
+// policy trained by one binary (or an expensive offline phase) can be
+// reused by another. The format is deliberately dumb: magic, version,
+// parameter count, raw little-endian floats. The architecture itself is
+// code (a builder like make_c3f2), so only the parameters travel.
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "nn/network.h"
+
+namespace ftnav {
+
+inline constexpr std::uint32_t kParameterFileMagic = 0x46544e56;  // "FTNV"
+inline constexpr std::uint32_t kParameterFileVersion = 1;
+
+/// Writes a flat parameter vector to a stream. Throws std::runtime_error
+/// on stream failure.
+void save_parameters(std::ostream& out, const std::vector<float>& params);
+
+/// Reads a flat parameter vector; throws std::runtime_error on bad
+/// magic/version/size or stream failure.
+std::vector<float> load_parameters(std::istream& in);
+
+/// Convenience: snapshot a network's parameters to a file.
+void save_network(const std::string& path, const Network& network);
+
+/// Convenience: restore a network's parameters from a file. Throws
+/// std::runtime_error when the stored count does not match the network.
+void load_network(const std::string& path, Network& network);
+
+}  // namespace ftnav

@@ -1,0 +1,76 @@
+#pragma once
+// Online transfer-learning fine-tuner for the drone policy
+// (paper §4.2.1: "fine-tuned last two layers online using transfer
+// learning"). This is the training stage Fig. 7a injects faults into.
+//
+// The whole C3F2 parameter set lives in a quantized weight buffer
+// (faults can land anywhere in it), but gradient updates are applied
+// only to the two fully connected layers; convolutional features stay
+// frozen, exactly as in the paper's edge-deployment setup. Permanent
+// faults are re-enforced after every FC update; transient faults are
+// injected at a chosen training step.
+
+#include "core/fault_model.h"
+#include "core/injector.h"
+#include "envs/drone_env.h"
+#include "fixed/qvector.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+struct FineTuneConfig {
+  double learning_rate = 5e-4;
+  double gamma = 0.95;
+  /// Rewards are scaled by (1 - gamma) so TD targets live on the same
+  /// [~0, 1] scale as the offline (imitation-bootstrapped) Q-head --
+  /// otherwise fine-tuning drags the pretrained policy toward a
+  /// 20x-larger value scale and destroys it before it can adapt.
+  double reward_scale = 0.05;
+  QFormat format = QFormat::drone_weights();  // Q(1,4,11)sm
+};
+
+class OnlineFineTuner {
+ public:
+  /// Clones `pretrained` (the offline Double-DQN result) and quantizes
+  /// all parameters into the weight buffer.
+  OnlineFineTuner(const Network& pretrained, FineTuneConfig config);
+
+  const FineTuneConfig& config() const noexcept { return config_; }
+  Network& network() noexcept { return net_; }
+
+  /// Epsilon-greedy action from the quantized policy.
+  int act(const Tensor& observation, double epsilon, Rng& rng);
+
+  /// One TD(0) update on the FC layers through the quantized buffer.
+  void td_update(const Tensor& observation, int action, double reward,
+                 const Tensor& next_observation, bool done);
+
+  /// Runs one fine-tuning episode; returns the flight distance.
+  double run_training_episode(DroneEnv& env, double epsilon, Rng& rng);
+
+  /// Greedy evaluation episode (no learning); returns flight distance.
+  double evaluate_episode(DroneEnv& env, Rng& rng);
+
+  // ---- fault hooks ---------------------------------------------------
+  QVector& weights() noexcept { return weights_; }
+  const QVector& weights() const noexcept { return weights_; }
+  void set_stuck(const StuckAtMask& mask);
+  void inject_transient(const FaultMap& map);
+
+ private:
+  /// Encodes master -> buffer, enforces stuck bits, decodes into net.
+  void commit();
+
+  FineTuneConfig config_;
+  Network net_;
+  std::vector<float> master_;  // float master weights (FC slices train)
+  QVector weights_;            // quantized accelerator buffer
+  StuckAtMask stuck_;
+  std::vector<std::size_t> dense_layers_;  // layer-stack indices of FC1/FC2
+  std::vector<std::pair<std::size_t, std::size_t>> dense_ranges_;
+  std::vector<float> scratch_;
+  std::vector<float> grad_scratch_;
+};
+
+}  // namespace ftnav

@@ -1,0 +1,159 @@
+#include "rl/mlp_q.h"
+
+#include <stdexcept>
+
+namespace ftnav {
+
+MlpQAgent::MlpQAgent(const GridWorld& env, MlpQConfig config, Rng& rng)
+    : env_(&env), config_(config) {
+  if (config.hidden_units <= 0)
+    throw std::invalid_argument("MlpQConfig: hidden_units must be positive");
+  if (config.learning_rate <= 0.0)
+    throw std::invalid_argument("MlpQConfig: bad learning rate");
+  net_.add(std::make_unique<Dense>(env.state_count(), config.hidden_units,
+                                   rng))
+      .set_label("FC1");
+  net_.add(std::make_unique<ReLU>());
+  net_.add(std::make_unique<Dense>(config.hidden_units,
+                                   GridWorld::action_count(), rng))
+      .set_label("FC2");
+  master_ = net_.snapshot_parameters();
+  weights_ = QVector(config.format, std::span<const float>(master_));
+  commit();
+}
+
+Tensor MlpQAgent::encode_state(int state) const {
+  if (state < 0 || state >= env_->state_count())
+    throw std::invalid_argument("MlpQAgent::encode_state: bad state");
+  Tensor one_hot(static_cast<std::size_t>(env_->state_count()));
+  one_hot[static_cast<std::size_t>(state)] = 1.0f;
+  return one_hot;
+}
+
+void MlpQAgent::commit() {
+  weights_.encode_from(std::span<const float>(master_));
+  stuck_.apply(weights_);
+  scratch_.resize(weights_.size());
+  weights_.decode_into(scratch_);
+  net_.restore_parameters(scratch_);
+}
+
+int MlpQAgent::td_step(int state, double epsilon, Rng& rng,
+                       GridWorld::StepResult& result, double& out_reward) {
+  // Order matters for layer caches: compute the bootstrap target from
+  // the next state FIRST, then run the forward pass for `state` so the
+  // caches backward consumes belong to the graded input.
+  const Tensor q_probe = net_.forward(encode_state(state));
+  const int action =
+      rng.bernoulli(epsilon)
+          ? static_cast<int>(rng.below(GridWorld::action_count()))
+          : static_cast<int>(q_probe.argmax());
+  result = env_->step(state, action);
+  out_reward = result.reward;
+
+  double target = result.reward * config_.reward_scale;
+  if (!result.done) {
+    const Tensor next_q = net_.forward(encode_state(result.next_state));
+    target += config_.gamma * static_cast<double>(next_q.max_value());
+  }
+  const Tensor q = net_.forward(encode_state(state));
+  Tensor grad(static_cast<std::size_t>(GridWorld::action_count()));
+  grad[static_cast<std::size_t>(action)] = static_cast<float>(
+      static_cast<double>(q[static_cast<std::size_t>(action)]) - target);
+  net_.backward(grad);
+  // Straight-through update: gradients w.r.t. quantized weights are
+  // applied to the float master, then re-quantized into the buffer.
+  grad_scratch_.resize(master_.size());
+  net_.copy_gradients_into(grad_scratch_);
+  for (std::size_t i = 0; i < master_.size(); ++i)
+    master_[i] -= static_cast<float>(config_.learning_rate) *
+                  grad_scratch_[i];
+  net_.zero_gradients();
+  commit();
+  return action;
+}
+
+Tensor MlpQAgent::q_values(int state) {
+  return net_.forward(encode_state(state));
+}
+
+int MlpQAgent::greedy_action(int state) {
+  return static_cast<int>(q_values(state).argmax());
+}
+
+const Network& MlpQAgent::network() { return net_; }
+
+double MlpQAgent::run_training_episode(double epsilon, Rng& rng) {
+  int state = env_->source_state();
+  if (config_.exploring_starts) {
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      const int candidate =
+          static_cast<int>(rng.below(env_->state_count()));
+      const Cell cell = env_->cell(candidate);
+      if (cell == Cell::kFree || cell == Cell::kSource) {
+        state = candidate;
+        break;
+      }
+    }
+  }
+  double cumulative = 0.0;
+  for (int step = 0; step < config_.max_steps; ++step) {
+    GridWorld::StepResult result;
+    double reward = 0.0;
+    (void)td_step(state, epsilon, rng, result, reward);
+    cumulative += reward;
+    if (result.done) break;
+    state = result.next_state;
+  }
+  return cumulative;
+}
+
+bool MlpQAgent::evaluate_success() {
+  int state = env_->source_state();
+  for (int step = 0; step < config_.max_steps; ++step) {
+    const GridWorld::StepResult result =
+        env_->step(state, greedy_action(state));
+    if (result.done) return result.reward > 0.0;
+    state = result.next_state;
+  }
+  return false;
+}
+
+double MlpQAgent::evaluate_return() {
+  int state = env_->source_state();
+  double cumulative = 0.0;
+  for (int step = 0; step < config_.max_steps; ++step) {
+    const GridWorld::StepResult result =
+        env_->step(state, greedy_action(state));
+    cumulative += result.reward;
+    if (result.done) break;
+    state = result.next_state;
+  }
+  return cumulative;
+}
+
+void MlpQAgent::set_stuck(const StuckAtMask& mask) {
+  stuck_ = mask;
+  commit();
+}
+
+void MlpQAgent::inject_transient(const FaultMap& map) {
+  if (map.type() != FaultType::kTransientFlip)
+    throw std::invalid_argument(
+        "MlpQAgent::inject_transient: map is not transient");
+  map.apply_once(weights_.words());
+  stuck_.apply(weights_);
+  // The upset corrupted the stored weights: propagate the faulty values
+  // into the float master so training continues from the damage (and
+  // can heal it), exactly like retraining on faulty silicon.
+  for (const FaultSite& site : map.sites()) {
+    if (site.word_index < weights_.size())
+      master_[site.word_index] =
+          static_cast<float>(weights_.get(site.word_index));
+  }
+  scratch_.resize(weights_.size());
+  weights_.decode_into(scratch_);
+  net_.restore_parameters(scratch_);
+}
+
+}  // namespace ftnav

@@ -1,0 +1,99 @@
+#pragma once
+// Neural-network Q-function for Grid World (paper §3.1, "NN-based
+// function approximation"), quantization-aware.
+//
+// The policy is a small MLP (one-hot state -> hidden -> 4 Q-values).
+// Inference always reads the quantized weight buffer -- the accelerator
+// store that faults are injected into -- while gradient updates
+// accumulate in a float master copy (straight-through quantization-
+// aware training, standard practice for 8-bit training). Consequences
+// that match the paper's fault semantics:
+//   * transient flips corrupt the stored weights (buffer and master),
+//     and training can subsequently "heal" them through new updates;
+//   * stuck-at bits are re-enforced on the buffer after every write, so
+//     the learner can only route around them, never overwrite them.
+
+#include "core/fault_model.h"
+#include "core/injector.h"
+#include "envs/gridworld.h"
+#include "fixed/qvector.h"
+#include "nn/network.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+struct MlpQConfig {
+  int hidden_units = 48;
+  double learning_rate = 0.05;
+  double gamma = 0.9;
+  int max_steps = 100;
+  /// Scales env rewards (+-1) into Q-targets so trained weights and
+  /// Q-values fill the 8-bit weight format's range -- the paper's
+  /// Fig. 2d histogram shows NN values spanning about [-3.75, 4.06],
+  /// matching Q(1,2,5).
+  double reward_scale = 3.6;
+  /// Exploring starts (see TabularQConfig::exploring_starts).
+  bool exploring_starts = true;
+  /// Q(1,3,4) sign-magnitude: near-zero weights encode with mostly '0'
+  /// bits, reproducing Fig. 2d's bit statistics (see fixed/qformat.h).
+  QFormat format = QFormat::grid_world_weights();
+};
+
+class MlpQAgent {
+ public:
+  MlpQAgent(const GridWorld& env, MlpQConfig config, Rng& rng);
+  /// The agent keeps a pointer to the env; forbid binding a temporary.
+  MlpQAgent(GridWorld&&, MlpQConfig, Rng&) = delete;
+
+  const GridWorld& env() const noexcept { return *env_; }
+  const MlpQConfig& config() const noexcept { return config_; }
+
+  /// One-hot encoding of a grid state.
+  Tensor encode_state(int state) const;
+
+  /// Q-values for a state, computed from the (possibly faulty)
+  /// quantized weight buffer.
+  Tensor q_values(int state);
+  int greedy_action(int state);
+
+  /// One epsilon-greedy TD(0) training episode; returns cumulative
+  /// (unscaled) env reward.
+  double run_training_episode(double epsilon, Rng& rng);
+
+  bool evaluate_success();
+  double evaluate_return();
+
+  // ---- fault hooks ---------------------------------------------------
+  QVector& weights() noexcept { return weights_; }
+  const QVector& weights() const noexcept { return weights_; }
+  void set_stuck(const StuckAtMask& mask);
+  void inject_transient(const FaultMap& map);
+  void clear_stuck() { stuck_ = StuckAtMask(); }
+
+  /// The float network view of the current (quantized, faulty) buffer;
+  /// used to hand the trained policy to the inference engine.
+  const Network& network();
+
+  std::size_t weight_count() const noexcept { return weights_.size(); }
+
+ private:
+  /// Encodes master -> buffer, enforces stuck bits, decodes buffer into
+  /// the network (the network always sees accelerator truth).
+  void commit();
+
+  /// One TD(0) step from `state`: act, learn, commit. Returns the
+  /// action; fills the env result and reward.
+  int td_step(int state, double epsilon, Rng& rng,
+              GridWorld::StepResult& result, double& out_reward);
+
+  const GridWorld* env_;
+  MlpQConfig config_;
+  Network net_;
+  std::vector<float> master_;  // float master weights (SGD accumulator)
+  QVector weights_;            // quantized accelerator buffer
+  StuckAtMask stuck_;
+  std::vector<float> scratch_;
+  std::vector<float> grad_scratch_;
+};
+
+}  // namespace ftnav

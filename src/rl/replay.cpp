@@ -1,0 +1,32 @@
+#include "rl/replay.h"
+
+#include <stdexcept>
+
+namespace ftnav {
+
+ReplayBuffer::ReplayBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0)
+    throw std::invalid_argument("ReplayBuffer: zero capacity");
+  items_.reserve(capacity);
+}
+
+void ReplayBuffer::push(Experience experience) {
+  if (items_.size() < capacity_) {
+    items_.push_back(std::move(experience));
+  } else {
+    items_[next_] = std::move(experience);
+    next_ = (next_ + 1) % capacity_;
+  }
+}
+
+const Experience& ReplayBuffer::sample(Rng& rng) const {
+  if (items_.empty()) throw std::logic_error("ReplayBuffer: empty sample");
+  return items_[static_cast<std::size_t>(rng.below(items_.size()))];
+}
+
+void ReplayBuffer::clear() noexcept {
+  items_.clear();
+  next_ = 0;
+}
+
+}  // namespace ftnav

@@ -1,0 +1,45 @@
+#pragma once
+// Experience replay buffer for Double DQN (paper §4.2.1: the drone
+// policy is "first trained offline using Double DQN with experience
+// replay"). Fixed-capacity ring buffer with uniform sampling.
+
+#include <cstddef>
+#include <vector>
+
+#include "nn/tensor.h"
+#include "util/rng.h"
+
+namespace ftnav {
+
+struct Experience {
+  Tensor state;
+  int action = 0;
+  float reward = 0.0f;
+  Tensor next_state;
+  bool done = false;
+};
+
+class ReplayBuffer {
+ public:
+  explicit ReplayBuffer(std::size_t capacity);
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return items_.size(); }
+  bool empty() const noexcept { return items_.empty(); }
+
+  /// Inserts an experience, evicting the oldest once full.
+  void push(Experience experience);
+
+  /// Uniformly sampled experience; requires a non-empty buffer.
+  const Experience& sample(Rng& rng) const;
+
+  const Experience& at(std::size_t i) const { return items_.at(i); }
+  void clear() noexcept;
+
+ private:
+  std::size_t capacity_;
+  std::size_t next_ = 0;  // ring cursor once at capacity
+  std::vector<Experience> items_;
+};
+
+}  // namespace ftnav

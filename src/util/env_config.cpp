@@ -1,0 +1,40 @@
+#include "util/env_config.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace ftnav {
+
+std::int64_t env_int(const char* name, std::int64_t fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long long value = std::strtoll(raw, &end, 10);
+  if (end == raw) return fallback;
+  return value;
+}
+
+BenchConfig bench_config_from_env() {
+  BenchConfig config;
+  config.seed = static_cast<std::uint64_t>(env_int("FTNAV_SEED", 42));
+  config.repeats = static_cast<int>(env_int("FTNAV_REPEATS", 0));
+  config.full_scale = env_int("FTNAV_FULL", 0) != 0;
+  return config;
+}
+
+int BenchConfig::resolve_repeats(int fast_default, int full_default) const {
+  if (repeats > 0) return repeats;
+  return full_scale ? full_default : fast_default;
+}
+
+std::string describe(const BenchConfig& config) {
+  std::ostringstream out;
+  out << "config: seed=" << config.seed
+      << " repeats=" << (config.repeats > 0 ? std::to_string(config.repeats)
+                                            : std::string("default"))
+      << " scale=" << (config.full_scale ? "full(paper)" : "fast")
+      << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1]";
+  return out.str();
+}
+
+}  // namespace ftnav

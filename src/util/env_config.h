@@ -1,0 +1,33 @@
+#pragma once
+// Environment-variable experiment knobs shared by every bench binary.
+//
+//   FTNAV_REPEATS  override per-cell repeat count
+//   FTNAV_SEED     override the campaign seed
+//   FTNAV_FULL=1   run paper-scale sweeps (denser grids, more repeats)
+//
+// Benches print the resolved configuration so results are reproducible.
+
+#include <cstdint>
+#include <string>
+
+namespace ftnav {
+
+struct BenchConfig {
+  std::uint64_t seed = 42;
+  int repeats = 0;        // 0 means "use the bench's default"
+  bool full_scale = false;
+
+  /// Repeat count to use given the bench's fast-mode default.
+  int resolve_repeats(int fast_default, int full_default) const;
+};
+
+/// Reads FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL from the environment.
+BenchConfig bench_config_from_env();
+
+/// Integer environment variable with fallback (empty/invalid -> fallback).
+std::int64_t env_int(const char* name, std::int64_t fallback);
+
+/// Renders the config banner all benches print before results.
+std::string describe(const BenchConfig& config);
+
+}  // namespace ftnav

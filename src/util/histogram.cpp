@@ -1,0 +1,101 @@
+#include "util/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftnav {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  if (!(lo < hi)) throw std::invalid_argument("Histogram: lo must be < hi");
+  if (bins == 0) throw std::invalid_argument("Histogram: bins must be > 0");
+}
+
+void Histogram::add(double x) noexcept {
+  if (total_ == 0) {
+    observed_min_ = x;
+    observed_max_ = x;
+  } else {
+    observed_min_ = std::min(observed_min_, x);
+    observed_max_ = std::max(observed_max_, x);
+  }
+  const double t = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(t * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+void Histogram::add_all(std::span<const double> xs) noexcept {
+  for (double x : xs) add(x);
+}
+
+double Histogram::bin_low(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_low");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_high(std::size_t i) const {
+  if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_high");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i + 1) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(int width) const {
+  std::ostringstream out;
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  const double log_peak = std::log10(static_cast<double>(peak) + 1.0);
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double log_c = std::log10(static_cast<double>(counts_[i]) + 1.0);
+    const int bar =
+        log_peak > 0.0
+            ? static_cast<int>(std::lround(log_c / log_peak * width))
+            : 0;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%+8.3f, %+8.3f) %8llu |", bin_low(i),
+                  bin_high(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out << buf << std::string(static_cast<std::size_t>(bar), '#') << '\n';
+  }
+  return out.str();
+}
+
+double BitStats::zero_fraction() const noexcept {
+  const auto total = zero_bits + one_bits;
+  return total ? static_cast<double>(zero_bits) / static_cast<double>(total)
+               : 0.0;
+}
+
+double BitStats::one_fraction() const noexcept {
+  const auto total = zero_bits + one_bits;
+  return total ? static_cast<double>(one_bits) / static_cast<double>(total)
+               : 0.0;
+}
+
+double BitStats::zero_to_one_ratio() const noexcept {
+  if (one_bits == 0) return std::numeric_limits<double>::infinity();
+  return static_cast<double>(zero_bits) / static_cast<double>(one_bits);
+}
+
+BitStats count_bits(std::span<const std::uint32_t> words, int bits_per_word) {
+  if (bits_per_word <= 0 || bits_per_word > 32)
+    throw std::invalid_argument("count_bits: bits_per_word must be in [1,32]");
+  const std::uint32_t mask =
+      bits_per_word == 32 ? 0xffffffffu : ((1u << bits_per_word) - 1u);
+  BitStats stats;
+  for (std::uint32_t w : words) {
+    const auto ones = static_cast<std::uint64_t>(std::popcount(w & mask));
+    stats.one_bits += ones;
+    stats.zero_bits += static_cast<std::uint64_t>(bits_per_word) - ones;
+  }
+  return stats;
+}
+
+}  // namespace ftnav

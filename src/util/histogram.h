@@ -1,0 +1,63 @@
+#pragma once
+// Value histograms with bit-level statistics.
+//
+// Figure 2b/2d of the paper characterize trained tabular values and NN
+// weights by (a) their value distribution and (b) the ratio of '0' bits
+// to '1' bits in their fixed-point encodings -- the quantity that
+// explains why stuck-at-1 faults hurt sparse NN weights so much more
+// than stuck-at-0 faults. BitStats reproduces that measurement.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ftnav {
+
+/// Fixed-range linear-bin histogram over doubles.
+class Histogram {
+ public:
+  /// Bins the range [lo, hi) into `bins` equal cells; out-of-range
+  /// samples clamp into the first/last bin so no sample is lost.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x) noexcept;
+  void add_all(std::span<const double> xs) noexcept;
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  std::uint64_t count_in_bin(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t total() const noexcept { return total_; }
+  double bin_low(std::size_t i) const;
+  double bin_high(std::size_t i) const;
+  double observed_min() const noexcept { return observed_min_; }
+  double observed_max() const noexcept { return observed_max_; }
+
+  /// ASCII rendering with a log-scaled bar per bin (matches the paper's
+  /// log-frequency axes); `width` is the maximum bar width.
+  std::string render(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+  double observed_min_ = 0.0;
+  double observed_max_ = 0.0;
+};
+
+/// Counts of zero and one bits across a set of fixed-point words.
+struct BitStats {
+  std::uint64_t zero_bits = 0;
+  std::uint64_t one_bits = 0;
+
+  double zero_fraction() const noexcept;
+  double one_fraction() const noexcept;
+  /// Ratio of zero bits to one bits (paper reports e.g. 7.17x for NN
+  /// weights vs 3.18x for tabular values). Returns +inf when one_bits==0.
+  double zero_to_one_ratio() const noexcept;
+};
+
+/// Tallies 0/1 bits over the low `bits_per_word` bits of each word.
+BitStats count_bits(std::span<const std::uint32_t> words, int bits_per_word);
+
+}  // namespace ftnav

@@ -1,0 +1,62 @@
+#pragma once
+// Summary statistics used throughout the fault-injection campaigns:
+// running accumulators, Wilson score confidence intervals for success
+// rates, and small helpers for paper-style reporting.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace ftnav {
+
+/// Single-pass accumulator for mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double mean() const noexcept { return count_ ? mean_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+  /// Standard error of the mean; 0 when fewer than two samples.
+  double stderr_mean() const noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Two-sided confidence interval for a binomial proportion.
+struct ProportionInterval {
+  double center = 0.0;
+  double low = 0.0;
+  double high = 0.0;
+};
+
+/// Wilson score interval for `successes` out of `trials` at confidence
+/// `z` standard deviations (z = 1.96 ~ 95%). Robust at small counts and
+/// extreme proportions, which matters for high-BER cells where success
+/// collapses to zero.
+ProportionInterval wilson_interval(std::size_t successes, std::size_t trials,
+                                   double z = 1.96) noexcept;
+
+/// Arithmetic mean of a sample (0 for an empty span).
+double mean_of(std::span<const double> xs) noexcept;
+
+/// Sample standard deviation of a sample (0 when size < 2).
+double stddev_of(std::span<const double> xs) noexcept;
+
+/// Median (averages the two central elements for even sizes).
+double median_of(std::vector<double> xs) noexcept;
+
+/// Linear-interpolation percentile, p in [0, 100].
+double percentile_of(std::vector<double> xs, double p) noexcept;
+
+}  // namespace ftnav

@@ -1,0 +1,149 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace ftnav {
+
+std::string format_double(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  if (headers_.empty())
+    throw std::invalid_argument("Table: need at least one column");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::add_row(const std::vector<double>& cells, int precision) {
+  std::vector<std::string> text;
+  text.reserve(cells.size());
+  for (double c : cells) text.push_back(format_double(c, precision));
+  add_row(std::move(text));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  std::ostringstream out;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      out << "  " << row[c]
+          << std::string(widths[c] - row[c].size(), ' ');
+    }
+    out << '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  out << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out.str();
+}
+
+std::string Table::to_csv() const {
+  auto quote = [](const std::string& s) {
+    if (s.find(',') == std::string::npos &&
+        s.find('"') == std::string::npos)
+      return s;
+    std::string q = "\"";
+    for (char ch : s) {
+      if (ch == '"') q += '"';
+      q += ch;
+    }
+    q += '"';
+    return q;
+  };
+  std::ostringstream out;
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << quote(headers_[c]);
+  out << '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      out << (c ? "," : "") << quote(row[c]);
+    out << '\n';
+  }
+  return out.str();
+}
+
+HeatmapGrid::HeatmapGrid(std::vector<std::string> row_labels,
+                         std::vector<std::string> col_labels)
+    : row_labels_(std::move(row_labels)), col_labels_(std::move(col_labels)) {
+  if (row_labels_.empty() || col_labels_.empty())
+    throw std::invalid_argument("HeatmapGrid: empty axis");
+  values_.assign(row_labels_.size() * col_labels_.size(), 0.0);
+  present_.assign(values_.size(), false);
+}
+
+std::size_t HeatmapGrid::index(std::size_t row, std::size_t col) const {
+  if (row >= rows() || col >= cols())
+    throw std::out_of_range("HeatmapGrid: cell out of range");
+  return row * cols() + col;
+}
+
+void HeatmapGrid::set(std::size_t row, std::size_t col, double value) {
+  const auto i = index(row, col);
+  values_[i] = value;
+  present_[i] = true;
+}
+
+bool HeatmapGrid::has(std::size_t row, std::size_t col) const {
+  return present_[index(row, col)];
+}
+
+double HeatmapGrid::at(std::size_t row, std::size_t col) const {
+  const auto i = index(row, col);
+  if (!present_[i]) throw std::out_of_range("HeatmapGrid: cell not set");
+  return values_[i];
+}
+
+std::string HeatmapGrid::render(int precision) const {
+  Table table([&] {
+    std::vector<std::string> headers{""};
+    headers.insert(headers.end(), col_labels_.begin(), col_labels_.end());
+    return headers;
+  }());
+  for (std::size_t r = 0; r < rows(); ++r) {
+    std::vector<std::string> row{row_labels_[r]};
+    for (std::size_t c = 0; c < cols(); ++c) {
+      row.push_back(present_[r * cols() + c]
+                        ? format_double(values_[r * cols() + c], precision)
+                        : std::string("-"));
+    }
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+std::string HeatmapGrid::to_csv(int precision) const {
+  std::ostringstream out;
+  out << "row";
+  for (const auto& c : col_labels_) out << ',' << c;
+  out << '\n';
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out << row_labels_[r];
+    for (std::size_t c = 0; c < cols(); ++c) {
+      out << ',';
+      if (present_[r * cols() + c])
+        out << format_double(values_[r * cols() + c], precision);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace ftnav

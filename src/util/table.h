@@ -1,0 +1,67 @@
+#pragma once
+// Paper-style result rendering: aligned ASCII tables, CSV export, and
+// 2-D heatmaps (the layout of Fig. 2 / Fig. 7a / Fig. 8). Every bench
+// binary prints through these so all figures share one output contract.
+
+#include <string>
+#include <vector>
+
+namespace ftnav {
+
+/// Column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` digits after the dot.
+  void add_row(const std::vector<double>& cells, int precision = 2);
+
+  std::size_t row_count() const noexcept { return rows_.size(); }
+  std::size_t column_count() const noexcept { return headers_.size(); }
+
+  /// Renders with padded columns and a header separator.
+  std::string render() const;
+
+  /// Renders as RFC-4180-ish CSV (cells containing commas are quoted).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 2-D grid of values rendered as the paper's annotated heatmaps:
+/// row labels on the left, column labels on top, one formatted value
+/// per cell. Values may be missing (rendered as '-').
+class HeatmapGrid {
+ public:
+  HeatmapGrid(std::vector<std::string> row_labels,
+              std::vector<std::string> col_labels);
+
+  void set(std::size_t row, std::size_t col, double value);
+  bool has(std::size_t row, std::size_t col) const;
+  double at(std::size_t row, std::size_t col) const;
+
+  std::size_t rows() const noexcept { return row_labels_.size(); }
+  std::size_t cols() const noexcept { return col_labels_.size(); }
+
+  /// Renders cells with `precision` fraction digits.
+  std::string render(int precision = 0) const;
+  std::string to_csv(int precision = 4) const;
+
+ private:
+  std::size_t index(std::size_t row, std::size_t col) const;
+
+  std::vector<std::string> row_labels_;
+  std::vector<std::string> col_labels_;
+  std::vector<double> values_;
+  std::vector<bool> present_;
+};
+
+/// Formats a double with fixed precision (helper for table rows).
+std::string format_double(double v, int precision = 2);
+
+}  // namespace ftnav

@@ -1,0 +1,144 @@
+// Tests for range-based anomaly detection (paper §5.2).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/anomaly_detector.h"
+#include "core/injector.h"
+
+namespace ftnav {
+namespace {
+
+RangeAnomalyDetector make_calibrated(QFormat fmt = QFormat::q_1_4_11()) {
+  RangeAnomalyDetector detector(fmt, 2, 0.1);
+  const std::vector<float> layer0 = {-2.0f, -0.5f, 0.0f, 1.5f, 3.0f};
+  const std::vector<float> layer1 = {-0.25f, 0.0f, 0.5f};
+  detector.calibrate(0, std::span<const float>(layer0));
+  detector.calibrate(1, std::span<const float>(layer1));
+  detector.finalize();
+  return detector;
+}
+
+TEST(AnomalyDetector, RejectsBadConstruction) {
+  EXPECT_THROW(RangeAnomalyDetector(QFormat(3, 4), 0), std::invalid_argument);
+  EXPECT_THROW(RangeAnomalyDetector(QFormat(3, 4), 1, -0.5),
+               std::invalid_argument);
+}
+
+TEST(AnomalyDetector, InRangeValuesPass) {
+  auto detector = make_calibrated();
+  EXPECT_FALSE(detector.is_anomalous(0, 0.0));
+  EXPECT_FALSE(detector.is_anomalous(0, 2.9));
+  EXPECT_FALSE(detector.is_anomalous(0, -1.9));
+  EXPECT_FALSE(detector.is_anomalous(1, 0.4));
+}
+
+TEST(AnomalyDetector, FarOutliersAreFlagged) {
+  auto detector = make_calibrated();
+  EXPECT_TRUE(detector.is_anomalous(0, 14.0));
+  EXPECT_TRUE(detector.is_anomalous(0, -15.0));
+  EXPECT_TRUE(detector.is_anomalous(1, 9.0));
+}
+
+TEST(AnomalyDetector, MarginAllowsSlightOvershoot) {
+  auto detector = make_calibrated();
+  // Bounds are [-2, 3] widened to [-2.2, 3.3]; integer-part comparison
+  // further coarsens to whole integer steps, so 3.2 must pass.
+  EXPECT_FALSE(detector.is_anomalous(0, 3.2));
+}
+
+TEST(AnomalyDetector, PerLayerBoundsAreIndependent) {
+  auto detector = make_calibrated();
+  // 2.5 is fine for layer 0 (range to 3) but anomalous for layer 1
+  // (range to 0.5 -> integer threshold 0).
+  EXPECT_FALSE(detector.is_anomalous(0, 2.5));
+  EXPECT_TRUE(detector.is_anomalous(1, 2.5));
+}
+
+TEST(AnomalyDetector, FractionBitsAreIgnored) {
+  // Values that differ only in fraction bits classify identically --
+  // the deployed check reads sign+integer bits only.
+  auto detector = make_calibrated();
+  const QFormat fmt = detector.format();
+  const Word in_range = fmt.encode(2.0);
+  for (int bit = 0; bit < fmt.fraction_bits(); ++bit) {
+    EXPECT_EQ(detector.is_anomalous_word(0, in_range),
+              detector.is_anomalous_word(0, flip_bit(in_range, bit)));
+  }
+}
+
+TEST(AnomalyDetector, WordAndValueChecksAgree) {
+  auto detector = make_calibrated();
+  const QFormat fmt = detector.format();
+  for (double v : {-15.9, -3.0, -1.0, 0.0, 2.0, 3.4, 9.0, 15.0}) {
+    EXPECT_EQ(detector.is_anomalous(0, v),
+              detector.is_anomalous_word(0, fmt.encode(v)))
+        << "value " << v;
+  }
+}
+
+TEST(AnomalyDetector, FilterZeroesAnomalies) {
+  auto detector = make_calibrated();
+  EXPECT_EQ(detector.filter(0, 14.0f), 0.0f);
+  EXPECT_EQ(detector.filter(0, 1.5f), 1.5f);
+  EXPECT_EQ(detector.detections(), 1u);
+  EXPECT_EQ(detector.checks(), 2u);
+}
+
+TEST(AnomalyDetector, FilterAllCountsAndZeroes) {
+  auto detector = make_calibrated();
+  std::vector<float> values = {0.5f, 12.0f, -14.0f, 2.0f};
+  const std::size_t found = detector.filter_all(0, values);
+  EXPECT_EQ(found, 2u);
+  EXPECT_EQ(values[0], 0.5f);
+  EXPECT_EQ(values[1], 0.0f);
+  EXPECT_EQ(values[2], 0.0f);
+  EXPECT_EQ(values[3], 2.0f);
+}
+
+TEST(AnomalyDetector, UncalibratedLayerNeverFlags) {
+  RangeAnomalyDetector detector(QFormat::q_1_4_11(), 2, 0.1);
+  detector.calibrate(0, 1.0);
+  detector.finalize();
+  EXPECT_FALSE(detector.is_anomalous(1, 15.0));  // layer 1 uncalibrated
+}
+
+TEST(AnomalyDetector, BeforeFinalizeNothingFlags) {
+  RangeAnomalyDetector detector(QFormat::q_1_4_11(), 1, 0.1);
+  detector.calibrate(0, 1.0);
+  EXPECT_FALSE(detector.is_anomalous(0, 15.0));
+  detector.finalize();
+  EXPECT_TRUE(detector.is_anomalous(0, 15.0));
+}
+
+TEST(AnomalyDetector, CatchesMsbFlipOnSmallWeight) {
+  // The paper's key recovery scenario: a bit-flip in the MSB of a
+  // small-magnitude weight produces a huge outlier, which the range
+  // check catches.
+  auto detector = make_calibrated();
+  const QFormat fmt = detector.format();
+  const Word small = fmt.encode(0.25);
+  const Word corrupted = flip_bit(small, fmt.sign_bit());
+  EXPECT_TRUE(detector.is_anomalous_word(0, corrupted));
+}
+
+TEST(AnomalyDetector, ResetCountersClearsTelemetry) {
+  auto detector = make_calibrated();
+  (void)detector.filter(0, 15.0f);
+  detector.reset_counters();
+  EXPECT_EQ(detector.detections(), 0u);
+  EXPECT_EQ(detector.checks(), 0u);
+}
+
+TEST(AnomalyDetector, BoundsAccessors) {
+  auto detector = make_calibrated();
+  const LayerBounds& b = detector.bounds(0);
+  EXPECT_TRUE(b.calibrated);
+  EXPECT_DOUBLE_EQ(b.low, -2.0);
+  EXPECT_DOUBLE_EQ(b.high, 3.0);
+  EXPECT_THROW(detector.bounds(7), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ftnav

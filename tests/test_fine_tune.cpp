@@ -1,0 +1,155 @@
+// Tests for the online transfer-learning fine-tuner (Fig. 7a substrate).
+
+#include <gtest/gtest.h>
+
+#include "nn/c3f2.h"
+#include "rl/dqn.h"
+#include "rl/fine_tune.h"
+
+namespace ftnav {
+namespace {
+
+C3F2Config tiny_c3f2() {
+  C3F2Config config;
+  config.input_hw = 15;
+  config.conv1_filters = 4;
+  config.conv1_kernel = 3;
+  config.conv1_stride = 2;
+  config.conv2_filters = 8;
+  config.conv2_kernel = 3;
+  config.conv2_stride = 1;
+  config.conv3_filters = 8;
+  config.conv3_kernel = 1;
+  config.fc1_units = 16;
+  return config;
+}
+
+DroneEnvConfig tiny_env_config() {
+  DroneEnvConfig config;
+  config.camera.image_hw = 15;
+  config.max_steps = 40;
+  config.max_distance = 30.0;
+  return config;
+}
+
+TEST(FineTune, ConstructionQuantizesAllParameters) {
+  Rng rng(1);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  EXPECT_EQ(tuner.weights().size(), net.parameter_count());
+  EXPECT_EQ(tuner.weights().format(), QFormat::drone_weights());
+}
+
+TEST(FineTune, TdUpdateOnlyMovesFcLayers) {
+  Rng rng(2);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+
+  // Conv parameter range = everything before FC1.
+  std::size_t conv_params = 0;
+  for (std::size_t i = 0; i < net.layer_count(); ++i) {
+    if (net.layer(i).kind() == LayerKind::kDense) break;
+    conv_params += net.layer(i).parameters().size();
+  }
+  const auto before = tuner.weights().decode_all();
+
+  Tensor obs(tiny_c3f2().input_shape());
+  obs.fill(0.4f);
+  FineTuneConfig config;
+  for (int i = 0; i < 5; ++i) tuner.td_update(obs, 7, 1.0, obs, false);
+
+  const auto after = tuner.weights().decode_all();
+  for (std::size_t i = 0; i < conv_params; ++i)
+    EXPECT_EQ(before[i], after[i]) << "conv weight " << i << " moved";
+  int fc_changed = 0;
+  for (std::size_t i = conv_params; i < after.size(); ++i)
+    if (before[i] != after[i]) ++fc_changed;
+  EXPECT_GT(fc_changed, 0);
+}
+
+TEST(FineTune, StuckBitsPersistThroughUpdates) {
+  Rng rng(3);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  // Stick a bit in the FC2 slice (updated every step).
+  const std::size_t target = tuner.weights().size() - 1;
+  const StuckAtMask mask = StuckAtMask::compile(
+      FaultMap(FaultType::kStuckAt1,
+               {FaultSite{static_cast<std::uint32_t>(target), 15}}));
+  tuner.set_stuck(mask);
+  Tensor obs(tiny_c3f2().input_shape());
+  obs.fill(0.2f);
+  for (int i = 0; i < 10; ++i) tuner.td_update(obs, 1, 0.5, obs, false);
+  EXPECT_TRUE(get_bit(tuner.weights().word(target), 15));
+}
+
+TEST(FineTune, TransientCorruptsThenHealsInFcSlice) {
+  Rng rng(4);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  const QFormat fmt = tuner.weights().format();
+  // Bias of output neuron 24 -- the very last parameter -- so the TD
+  // update on action 24 below has a nonzero gradient at this word.
+  const std::size_t target = tuner.weights().size() - 1;
+  const double clean_value = tuner.weights().get(target);
+  // Flip a high *magnitude* bit: under sign-magnitude encoding the
+  // sign bit of a zero bias would decode to negative zero (no change).
+  FaultMap map(FaultType::kTransientFlip,
+               {FaultSite{static_cast<std::uint32_t>(target),
+                          static_cast<std::uint8_t>(fmt.sign_bit() - 1)}});
+  tuner.inject_transient(map);
+  EXPECT_NE(tuner.weights().get(target), clean_value);
+  // Updates can now move the corrupted weight (nothing is stuck).
+  Tensor obs(tiny_c3f2().input_shape());
+  obs.fill(0.3f);
+  const double corrupted = tuner.weights().get(target);
+  for (int i = 0; i < 50; ++i) tuner.td_update(obs, 24, 1.0, obs, false);
+  // The weight either moved back toward the clean region or at least
+  // was not frozen at the corrupted value forever.
+  EXPECT_TRUE(tuner.weights().get(target) != corrupted ||
+              tuner.weights().get(target) == clean_value);
+}
+
+TEST(FineTune, ActEpsilonZeroIsDeterministic) {
+  Rng rng(5);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  Tensor obs(tiny_c3f2().input_shape());
+  obs.fill(0.6f);
+  Rng a(6), b(6);
+  EXPECT_EQ(tuner.act(obs, 0.0, a), tuner.act(obs, 0.0, b));
+}
+
+TEST(FineTune, RunEpisodeTrainsAndReturnsDistance) {
+  Rng rng(7);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  const DroneWorld world = DroneWorld::indoor_long();
+  DroneEnv env(world, tiny_env_config());
+  // Bootstrap so the rollout is not a random walk.
+  pretrain_imitation(net, env, 3, 0.02, 0.1, rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  const double distance = tuner.run_training_episode(env, 0.1, rng);
+  EXPECT_GT(distance, 0.0);
+}
+
+TEST(FineTune, EvaluateEpisodeDoesNotTrain) {
+  Rng rng(8);
+  Network net = make_c3f2(tiny_c3f2(), rng);
+  OnlineFineTuner tuner(net, FineTuneConfig{});
+  const DroneWorld world = DroneWorld::indoor_long();
+  DroneEnv env(world, tiny_env_config());
+  const auto before = tuner.weights().decode_all();
+  (void)tuner.evaluate_episode(env, rng);
+  EXPECT_EQ(tuner.weights().decode_all(), before);
+}
+
+TEST(FineTune, RequiresDenseLayers) {
+  Rng rng(9);
+  Network conv_only;
+  conv_only.add(std::make_unique<Conv2D>(1, 2, 3, 1, rng));
+  EXPECT_THROW(OnlineFineTuner(conv_only, FineTuneConfig{}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ftnav

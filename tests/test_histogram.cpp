@@ -1,0 +1,105 @@
+// Tests for histograms and bit statistics (Fig. 2b/2d machinery).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "fixed/qformat.h"
+#include "util/histogram.h"
+
+namespace ftnav {
+namespace {
+
+TEST(Histogram, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(2.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BinsSamplesCorrectly) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(0.5);
+  h.add(1.5);
+  h.add(1.7);
+  h.add(3.9);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 2u);
+  EXPECT_EQ(h.count_in_bin(2), 0u);
+  EXPECT_EQ(h.count_in_bin(3), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBins) {
+  Histogram h(0.0, 1.0, 2);
+  h.add(-5.0);
+  h.add(5.0);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
+  EXPECT_EQ(h.count_in_bin(1), 1u);
+  EXPECT_DOUBLE_EQ(h.observed_min(), -5.0);
+  EXPECT_DOUBLE_EQ(h.observed_max(), 5.0);
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram h(-8.0, 8.0, 4);
+  EXPECT_DOUBLE_EQ(h.bin_low(0), -8.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(0), -4.0);
+  EXPECT_DOUBLE_EQ(h.bin_low(3), 4.0);
+  EXPECT_DOUBLE_EQ(h.bin_high(3), 8.0);
+  EXPECT_THROW(h.bin_low(4), std::out_of_range);
+}
+
+TEST(Histogram, AddAllAndRender) {
+  Histogram h(0.0, 10.0, 5);
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 7.0};
+  h.add_all(xs);
+  EXPECT_EQ(h.total(), 4u);
+  const std::string art = h.render(20);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);
+}
+
+TEST(BitStats, CountsZerosAndOnes) {
+  const std::vector<std::uint32_t> words = {0b1111, 0b0000, 0b1010};
+  const BitStats stats = count_bits(words, 4);
+  EXPECT_EQ(stats.one_bits, 6u);
+  EXPECT_EQ(stats.zero_bits, 6u);
+  EXPECT_DOUBLE_EQ(stats.zero_to_one_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.zero_fraction(), 0.5);
+}
+
+TEST(BitStats, MasksHighBits) {
+  // Bits above bits_per_word must not count.
+  const std::vector<std::uint32_t> words = {0xff00000f};
+  const BitStats stats = count_bits(words, 8);
+  EXPECT_EQ(stats.one_bits, 4u);
+  EXPECT_EQ(stats.zero_bits, 4u);
+}
+
+TEST(BitStats, AllZerosGivesInfiniteRatio) {
+  const std::vector<std::uint32_t> words = {0, 0};
+  const BitStats stats = count_bits(words, 8);
+  EXPECT_EQ(stats.one_bits, 0u);
+  EXPECT_TRUE(std::isinf(stats.zero_to_one_ratio()));
+}
+
+TEST(BitStats, RejectsBadWidth) {
+  const std::vector<std::uint32_t> words = {1};
+  EXPECT_THROW(count_bits(words, 0), std::invalid_argument);
+  EXPECT_THROW(count_bits(words, 33), std::invalid_argument);
+}
+
+TEST(BitStats, SparseEncodingsHaveMoreZeroBits) {
+  // The paper's Fig. 2d observation: near-zero NN weights encode with
+  // far more 0 bits than 1 bits under two's complement (when values
+  // are predominantly small and positive-or-negative-balanced the
+  // positive side dominates zeros).
+  const QFormat fmt = QFormat::grid_world_8bit();
+  std::vector<std::uint32_t> words;
+  for (double v = 0.0; v < 0.5; v += 0.0625) words.push_back(fmt.encode(v));
+  const BitStats stats = count_bits(words, fmt.total_bits());
+  EXPECT_GT(stats.zero_to_one_ratio(), 3.0);
+}
+
+}  // namespace
+}  // namespace ftnav

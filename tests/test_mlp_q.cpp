@@ -1,0 +1,154 @@
+// Tests for the quantization-aware MLP Q-agent.
+
+#include <gtest/gtest.h>
+
+#include "rl/mlp_q.h"
+
+namespace ftnav {
+namespace {
+
+GridWorld simple_world() {
+  return GridWorld({
+      "S...",
+      ".X..",
+      "....",
+      "...G",
+  });
+}
+
+MlpQAgent train_agent(const GridWorld& world, int episodes,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  for (int episode = 0; episode < episodes; ++episode) {
+    const double epsilon =
+        std::max(0.05, 1.0 - static_cast<double>(episode) / (episodes * 0.6));
+    agent.run_training_episode(epsilon, rng);
+  }
+  return agent;
+}
+
+TEST(MlpQ, RejectsBadConfig) {
+  const GridWorld world = simple_world();
+  Rng rng(1);
+  MlpQConfig config;
+  config.hidden_units = 0;
+  EXPECT_THROW(MlpQAgent(world, config, rng), std::invalid_argument);
+  config = MlpQConfig{};
+  config.learning_rate = -1.0;
+  EXPECT_THROW(MlpQAgent(world, config, rng), std::invalid_argument);
+}
+
+TEST(MlpQ, OneHotEncoding) {
+  const GridWorld world = simple_world();
+  Rng rng(2);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  const Tensor state = agent.encode_state(5);
+  EXPECT_EQ(state.size(), 16u);
+  for (std::size_t i = 0; i < state.size(); ++i)
+    EXPECT_EQ(state[i], i == 5 ? 1.0f : 0.0f);
+  EXPECT_THROW(agent.encode_state(-1), std::invalid_argument);
+  EXPECT_THROW(agent.encode_state(16), std::invalid_argument);
+}
+
+TEST(MlpQ, NetworkParametersAreFormatRepresentable) {
+  // The forward pass must read accelerator truth: every parameter the
+  // network computes with is exactly representable in the buffer format.
+  const GridWorld world = simple_world();
+  Rng rng(3);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  const QFormat fmt = agent.weights().format();
+  for (float p : agent.network().snapshot_parameters())
+    EXPECT_FLOAT_EQ(p, static_cast<float>(fmt.decode(fmt.encode(p))));
+}
+
+TEST(MlpQ, LearnsSimpleWorld) {
+  const GridWorld world = simple_world();
+  MlpQAgent agent = train_agent(world, 250, 5);
+  EXPECT_TRUE(agent.evaluate_success());
+  EXPECT_GT(agent.evaluate_return(), 0.0);
+}
+
+TEST(MlpQ, WeightsStayInFormatRange) {
+  const GridWorld world = simple_world();
+  MlpQAgent agent = train_agent(world, 150, 7);
+  const QFormat fmt = agent.weights().format();
+  for (std::size_t i = 0; i < agent.weights().size(); ++i) {
+    EXPECT_GE(agent.weights().get(i), fmt.min_value());
+    EXPECT_LE(agent.weights().get(i), fmt.max_value());
+  }
+}
+
+TEST(MlpQ, TransientInjectionCorruptsAndTrainingHeals) {
+  const GridWorld world = simple_world();
+  MlpQAgent agent = train_agent(world, 400, 9);
+  ASSERT_TRUE(agent.evaluate_success());
+  Rng rng(11);
+  const FaultMap map = FaultMap::sample(
+      FaultType::kTransientFlip, 0.02, agent.weights().size(),
+      agent.weights().format().total_bits(), rng);
+  agent.inject_transient(map);
+  // Re-train; the NN approach recovers (paper Fig. 3b). Quantized TD
+  // training is jittery, so accept recovery at any checkpoint.
+  bool healed = false;
+  for (int episode = 0; episode < 500 && !healed; ++episode) {
+    agent.run_training_episode(0.2, rng);
+    if (episode >= 100 && episode % 25 == 0) healed = agent.evaluate_success();
+  }
+  EXPECT_TRUE(healed);
+}
+
+TEST(MlpQ, StuckBitsSurviveTrainingUpdates) {
+  const GridWorld world = simple_world();
+  Rng rng(13);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  const int sign_bit = agent.weights().format().sign_bit();
+  const StuckAtMask mask = StuckAtMask::compile(FaultMap(
+      FaultType::kStuckAt1,
+      {FaultSite{3, static_cast<std::uint8_t>(sign_bit)}}));
+  agent.set_stuck(mask);
+  for (int episode = 0; episode < 30; ++episode)
+    agent.run_training_episode(0.5, rng);
+  EXPECT_TRUE(get_bit(agent.weights().word(3), sign_bit));
+  EXPECT_LT(agent.weights().get(3), 0.0);
+}
+
+TEST(MlpQ, NetworkViewMatchesBuffer) {
+  const GridWorld world = simple_world();
+  MlpQAgent agent = train_agent(world, 60, 15);
+  const auto params = const_cast<MlpQAgent&>(agent).network()
+                          .snapshot_parameters();
+  ASSERT_EQ(params.size(), agent.weights().size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_FLOAT_EQ(params[i],
+                    static_cast<float>(agent.weights().get(i)));
+}
+
+TEST(MlpQ, GreedyActionIsArgmax) {
+  const GridWorld world = simple_world();
+  Rng rng(17);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  const Tensor q = agent.q_values(0);
+  EXPECT_EQ(static_cast<std::size_t>(agent.greedy_action(0)), q.argmax());
+}
+
+TEST(MlpQ, HighBerStuckAt1BreaksPolicy) {
+  // Paper Fig. 2c: stuck-at-1 at modest BER destroys NN training.
+  const GridWorld world = simple_world();
+  Rng rng(19);
+  MlpQAgent agent(world, MlpQConfig{}, rng);
+  Rng fault_rng(21);
+  const FaultMap map = FaultMap::sample(
+      FaultType::kStuckAt1, 0.05, agent.weights().size(),
+      agent.weights().format().total_bits(), fault_rng);
+  agent.set_stuck(StuckAtMask::compile(map));
+  int successes = 0;
+  for (int episode = 0; episode < 150; ++episode) {
+    agent.run_training_episode(0.3, rng);
+    if (episode >= 140 && agent.evaluate_success()) ++successes;
+  }
+  EXPECT_LT(successes, 10);
+}
+
+}  // namespace
+}  // namespace ftnav

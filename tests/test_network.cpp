@@ -1,0 +1,164 @@
+// Tests for the sequential network container and C3F2 builder.
+
+#include <gtest/gtest.h>
+
+#include "nn/c3f2.h"
+#include "nn/network.h"
+
+namespace ftnav {
+namespace {
+
+Network small_mlp(Rng& rng) {
+  Network net;
+  net.add(std::make_unique<Dense>(4, 6, rng)).set_label("FC1");
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(6, 3, rng)).set_label("FC2");
+  return net;
+}
+
+TEST(Network, AddRejectsNull) {
+  Network net;
+  EXPECT_THROW(net.add(nullptr), std::invalid_argument);
+}
+
+TEST(Network, OutputShapePropagates) {
+  Rng rng(1);
+  Network net = small_mlp(rng);
+  EXPECT_EQ(net.output_shape(Shape{4, 1, 1}), (Shape{3, 1, 1}));
+}
+
+TEST(Network, ForwardMatchesManualComposition) {
+  Rng rng(2);
+  Network net = small_mlp(rng);
+  Tensor input(Shape{4, 1, 1}, {1.0f, -1.0f, 0.5f, 2.0f});
+  const Tensor out = net.forward(input);
+  Tensor manual = input;
+  for (std::size_t i = 0; i < net.layer_count(); ++i)
+    manual = net.layer(i).forward(manual);
+  ASSERT_EQ(out.size(), manual.size());
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_FLOAT_EQ(out[i], manual[i]);
+}
+
+TEST(Network, SnapshotRestoreRoundTrip) {
+  Rng rng(3);
+  Network net = small_mlp(rng);
+  const auto params = net.snapshot_parameters();
+  EXPECT_EQ(params.size(), net.parameter_count());
+  auto perturbed = params;
+  for (auto& p : perturbed) p += 1.0f;
+  net.restore_parameters(perturbed);
+  const auto after = net.snapshot_parameters();
+  for (std::size_t i = 0; i < params.size(); ++i)
+    EXPECT_FLOAT_EQ(after[i], params[i] + 1.0f);
+  EXPECT_THROW(net.restore_parameters(std::vector<float>(3)),
+               std::invalid_argument);
+}
+
+TEST(Network, CopyIsDeep) {
+  Rng rng(4);
+  Network net = small_mlp(rng);
+  Network copy = net;
+  copy.layer(0).parameters()[0] = 999.0f;
+  EXPECT_NE(net.layer(0).parameters()[0], 999.0f);
+}
+
+TEST(Network, ParameteredLayersAndRanges) {
+  Rng rng(5);
+  Network net = small_mlp(rng);
+  const auto indices = net.parametered_layers();
+  ASSERT_EQ(indices.size(), 2u);
+  EXPECT_EQ(indices[0], 0u);
+  EXPECT_EQ(indices[1], 2u);
+  const auto [b0, e0] = net.parameter_range(0);
+  const auto [b1, e1] = net.parameter_range(1);
+  EXPECT_EQ(b0, 0u);
+  EXPECT_EQ(e0, 4u * 6u + 6u);
+  EXPECT_EQ(b1, e0);
+  EXPECT_EQ(e1, net.parameter_count());
+  EXPECT_THROW(net.parameter_range(2), std::out_of_range);
+}
+
+TEST(Network, ParameteredLabels) {
+  Rng rng(6);
+  Network net = small_mlp(rng);
+  const auto labels = net.parametered_labels();
+  ASSERT_EQ(labels.size(), 2u);
+  EXPECT_EQ(labels[0], "FC1");
+  EXPECT_EQ(labels[1], "FC2");
+}
+
+TEST(Network, GradientSnapshotLayout) {
+  Rng rng(7);
+  Network net = small_mlp(rng);
+  Tensor input(Shape{4, 1, 1}, {1.0f, 1.0f, 1.0f, 1.0f});
+  Tensor out = net.forward(input);
+  Tensor grad(out.shape());
+  grad.fill(1.0f);
+  net.backward(grad);
+  const auto grads = net.snapshot_gradients();
+  EXPECT_EQ(grads.size(), net.parameter_count());
+  bool any_nonzero = false;
+  for (float g : grads) any_nonzero |= g != 0.0f;
+  EXPECT_TRUE(any_nonzero);
+  net.zero_gradients();
+  for (float g : net.snapshot_gradients()) EXPECT_EQ(g, 0.0f);
+}
+
+TEST(Network, TrainingReducesLossOnRegression) {
+  // End-to-end sanity: SGD on a fixed input-target pair converges.
+  Rng rng(8);
+  Network net = small_mlp(rng);
+  Tensor input(Shape{4, 1, 1}, {0.5f, -0.25f, 1.0f, 0.0f});
+  const std::vector<float> target = {1.0f, -1.0f, 0.5f};
+  double first_loss = 0.0, last_loss = 0.0;
+  for (int iter = 0; iter < 200; ++iter) {
+    const Tensor out = net.forward(input);
+    Tensor grad(out.shape());
+    double loss = 0.0;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      const float diff = out[i] - target[i];
+      grad[i] = diff;
+      loss += 0.5 * diff * diff;
+    }
+    net.backward(grad);
+    net.apply_gradients(0.05f);
+    if (iter == 0) first_loss = loss;
+    last_loss = loss;
+  }
+  EXPECT_LT(last_loss, first_loss * 0.01);
+}
+
+// ------------------------------------------------------------------ C3F2
+
+TEST(C3F2, FastPresetShapes) {
+  Rng rng(9);
+  const C3F2Config config = C3F2Config::preset(C3F2Preset::kFast);
+  Network net = make_c3f2(config, rng);
+  EXPECT_EQ(net.output_shape(config.input_shape()), (Shape{25, 1, 1}));
+  EXPECT_EQ(net.parametered_layers().size(), kC3F2ParameteredLayers);
+}
+
+TEST(C3F2, PaperPresetShapes) {
+  Rng rng(10);
+  const C3F2Config config = C3F2Config::preset(C3F2Preset::kPaper);
+  Network net = make_c3f2(config, rng);
+  EXPECT_EQ(net.output_shape(config.input_shape()), (Shape{25, 1, 1}));
+  const auto labels = net.parametered_labels();
+  ASSERT_EQ(labels.size(), 5u);
+  EXPECT_EQ(labels[0], "Conv1");
+  EXPECT_EQ(labels[4], "FC2");
+}
+
+TEST(C3F2, ForwardRunsOnFastPreset) {
+  Rng rng(11);
+  const C3F2Config config = C3F2Config::preset(C3F2Preset::kFast);
+  Network net = make_c3f2(config, rng);
+  Tensor input(config.input_shape());
+  input.fill(0.5f);
+  const Tensor out = net.forward(input);
+  EXPECT_EQ(out.size(), 25u);
+}
+
+}  // namespace
+}  // namespace ftnav

@@ -1,0 +1,203 @@
+// Tests for fixed-point Q formats: encode/decode round-trips,
+// saturation, bit manipulation, and the paper's specific formats.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "fixed/qformat.h"
+
+namespace ftnav {
+namespace {
+
+TEST(QFormat, RejectsInvalidWidths) {
+  EXPECT_THROW(QFormat(-1, 4), std::invalid_argument);
+  EXPECT_THROW(QFormat(4, -1), std::invalid_argument);
+  EXPECT_THROW(QFormat(20, 15), std::invalid_argument);  // > 32 bits
+  EXPECT_THROW(QFormat(0, 0), std::invalid_argument);    // < 2 bits
+}
+
+TEST(QFormat, PaperFormats) {
+  EXPECT_EQ(QFormat::grid_world_8bit().total_bits(), 8);
+  EXPECT_EQ(QFormat::q_1_4_11().total_bits(), 16);
+  EXPECT_EQ(QFormat::q_1_7_8().total_bits(), 16);
+  EXPECT_EQ(QFormat::q_1_10_5().total_bits(), 16);
+  EXPECT_EQ(QFormat::q_1_4_11().name(), "Q(1,4,11)");
+}
+
+TEST(QFormat, RangeOfGridWorldFormat) {
+  const QFormat fmt = QFormat::grid_world_8bit();  // Q(1,3,4)
+  EXPECT_DOUBLE_EQ(fmt.min_value(), -8.0);
+  EXPECT_DOUBLE_EQ(fmt.max_value(), 7.9375);
+  EXPECT_DOUBLE_EQ(fmt.resolution(), 0.0625);
+}
+
+TEST(QFormat, ExactValuesRoundTrip) {
+  const QFormat fmt(3, 4);
+  for (double v = -8.0; v <= 7.9375; v += 0.0625)
+    EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(v)), v) << "value " << v;
+}
+
+TEST(QFormat, RoundsToNearest) {
+  const QFormat fmt(3, 4);
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(0.04)), 0.0625);   // 0.64 lsb rounds up
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(0.02)), 0.0);
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(-0.05)), -0.0625);
+}
+
+TEST(QFormat, SaturatesAtBounds) {
+  const QFormat fmt(3, 4);
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(100.0)), fmt.max_value());
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(-100.0)), fmt.min_value());
+}
+
+TEST(QFormat, NanEncodesToZero) {
+  const QFormat fmt(3, 4);
+  EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(std::nan(""))), 0.0);
+}
+
+TEST(QFormat, TwosComplementSign) {
+  const QFormat fmt(3, 4);
+  const Word minus_one = fmt.encode(-1.0);
+  EXPECT_TRUE(get_bit(minus_one, fmt.sign_bit()));
+  EXPECT_EQ(fmt.to_raw(minus_one), -16);  // -1.0 / 2^-4
+}
+
+TEST(QFormat, WordMaskCoversTotalBits) {
+  EXPECT_EQ(QFormat(3, 4).word_mask(), 0xffu);
+  EXPECT_EQ(QFormat(7, 8).word_mask(), 0xffffu);
+}
+
+TEST(QFormat, SignIntegerMaskExcludesFraction) {
+  const QFormat fmt(3, 4);
+  // Bits 4..7 are integer+sign, bits 0..3 fraction.
+  EXPECT_EQ(fmt.sign_integer_mask(), 0xf0u);
+}
+
+TEST(QFormat, FromRawSaturates) {
+  const QFormat fmt(3, 4);
+  EXPECT_EQ(fmt.to_raw(fmt.from_raw(1000)), 127);
+  EXPECT_EQ(fmt.to_raw(fmt.from_raw(-1000)), -128);
+  EXPECT_EQ(fmt.to_raw(fmt.from_raw(-3)), -3);
+}
+
+TEST(QFormatBits, FlipIsInvolution) {
+  Word w = 0b10110010;
+  EXPECT_EQ(flip_bit(flip_bit(w, 3), 3), w);
+  EXPECT_NE(flip_bit(w, 3), w);
+}
+
+TEST(QFormatBits, StickForcesValue) {
+  const Word w = 0b1010;
+  EXPECT_FALSE(get_bit(stick_bit_to_zero(w, 1), 1));
+  EXPECT_TRUE(get_bit(stick_bit_to_one(w, 0), 0));
+  // Idempotent.
+  EXPECT_EQ(stick_bit_to_zero(stick_bit_to_zero(w, 1), 1),
+            stick_bit_to_zero(w, 1));
+}
+
+TEST(QFormat, MsbFlipChangesSignDramatically) {
+  // The mechanism behind the paper's "high-magnitude faulty values":
+  // flipping the sign/MSB of a small value under two's complement
+  // produces a far-from-zero value.
+  const QFormat fmt = QFormat::q_1_10_5();
+  const Word small = fmt.encode(0.5);
+  const double flipped = fmt.decode(flip_bit(small, fmt.sign_bit()));
+  EXPECT_LT(flipped, -1000.0);
+}
+
+// ---- sign-magnitude encoding ------------------------------------------
+
+TEST(SignMagnitude, SymmetricRange) {
+  const QFormat fmt(3, 4, Encoding::kSignMagnitude);
+  EXPECT_DOUBLE_EQ(fmt.max_value(), 7.9375);
+  EXPECT_DOUBLE_EQ(fmt.min_value(), -7.9375);
+}
+
+TEST(SignMagnitude, EncodeDecodeRoundTrip) {
+  const QFormat fmt = QFormat::grid_world_weights();
+  for (double v = fmt.min_value(); v <= fmt.max_value();
+       v += fmt.resolution())
+    EXPECT_DOUBLE_EQ(fmt.decode(fmt.encode(v)), v) << "value " << v;
+}
+
+TEST(SignMagnitude, NegativeValuesSetOnlySignPlusMagnitudeBits) {
+  const QFormat fmt = QFormat::grid_world_weights();  // Q(1,3,4)sm
+  const Word w = fmt.encode(-0.0625);  // magnitude 1
+  EXPECT_EQ(w, 0x81u);
+  EXPECT_EQ(fmt.encode(0.0625), 0x01u);
+}
+
+TEST(SignMagnitude, NearZeroWeightsAreZeroDominated) {
+  // The property that drives the paper's stuck-at-1 asymmetry: under
+  // sign-magnitude, small weights of EITHER sign encode with almost all
+  // zero bits (two's complement would fill negatives with ones).
+  const QFormat sm = QFormat::grid_world_weights();
+  const QFormat tc = sm.with_encoding(Encoding::kTwosComplement);
+  std::uint64_t sm_ones = 0, tc_ones = 0;
+  for (double v = -0.25; v <= 0.25; v += sm.resolution()) {
+    sm_ones += static_cast<std::uint64_t>(__builtin_popcount(sm.encode(v)));
+    tc_ones += static_cast<std::uint64_t>(__builtin_popcount(tc.encode(v)));
+  }
+  EXPECT_LT(sm_ones * 3, tc_ones * 2);  // sm uses ~half the one-bits
+}
+
+TEST(SignMagnitude, NegativeZeroDecodesToZero) {
+  const QFormat fmt = QFormat::grid_world_weights();
+  const Word negative_zero = Word{1} << fmt.sign_bit();
+  EXPECT_DOUBLE_EQ(fmt.decode(negative_zero), 0.0);
+}
+
+TEST(SignMagnitude, WithEncodingPreservesWidths) {
+  const QFormat fmt = QFormat::q_1_4_11();
+  const QFormat sm = fmt.with_encoding(Encoding::kSignMagnitude);
+  EXPECT_EQ(sm.total_bits(), fmt.total_bits());
+  EXPECT_EQ(sm.name(), "Q(1,4,11)sm");
+  EXPECT_EQ(to_string(sm.encoding()), "sign-magnitude");
+}
+
+TEST(SignMagnitude, FactoryFormats) {
+  EXPECT_EQ(QFormat::drone_weights().encoding(), Encoding::kSignMagnitude);
+  EXPECT_EQ(QFormat::grid_world_weights().total_bits(), 8);
+  EXPECT_EQ(QFormat::q_1_7_8(Encoding::kSignMagnitude).encoding(),
+            Encoding::kSignMagnitude);
+}
+
+// ---- property sweep over all paper formats ---------------------------
+
+class QFormatSweep : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(QFormatSweep, RoundTripAndMonotonicity) {
+  const auto [int_bits, frac_bits] = GetParam();
+  const QFormat fmt(int_bits, frac_bits);
+  double prev = fmt.min_value() - 1.0;
+  for (int raw = -(1 << (fmt.total_bits() - 1));
+       raw < (1 << (fmt.total_bits() - 1)); raw += 7) {
+    const double v = fmt.decode(fmt.from_raw(raw));
+    EXPECT_GE(v, fmt.min_value());
+    EXPECT_LE(v, fmt.max_value());
+    EXPECT_GT(v, prev);  // decode is strictly increasing in raw
+    prev = v;
+    // Re-encoding a representable value is the identity.
+    EXPECT_EQ(fmt.encode(v), fmt.from_raw(raw));
+  }
+}
+
+TEST_P(QFormatSweep, ResolutionIsSmallestStep) {
+  const auto [int_bits, frac_bits] = GetParam();
+  const QFormat fmt(int_bits, frac_bits);
+  const double step = fmt.decode(fmt.from_raw(1)) - fmt.decode(fmt.from_raw(0));
+  EXPECT_DOUBLE_EQ(step, fmt.resolution());
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperFormats, QFormatSweep,
+                         ::testing::Values(std::make_tuple(3, 4),
+                                           std::make_tuple(4, 11),
+                                           std::make_tuple(7, 8),
+                                           std::make_tuple(10, 5),
+                                           std::make_tuple(1, 6),
+                                           std::make_tuple(0, 7)));
+
+}  // namespace
+}  // namespace ftnav

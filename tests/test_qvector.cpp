@@ -1,0 +1,89 @@
+// Tests for the quantized buffer.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fixed/qvector.h"
+
+namespace ftnav {
+namespace {
+
+TEST(QVector, ConstructsZeroed) {
+  QVector buffer(QFormat(3, 4), 10);
+  EXPECT_EQ(buffer.size(), 10u);
+  for (std::size_t i = 0; i < buffer.size(); ++i)
+    EXPECT_DOUBLE_EQ(buffer.get(i), 0.0);
+}
+
+TEST(QVector, QuantizesOnConstruction) {
+  const std::vector<float> values = {0.04f, 1.0f, -2.5f, 100.0f};
+  QVector buffer(QFormat(3, 4), std::span<const float>(values));
+  EXPECT_DOUBLE_EQ(buffer.get(0), 0.0625);  // rounded
+  EXPECT_DOUBLE_EQ(buffer.get(1), 1.0);
+  EXPECT_DOUBLE_EQ(buffer.get(2), -2.5);
+  EXPECT_DOUBLE_EQ(buffer.get(3), 7.9375);  // saturated
+}
+
+TEST(QVector, SetGetRoundTrip) {
+  QVector buffer(QFormat(4, 11), 4);
+  buffer.set(2, 3.14159);
+  EXPECT_NEAR(buffer.get(2), 3.14159, buffer.format().resolution());
+}
+
+TEST(QVector, BoundsChecked) {
+  QVector buffer(QFormat(3, 4), 3);
+  EXPECT_THROW(buffer.get(3), std::out_of_range);
+  EXPECT_THROW(buffer.set(5, 1.0), std::out_of_range);
+  EXPECT_THROW(buffer.word(9), std::out_of_range);
+}
+
+TEST(QVector, SetWordMasksHighBits) {
+  QVector buffer(QFormat(3, 4), 1);
+  buffer.set_word(0, 0xffffff10u);
+  EXPECT_EQ(buffer.word(0), 0x10u);  // only low 8 bits kept
+}
+
+TEST(QVector, DecodeIntoMatchesGet) {
+  const std::vector<double> values = {1.5, -0.25, 3.0};
+  QVector buffer(QFormat(3, 4), std::span<const double>(values));
+  std::vector<float> out(3);
+  buffer.decode_into(out);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    EXPECT_DOUBLE_EQ(static_cast<double>(out[i]), buffer.get(i));
+}
+
+TEST(QVector, DecodeIntoSizeMismatchThrows) {
+  QVector buffer(QFormat(3, 4), 3);
+  std::vector<float> wrong(2);
+  EXPECT_THROW(buffer.decode_into(wrong), std::invalid_argument);
+}
+
+TEST(QVector, EncodeFromReplacesContents) {
+  QVector buffer(QFormat(3, 4), 2);
+  const std::vector<float> values = {2.0f, -1.0f};
+  buffer.encode_from(std::span<const float>(values));
+  EXPECT_DOUBLE_EQ(buffer.get(0), 2.0);
+  EXPECT_DOUBLE_EQ(buffer.get(1), -1.0);
+  const std::vector<float> wrong(3);
+  EXPECT_THROW(buffer.encode_from(std::span<const float>(wrong)),
+               std::invalid_argument);
+}
+
+TEST(QVector, BitCountIsSizeTimesWidth) {
+  QVector buffer(QFormat(3, 4), 10);
+  EXPECT_EQ(buffer.bit_count(), 80u);
+  QVector wide(QFormat(7, 8), 10);
+  EXPECT_EQ(wide.bit_count(), 160u);
+}
+
+TEST(QVector, DecodeAllMatches) {
+  const std::vector<double> values = {1.0, 2.0, -3.5};
+  QVector buffer(QFormat(3, 4), std::span<const double>(values));
+  const auto decoded = buffer.decode_all();
+  ASSERT_EQ(decoded.size(), 3u);
+  EXPECT_DOUBLE_EQ(decoded[2], -3.5);
+}
+
+}  // namespace
+}  // namespace ftnav

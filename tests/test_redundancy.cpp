@@ -1,0 +1,243 @@
+// Tests for the ECC (SEC-DED) and TMR redundancy baselines.
+
+#include <gtest/gtest.h>
+
+#include "core/fault_model.h"
+#include "core/redundancy.h"
+#include "util/rng.h"
+
+namespace ftnav {
+namespace {
+
+TEST(Hamming, RejectsBadWidths) {
+  EXPECT_THROW(HammingSecDed(0), std::invalid_argument);
+  EXPECT_THROW(HammingSecDed(27), std::invalid_argument);
+}
+
+TEST(Hamming, WidthsForCommonFormats) {
+  // 8-bit data -> 4 Hamming parity bits + 1 overall = 13-bit codeword.
+  HammingSecDed ecc8(8);
+  EXPECT_EQ(ecc8.parity_bits(), 4);
+  EXPECT_EQ(ecc8.codeword_bits(), 13);
+  EXPECT_NEAR(ecc8.storage_overhead(), 5.0 / 8.0, 1e-12);
+  // 16-bit data -> 5 + 1 = 22-bit codeword.
+  HammingSecDed ecc16(16);
+  EXPECT_EQ(ecc16.parity_bits(), 5);
+  EXPECT_EQ(ecc16.codeword_bits(), 22);
+}
+
+TEST(Hamming, CleanRoundTripAllBytes) {
+  HammingSecDed ecc(8);
+  for (Word data = 0; data < 256; ++data) {
+    const auto result = ecc.decode(ecc.encode(data));
+    EXPECT_EQ(result.data, data);
+    EXPECT_FALSE(result.corrected);
+    EXPECT_FALSE(result.uncorrectable);
+  }
+}
+
+TEST(Hamming, CorrectsEverySingleBitError) {
+  HammingSecDed ecc(8);
+  for (Word data : {Word{0x00}, Word{0xff}, Word{0xa5}, Word{0x3c}}) {
+    const std::uint64_t codeword = ecc.encode(data);
+    for (int bit = 0; bit < ecc.codeword_bits(); ++bit) {
+      const auto result =
+          ecc.decode(codeword ^ (std::uint64_t{1} << bit));
+      EXPECT_EQ(result.data, data) << "bit " << bit;
+      EXPECT_TRUE(result.corrected) << "bit " << bit;
+      EXPECT_FALSE(result.uncorrectable) << "bit " << bit;
+    }
+  }
+}
+
+TEST(Hamming, DetectsDoubleBitErrors) {
+  HammingSecDed ecc(8);
+  const std::uint64_t codeword = ecc.encode(0x5a);
+  int detected = 0, total = 0;
+  for (int b1 = 0; b1 < ecc.codeword_bits(); ++b1) {
+    for (int b2 = b1 + 1; b2 < ecc.codeword_bits(); ++b2) {
+      const auto result = ecc.decode(codeword ^
+                                     (std::uint64_t{1} << b1) ^
+                                     (std::uint64_t{1} << b2));
+      ++total;
+      if (result.uncorrectable) ++detected;
+    }
+  }
+  EXPECT_EQ(detected, total);  // SEC-DED guarantees double detection
+}
+
+TEST(Hamming, SixteenBitRandomizedSingleErrors) {
+  HammingSecDed ecc(16);
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Word data = static_cast<Word>(rng.below(1u << 16));
+    const int bit = static_cast<int>(rng.below(
+        static_cast<std::uint64_t>(ecc.codeword_bits())));
+    const auto result =
+        ecc.decode(ecc.encode(data) ^ (std::uint64_t{1} << bit));
+    EXPECT_EQ(result.data, data);
+  }
+}
+
+TEST(EccStore, EncodesExistingBuffer) {
+  QVector values(QFormat(3, 4), 4);
+  values.set(0, 1.5);
+  values.set(3, -2.0);
+  EccProtectedStore store(values);
+  EXPECT_DOUBLE_EQ(store.get(0), 1.5);
+  EXPECT_DOUBLE_EQ(store.get(3), -2.0);
+  EXPECT_EQ(store.corrections(), 0u);
+}
+
+TEST(EccStore, CorrectsInjectedSingleBitUpsets) {
+  QVector values(QFormat(3, 4), 16);
+  for (std::size_t i = 0; i < 16; ++i)
+    values.set(i, static_cast<double>(i) * 0.25);
+  EccProtectedStore store(values);
+  // Flip exactly one bit in each codeword.
+  Rng rng(7);
+  for (std::size_t i = 0; i < store.size(); ++i) {
+    const int bit =
+        static_cast<int>(rng.below(static_cast<std::uint64_t>(store.raw_bits())));
+    store.raw()[i] ^= std::uint64_t{1} << bit;
+  }
+  for (std::size_t i = 0; i < 16; ++i)
+    EXPECT_DOUBLE_EQ(store.get(i), static_cast<double>(i) * 0.25);
+  EXPECT_GT(store.corrections(), 0u);
+  EXPECT_EQ(store.uncorrectable(), 0u);
+}
+
+TEST(EccStore, DoubleUpsetIsFlaggedNotSilentlyWrong) {
+  QVector values(QFormat(3, 4), 1);
+  values.set(0, 3.0);
+  EccProtectedStore store(values);
+  store.raw()[0] ^= 0b11;  // two bit errors in one codeword
+  (void)store.get(0);
+  EXPECT_EQ(store.uncorrectable(), 1u);
+}
+
+TEST(EccStore, ScrubClearsAccumulatedUpsets) {
+  QVector values(QFormat(3, 4), 8);
+  values.set(2, -1.0);
+  EccProtectedStore store(values);
+  store.raw()[2] ^= 1u;  // one upset
+  store.scrub();
+  // A second upset on the same word after scrubbing is still a *single*
+  // error and stays correctable (without scrubbing it would be double).
+  store.raw()[2] ^= 2u;
+  EXPECT_DOUBLE_EQ(store.get(2), -1.0);
+  EXPECT_EQ(store.uncorrectable(), 0u);
+}
+
+TEST(EccStore, SnapshotMatchesValues) {
+  QVector values(QFormat(4, 11), 5);
+  values.set(1, 0.125);
+  EccProtectedStore store(values);
+  const QVector snap = store.snapshot();
+  EXPECT_DOUBLE_EQ(snap.get(1), 0.125);
+  EXPECT_EQ(snap.size(), 5u);
+}
+
+// ------------------------------------------------------------------- TMR
+
+TEST(Tmr, VotesOutSingleReplicaCorruption) {
+  QVector values(QFormat(3, 4), 4);
+  values.set(0, 2.5);
+  TmrStore store(values);
+  store.raw()[0] = 0x00;  // wipe replica 0 of word 0
+  EXPECT_DOUBLE_EQ(store.get(0), 2.5);
+}
+
+TEST(Tmr, PerBitVotingSurvivesDifferentReplicaBits) {
+  QVector values(QFormat(3, 4), 1);
+  values.set(0, 1.0);  // 0x10
+  TmrStore store(values);
+  // Different bits corrupted in different replicas: per-bit majority
+  // still recovers the word even though no replica is fully intact.
+  store.raw()[0] ^= 0x01;
+  store.raw()[1] ^= 0x02;
+  store.raw()[2] ^= 0x04;
+  EXPECT_DOUBLE_EQ(store.get(0), 1.0);
+}
+
+TEST(Tmr, TwoReplicaAgreementOnSameBitWins) {
+  QVector values(QFormat(3, 4), 1);
+  values.set(0, 1.0);
+  TmrStore store(values);
+  // Same bit corrupted in two replicas: majority is now wrong -- TMR's
+  // known failure mode.
+  store.raw()[0] ^= 0x01;
+  store.raw()[1] ^= 0x01;
+  EXPECT_NE(store.get(0), 1.0);
+}
+
+TEST(Tmr, SetWritesAllReplicas) {
+  TmrStore store(QFormat(3, 4), 3);
+  store.set(1, -0.5);
+  EXPECT_DOUBLE_EQ(store.get(1), -0.5);
+  // Corrupt one replica; the write must have propagated to all three,
+  // so the value still votes correctly.
+  store.raw()[1] = 0xff;
+  EXPECT_DOUBLE_EQ(store.get(1), -0.5);
+}
+
+TEST(Tmr, ScrubRestoresCleanReplicas) {
+  QVector values(QFormat(3, 4), 2);
+  values.set(0, 3.0);
+  TmrStore store(values);
+  store.raw()[0] ^= 0x08;
+  store.scrub();
+  // After scrubbing, a corruption in a *different* replica of the same
+  // word is still outvoted.
+  store.raw()[2] ^= 0x08;  // replica 1 of word 0
+  EXPECT_DOUBLE_EQ(store.get(0), 3.0);
+}
+
+TEST(Tmr, SnapshotAndBounds) {
+  QVector values(QFormat(3, 4), 2);
+  values.set(1, 1.25);
+  TmrStore store(values);
+  EXPECT_DOUBLE_EQ(store.snapshot().get(1), 1.25);
+  EXPECT_THROW(store.word(2), std::out_of_range);
+  EXPECT_THROW(store.set(5, 0.0), std::out_of_range);
+}
+
+// ------------------------------------------ comparative fault behaviour
+
+TEST(Redundancy, EccBeatsUnprotectedAtMemoryBer) {
+  // At a BER where most codewords see 0-1 flipped bits, ECC recovers
+  // nearly everything while the unprotected buffer keeps its errors.
+  const QFormat fmt(3, 4);
+  QVector golden(fmt, 256);
+  Rng init(11);
+  for (std::size_t i = 0; i < golden.size(); ++i)
+    golden.set(i, init.uniform(-4.0, 4.0));
+
+  Rng rng(13);
+  // Unprotected: flip bits at 1% BER.
+  QVector unprotected = golden;
+  FaultMap map = FaultMap::sample(FaultType::kTransientFlip, 0.01,
+                                  unprotected.size(), fmt.total_bits(), rng);
+  map.apply_once(unprotected.words());
+
+  // ECC store: same BER over the (larger) codeword memory.
+  EccProtectedStore ecc(golden);
+  const std::size_t total_bits = ecc.size() * ecc.raw_bits();
+  const std::size_t flips = static_cast<std::size_t>(0.01 * total_bits);
+  for (std::size_t k = 0; k < flips; ++k) {
+    const std::uint64_t pos = rng.below(total_bits);
+    ecc.raw()[pos / ecc.raw_bits()] ^=
+        std::uint64_t{1} << (pos % ecc.raw_bits());
+  }
+
+  int unprotected_errors = 0, ecc_errors = 0;
+  for (std::size_t i = 0; i < golden.size(); ++i) {
+    if (unprotected.get(i) != golden.get(i)) ++unprotected_errors;
+    if (ecc.get(i) != golden.get(i)) ++ecc_errors;
+  }
+  EXPECT_LT(ecc_errors, unprotected_errors);
+  EXPECT_LE(ecc_errors, 2);  // only multi-bit codewords can slip through
+}
+
+}  // namespace
+}  // namespace ftnav

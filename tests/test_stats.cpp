@@ -1,0 +1,139 @@
+// Tests for summary statistics and Wilson confidence intervals.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace ftnav {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.stderr_mean(), 0.0);
+}
+
+TEST(RunningStats, SingleSample) {
+  RunningStats s;
+  s.add(4.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 4.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(3);
+  RunningStats all, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(left.min(), all.min());
+  EXPECT_DOUBLE_EQ(left.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Wilson, ZeroTrials) {
+  const auto ci = wilson_interval(0, 0);
+  EXPECT_EQ(ci.low, 0.0);
+  EXPECT_EQ(ci.high, 0.0);
+}
+
+TEST(Wilson, AllSuccesses) {
+  const auto ci = wilson_interval(50, 50);
+  EXPECT_GT(ci.low, 0.9);
+  EXPECT_DOUBLE_EQ(ci.high, 1.0);
+}
+
+TEST(Wilson, AllFailures) {
+  const auto ci = wilson_interval(0, 50);
+  EXPECT_DOUBLE_EQ(ci.low, 0.0);
+  EXPECT_LT(ci.high, 0.1);
+}
+
+TEST(Wilson, ContainsTrueProportion) {
+  const auto ci = wilson_interval(30, 100);
+  EXPECT_LT(ci.low, 0.3);
+  EXPECT_GT(ci.high, 0.3);
+  EXPECT_GT(ci.center, ci.low);
+  EXPECT_LT(ci.center, ci.high);
+}
+
+TEST(Wilson, IntervalNarrowsWithTrials) {
+  const auto small = wilson_interval(5, 10);
+  const auto large = wilson_interval(500, 1000);
+  EXPECT_LT(large.high - large.low, small.high - small.low);
+}
+
+TEST(Wilson, PaperScaleMarginIsTight) {
+  // The paper's 1000-repeat campaigns claim ~1% error at 95% confidence.
+  const auto ci = wilson_interval(900, 1000);
+  EXPECT_LT(ci.high - ci.low, 0.04);
+}
+
+TEST(SampleStats, MeanAndStddev) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean_of(xs), 2.5);
+  EXPECT_NEAR(stddev_of(xs), 1.2909944487, 1e-9);
+}
+
+TEST(SampleStats, EmptyAndSingleton) {
+  EXPECT_EQ(mean_of({}), 0.0);
+  EXPECT_EQ(stddev_of({}), 0.0);
+  const std::vector<double> one = {5.0};
+  EXPECT_EQ(stddev_of(one), 0.0);
+}
+
+TEST(SampleStats, MedianOddEven) {
+  EXPECT_DOUBLE_EQ(median_of({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median_of({4.0, 1.0, 2.0, 3.0}), 2.5);
+}
+
+TEST(SampleStats, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 0; i <= 100; ++i) xs.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 100.0), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 50.0), 50.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 25.0), 25.0);
+}
+
+TEST(SampleStats, PercentileClampsOutOfRange) {
+  const std::vector<double> xs = {1.0, 2.0};
+  EXPECT_DOUBLE_EQ(percentile_of(xs, -5.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_of(xs, 150.0), 2.0);
+}
+
+}  // namespace
+}  // namespace ftnav

@@ -1,0 +1,76 @@
+// Tests for the CHW tensor.
+
+#include <gtest/gtest.h>
+
+#include "nn/tensor.h"
+
+namespace ftnav {
+namespace {
+
+TEST(Shape, ElementCountAndValidity) {
+  const Shape s{3, 4, 5};
+  EXPECT_EQ(s.element_count(), 60u);
+  EXPECT_TRUE(s.valid());
+  EXPECT_FALSE((Shape{0, 4, 5}).valid());
+  EXPECT_EQ(s.to_string(), "3x4x5");
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t(Shape{2, 3, 3});
+  EXPECT_EQ(t.size(), 18u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, RejectsInvalidShape) {
+  EXPECT_THROW(Tensor(Shape{0, 1, 1}), std::invalid_argument);
+  EXPECT_THROW(Tensor(std::size_t{0}), std::invalid_argument);
+  EXPECT_THROW(Tensor(Shape{2, 2, 2}, std::vector<float>(7)),
+               std::invalid_argument);
+}
+
+TEST(Tensor, FlatConstructorIs1D) {
+  Tensor t(std::size_t{5});
+  EXPECT_EQ(t.shape(), (Shape{5, 1, 1}));
+}
+
+TEST(Tensor, ChwIndexingIsRowMajor) {
+  Tensor t(Shape{2, 2, 3});
+  t.ref(1, 1, 2) = 7.0f;
+  // c*h*w layout: index = (c*H + h)*W + w = (1*2+1)*3+2 = 11.
+  EXPECT_EQ(t[11], 7.0f);
+  EXPECT_EQ(t.get(1, 1, 2), 7.0f);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{1, 2, 2});
+  EXPECT_THROW(t.at(1, 0, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 2, 0), std::out_of_range);
+  EXPECT_THROW(t.at(0, 0, -1), std::out_of_range);
+  EXPECT_NO_THROW(t.at(0, 1, 1));
+}
+
+TEST(Tensor, FillAndMax) {
+  Tensor t(Shape{1, 2, 2});
+  t.fill(2.5f);
+  EXPECT_EQ(t.max_value(), 2.5f);
+  t[3] = 9.0f;
+  EXPECT_EQ(t.max_value(), 9.0f);
+  EXPECT_EQ(t.argmax(), 3u);
+}
+
+TEST(Tensor, ArgmaxFirstOfTies) {
+  Tensor t(std::size_t{4});
+  t[1] = 1.0f;
+  t[2] = 1.0f;
+  EXPECT_EQ(t.argmax(), 1u);
+}
+
+TEST(Tensor, ValuesSpanIsWritable) {
+  Tensor t(std::size_t{3});
+  auto values = t.values();
+  values[0] = 4.0f;
+  EXPECT_EQ(t[0], 4.0f);
+}
+
+}  // namespace
+}  // namespace ftnav
