@@ -67,6 +67,7 @@ int main() {
       campaign.bers = {0.008};
       campaign.repeats = config.resolve_repeats(40, 300);
       campaign.seed = config.seed;
+      campaign.threads = config.threads;
       campaign.mitigated = true;
       campaign.detector_margin = margin;
       const InferenceCampaignResult result =

@@ -26,6 +26,7 @@ int main() {
                      0.006, 0.007, 0.008, 0.009, 0.010};
     campaign.repeats = config.resolve_repeats(60, 1000);
     campaign.seed = config.seed;
+    campaign.threads = config.threads;
 
     std::printf("--- Fig. 10a: Grid World success rate (%%), %d draws per "
                 "point ---\n", campaign.repeats);
@@ -58,6 +59,7 @@ int main() {
     campaign.bers = drone_bers(config.full_scale);
     campaign.repeats = config.resolve_repeats(15, 100);
     campaign.seed = config.seed;
+    campaign.threads = config.threads;
 
     std::printf("--- Fig. 10b: drone flight distance (m), %d draws per "
                 "point ---\n", campaign.repeats);

@@ -30,6 +30,7 @@ int main() {
     heatmap_config.repeats =
         config.resolve_repeats(tabular ? 10 : 3, tabular ? 100 : 20);
     heatmap_config.seed = config.seed;
+    heatmap_config.threads = config.threads;
 
     std::printf("--- Fig. 2%c (%s): transient faults, success rate (%%) by "
                 "(BER, injection episode), %d repeats/cell ---\n",

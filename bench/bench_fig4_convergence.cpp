@@ -35,7 +35,8 @@ int main() {
                 tabular ? 'a' : 'c', to_string(kind).c_str(), fault_episode,
                 repeats);
     const TransientConvergenceResult transient = run_transient_convergence(
-        kind, bers, fault_episode, max_extra, repeats, config.seed);
+        kind, bers, fault_episode, max_extra, repeats, config.seed,
+        config.threads);
     Table table({"BER", "total episodes to converge", "never-converged %"});
     for (std::size_t i = 0; i < bers.size(); ++i) {
       table.add_row({format_double(bers[i] * 100.0, 1) + "%",
@@ -54,7 +55,8 @@ int main() {
                 tabular ? 'b' : 'd', to_string(kind).c_str(), extra, early,
                 late);
     const PermanentConvergenceResult permanent = run_permanent_convergence(
-        kind, bers, early, late, extra, repeats, config.seed);
+        kind, bers, early, late, extra, repeats, config.seed,
+        config.threads);
     Table ptable({"BER", "SA0 (early)", "SA0 (late)", "SA1 (early)",
                   "SA1 (late)"});
     for (std::size_t i = 0; i < bers.size(); ++i) {

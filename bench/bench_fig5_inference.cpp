@@ -28,6 +28,7 @@ int main() {
     campaign.repeats = config.resolve_repeats(
         kind == GridPolicyKind::kTabular ? 200 : 60, 1000);
     campaign.seed = config.seed;
+    campaign.threads = config.threads;
 
     std::printf("--- Fig. 5%c: %s-based inference (%d fault draws per "
                 "point) ---\n",

@@ -25,6 +25,7 @@ int main() {
   campaign.fine_tune_episodes = config.full_scale ? 4 : 2;
   campaign.eval_repeats = config.resolve_repeats(3, 10);
   campaign.seed = config.seed;
+  campaign.threads = config.threads;
 
   const DroneWorld world = DroneWorld::indoor_long();
   const DroneTrainingCampaignResult result =

@@ -19,6 +19,7 @@ int main() {
   campaign.bers = drone_bers(config.full_scale);
   campaign.repeats = config.resolve_repeats(15, 100);
   campaign.seed = config.seed;
+  campaign.threads = config.threads;
 
   const DroneWorld world = DroneWorld::indoor_long();
   const LocationSweepResult result = run_location_sweep(world, campaign);

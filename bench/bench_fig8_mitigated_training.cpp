@@ -36,6 +36,7 @@ int main() {
     heatmap_config.repeats =
         config.resolve_repeats(tabular ? 10 : 2, tabular ? 100 : 20);
     heatmap_config.seed = config.seed;
+    heatmap_config.threads = config.threads;
 
     for (bool mitigated : {false, true}) {
       heatmap_config.mitigated = mitigated;

@@ -29,7 +29,8 @@ int main() {
     Table table({"fault", "BER", "peak exploration %",
                  "episodes to steady", "recovery episodes"});
     for (const ExplorationStudyRow& row :
-         run_exploration_study(kind, bers, episodes, repeats, config.seed)) {
+         run_exploration_study(kind, bers, episodes, repeats, config.seed,
+                               config.threads)) {
       table.add_row({to_string(row.type),
                      format_double(row.ber * 100.0, 1) + "%",
                      format_double(row.mean_peak_exploration, 0),

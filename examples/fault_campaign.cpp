@@ -5,10 +5,11 @@
 //   ./build/examples/fault_campaign [--policy tabular|nn]
 //       [--mode tm|t1|sa0|sa1] [--ber <fraction>] [--repeats <n>]
 //       [--density low|middle|high] [--mitigate] [--seed <n>]
+//       [--threads <n>]
 //
 // Example:
-//   ./build/examples/fault_campaign --policy nn --mode tm --ber 0.005 \
-//       --repeats 200 --mitigate
+//   ./build/examples/fault_campaign --policy nn --mode tm
+//       --ber 0.005 --repeats 200 --mitigate --threads 4
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +25,7 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--policy tabular|nn] [--mode tm|t1|sa0|sa1] "
                "[--ber f] [--repeats n] [--density low|middle|high] "
-               "[--mitigate] [--seed n]\n",
+               "[--mitigate] [--seed n] [--threads n]\n",
                argv0);
   std::exit(2);
 }
@@ -75,6 +76,8 @@ int main(int argc, char** argv) {
       config.mitigated = true;
     } else if (arg == "--seed") {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--threads") {
+      config.threads = std::atoi(next());
     } else {
       usage(argv[0]);
     }
@@ -82,10 +85,10 @@ int main(int argc, char** argv) {
 
   config.bers = {ber};
   std::printf("campaign: policy=%s mode=%s ber=%.4f repeats=%d "
-              "mitigated=%s seed=%llu\n",
+              "mitigated=%s seed=%llu threads=%d\n",
               to_string(config.kind).c_str(), to_string(mode).c_str(), ber,
               config.repeats, config.mitigated ? "yes" : "no",
-              static_cast<unsigned long long>(config.seed));
+              static_cast<unsigned long long>(config.seed), config.threads);
 
   const InferenceCampaignResult result = run_inference_campaign(config);
   const double success =

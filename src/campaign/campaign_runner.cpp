@@ -1,0 +1,104 @@
+#include "campaign/campaign_runner.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace ftnav {
+namespace {
+
+/// Shards handed out per worker: oversubscription smooths out
+/// heterogeneous trial costs (a high-BER training run can take many
+/// times longer than a fault-free rollout) without giving up the
+/// cache-friendliness of contiguous trial ranges.
+constexpr std::size_t kShardsPerWorker = 4;
+
+}  // namespace
+
+std::vector<CampaignShard> shard_trials(std::size_t trial_count,
+                                        std::size_t max_shards) {
+  std::vector<CampaignShard> shards;
+  if (trial_count == 0 || max_shards == 0) return shards;
+  const std::size_t shard_count =
+      trial_count < max_shards ? trial_count : max_shards;
+  const std::size_t base = trial_count / shard_count;
+  const std::size_t longer = trial_count % shard_count;
+  shards.reserve(shard_count);
+  std::size_t begin = 0;
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    const std::size_t size = base + (i < longer ? 1 : 0);
+    shards.push_back(CampaignShard{begin, begin + size});
+    begin += size;
+  }
+  return shards;
+}
+
+int resolve_threads(int threads) noexcept {
+  if (threads > 0) return threads;
+  const unsigned hardware = std::thread::hardware_concurrency();
+  return hardware > 0 ? static_cast<int>(hardware) : 1;
+}
+
+CampaignRunner::CampaignRunner(int threads)
+    : threads_(resolve_threads(threads)) {}
+
+std::size_t CampaignRunner::shard_budget() const noexcept {
+  return static_cast<std::size_t>(threads_) * kShardsPerWorker;
+}
+
+void CampaignRunner::run_shards(
+    std::size_t trial_count,
+    const std::function<void(const CampaignShard&)>& body) const {
+  const std::vector<CampaignShard> shards =
+      shard_trials(trial_count, shard_budget());
+  run_shards_prepartitioned(
+      shards, [&](std::size_t index) { body(shards[index]); });
+}
+
+void CampaignRunner::run_shards_prepartitioned(
+    const std::vector<CampaignShard>& shards,
+    const std::function<void(std::size_t)>& body) const {
+  if (shards.empty()) return;
+
+  // Workers pull shard indices from a shared counter; results land in
+  // trial-indexed slots (or per-shard accumulators), so the pull order
+  // never affects campaign output.
+  std::atomic<std::size_t> next_shard{0};
+  std::atomic<bool> failed{false};
+  std::vector<std::exception_ptr> errors(shards.size());
+
+  const auto worker = [&]() {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t index =
+          next_shard.fetch_add(1, std::memory_order_relaxed);
+      if (index >= shards.size()) return;
+      try {
+        body(index);
+      } catch (...) {
+        errors[index] = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  };
+
+  const std::size_t pool_size =
+      shards.size() < static_cast<std::size_t>(threads_)
+          ? shards.size()
+          : static_cast<std::size_t>(threads_);
+  if (pool_size <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(pool_size);
+    for (std::size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
+    for (std::thread& thread : pool) thread.join();
+  }
+
+  // Rethrow the failure from the lowest shard index so the surfaced
+  // error does not depend on scheduling.
+  for (std::exception_ptr& error : errors)
+    if (error) std::rethrow_exception(error);
+}
+
+}  // namespace ftnav

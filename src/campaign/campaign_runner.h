@@ -1,0 +1,145 @@
+#pragma once
+// Parallel sharded fault-injection campaign engine.
+//
+// The paper's figures are produced by campaigns: grids of
+// BER x injection location x repeat trials, each an independent
+// simulation. Trials are embarrassingly parallel *provided* every
+// trial draws from its own deterministic noise stream, so this runner
+// is built around one invariant:
+//
+//   trial i consumes Rng::stream(seed, i), a pure function of
+//   (campaign seed, trial index) -- never of thread count, scheduling
+//   order, or shard boundaries.
+//
+// `map` evaluates a trial function over [0, trial_count) on a
+// fixed-size worker pool and returns the results indexed by trial, so
+// campaign output is bit-identical for any `threads` value.
+// `map_reduce` additionally keeps one accumulator per shard and merges
+// them in ascending shard order; use it for partition-invariant
+// statistics (counts, disjoint HeatmapGrid cells, Histogram bins).
+// Order-sensitive floating-point folds should instead `map` to a
+// per-trial vector and fold serially in trial order.
+//
+// The first exception thrown by a trial (lowest shard index wins, for
+// determinism) aborts the remaining shards and is rethrown on the
+// calling thread after the pool joins.
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ftnav {
+
+/// Contiguous trial range [begin, end) handed to one worker at a time.
+struct CampaignShard {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+
+  std::size_t size() const noexcept { return end - begin; }
+};
+
+/// Splits [0, trial_count) into at most `max_shards` contiguous,
+/// near-equal shards (the first `trial_count % shards` are one trial
+/// longer). Returns fewer shards than requested when the grid is
+/// smaller than the pool; never returns an empty shard.
+std::vector<CampaignShard> shard_trials(std::size_t trial_count,
+                                        std::size_t max_shards);
+
+/// Resolves a config `threads` knob: values > 0 pass through, anything
+/// else becomes std::thread::hardware_concurrency() (minimum 1).
+int resolve_threads(int threads) noexcept;
+
+class CampaignRunner {
+ public:
+  /// `threads <= 0` selects hardware_concurrency.
+  explicit CampaignRunner(int threads = 0);
+
+  int threads() const noexcept { return threads_; }
+
+  /// Deterministic parallel map: returns {fn(0, rng_0), ...,
+  /// fn(trial_count - 1, rng_{n-1})} where rng_i = Rng::stream(seed, i).
+  template <typename Fn>
+  auto map(std::size_t trial_count, std::uint64_t seed, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t, Rng&>> {
+    using T = std::invoke_result_t<Fn&, std::size_t, Rng&>;
+    // std::vector<bool> packs bits, so concurrent writes to adjacent
+    // trials would race on the same byte. Return char/int instead.
+    static_assert(!std::is_same_v<T, bool>,
+                  "CampaignRunner::map: bool results race in "
+                  "std::vector<bool>; return char or int instead");
+    std::vector<T> results(trial_count);
+    run_shards(trial_count, [&](const CampaignShard& shard) {
+      for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+        Rng rng = Rng::stream(seed, trial);
+        results[trial] = fn(trial, rng);
+      }
+    });
+    return results;
+  }
+
+  /// Deterministic parallel for-each over trials; `fn(trial, rng)`
+  /// writes into caller-owned per-trial slots.
+  template <typename Fn>
+  void for_each(std::size_t trial_count, std::uint64_t seed, Fn&& fn) const {
+    run_shards(trial_count, [&](const CampaignShard& shard) {
+      for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+        Rng rng = Rng::stream(seed, trial);
+        fn(trial, rng);
+      }
+    });
+  }
+
+  /// Sharded map-reduce: every shard accumulates into its own
+  /// `make_acc()` instance via `accumulate(acc, trial, rng)`, and the
+  /// per-shard accumulators are folded into the first shard's via
+  /// `merge(into, from)` in ascending shard order. Deterministic for
+  /// partition-invariant accumulators (see file comment).
+  template <typename MakeAcc, typename AccumulateFn, typename MergeFn>
+  auto map_reduce(std::size_t trial_count, std::uint64_t seed,
+                  MakeAcc&& make_acc, AccumulateFn&& accumulate,
+                  MergeFn&& merge) const
+      -> std::invoke_result_t<MakeAcc&> {
+    using Acc = std::invoke_result_t<MakeAcc&>;
+    if (trial_count == 0) return make_acc();
+    const std::vector<CampaignShard> shards =
+        shard_trials(trial_count, shard_budget());
+    std::vector<Acc> accs;
+    accs.reserve(shards.size());
+    for (std::size_t i = 0; i < shards.size(); ++i)
+      accs.push_back(make_acc());
+    run_shards_prepartitioned(shards, [&](std::size_t shard_index) {
+      const CampaignShard& shard = shards[shard_index];
+      for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+        Rng rng = Rng::stream(seed, trial);
+        accumulate(accs[shard_index], trial, rng);
+      }
+    });
+    Acc result = std::move(accs.front());
+    for (std::size_t i = 1; i < accs.size(); ++i)
+      merge(result, std::move(accs[i]));
+    return result;
+  }
+
+ private:
+  /// Number of shards to cut a campaign into: oversubscribed relative
+  /// to the pool so heterogeneous trial costs still balance.
+  std::size_t shard_budget() const noexcept;
+
+  /// Shards [0, trial_count) and dispatches shard bodies to the pool.
+  void run_shards(std::size_t trial_count,
+                  const std::function<void(const CampaignShard&)>& body) const;
+
+  /// Dispatches bodies for an existing shard partition (by index).
+  void run_shards_prepartitioned(
+      const std::vector<CampaignShard>& shards,
+      const std::function<void(std::size_t)>& body) const;
+
+  int threads_;
+};
+
+}  // namespace ftnav

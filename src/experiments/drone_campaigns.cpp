@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "campaign/campaign_runner.h"
 #include "core/injector.h"
 #include "util/stats.h"
 
@@ -33,6 +34,51 @@ double msf_with_faults(QuantizedInferenceEngine& engine,
   return distances.mean();
 }
 
+/// Shared shape of the Fig. 7c-e sweeps: a (row, BER) cell grid where
+/// every cell owns a freshly built engine (so fault state never leaks
+/// across trials) and runs `config.repeats` rollouts. `engine_for(row)`
+/// builds the cell's engine; `arm(row, ber, engine, rng)` draws the
+/// cell's fault instance per repeat. Cells at BER <= 0 share one fixed
+/// baseline stream so every row reports identical fault-free rollouts.
+template <typename EngineFor, typename ArmFn>
+std::vector<std::vector<double>> sweep_msf_grid(
+    const DroneInferenceCampaignConfig& config, std::uint64_t tag,
+    std::size_t row_count, const DroneWorld& world,
+    const DroneEnvConfig& env_config, EngineFor&& engine_for,
+    ArmFn&& arm) {
+  const std::size_t ber_count = config.bers.size();
+  const CampaignRunner runner(config.threads);
+  const std::vector<double> cells = runner.map(
+      row_count * ber_count, config.seed ^ tag,
+      [&](std::size_t trial, Rng& trial_rng) {
+        const std::size_t row = trial / ber_count;
+        const double ber = config.bers[trial % ber_count];
+        QuantizedInferenceEngine engine = engine_for(row);
+        Rng rng = ber <= 0.0 ? Rng(config.seed ^ 0xb05e) : trial_rng;
+        return msf_with_faults(
+            engine, world, env_config, config.repeats, rng,
+            [&](QuantizedInferenceEngine& e, Rng& r) {
+              if (ber <= 0.0) return;
+              arm(row, ber, e, r);
+            });
+      });
+  std::vector<std::vector<double>> grid;
+  grid.reserve(row_count);
+  for (std::size_t row = 0; row < row_count; ++row)
+    grid.emplace_back(cells.begin() + static_cast<std::ptrdiff_t>(row * ber_count),
+                      cells.begin() + static_cast<std::ptrdiff_t>((row + 1) * ber_count));
+  return grid;
+}
+
+/// Transient weight-fault arm shared by Figs. 7b/7e/10b.
+void arm_weight_transient(double ber, QuantizedInferenceEngine& engine,
+                          Rng& rng) {
+  const FaultMap map = FaultMap::sample(
+      FaultType::kTransientFlip, ber, engine.weight_word_count(),
+      engine.format().total_bits(), rng);
+  engine.inject_weight_faults(map);
+}
+
 }  // namespace
 
 DroneTrainingCampaignResult run_drone_training_campaign(
@@ -48,13 +94,13 @@ DroneTrainingCampaignResult run_drone_training_campaign(
 
   DroneTrainingCampaignResult result(row_labels, col_labels);
   result.bers = config.bers;
-  Rng seeder(config.seed ^ 0x7a);
 
   const int steps_budget =
       config.fine_tune_episodes * bundle.env_config.max_steps;
 
   // One fine-tuning run under a fault scenario, returning post-training
-  // greedy MSF.
+  // greedy MSF. Self-contained per trial: the tuner clones the bundle's
+  // network, so concurrent trials never share mutable state.
   const auto run_fine_tune = [&](std::optional<double> transient_ber,
                                  int injection_step,
                                  std::optional<FaultType> permanent,
@@ -97,29 +143,44 @@ DroneTrainingCampaignResult run_drone_training_campaign(
     return distances.mean();
   };
 
-  {
-    Rng rng = seeder.split(0);
-    result.fault_free_msf =
-        run_fine_tune(std::nullopt, 0, std::nullopt, 0.0, rng);
-  }
-  for (std::size_t r = 0; r < config.injection_points.size(); ++r) {
-    for (std::size_t c = 0; c < config.bers.size(); ++c) {
-      Rng rng = seeder.split(1000 + r * 50 + c);
-      const int step =
-          static_cast<int>(config.injection_points[r] * steps_budget);
-      result.transient.set(
-          r, c,
-          run_fine_tune(config.bers[c], step, std::nullopt, 0.0, rng));
-    }
-  }
-  for (std::size_t c = 0; c < config.bers.size(); ++c) {
-    Rng rng0 = seeder.split(5000 + c);
-    Rng rng1 = seeder.split(6000 + c);
-    result.stuck_at_0.push_back(run_fine_tune(
-        std::nullopt, 0, FaultType::kStuckAt0, config.bers[c], rng0));
-    result.stuck_at_1.push_back(run_fine_tune(
-        std::nullopt, 0, FaultType::kStuckAt1, config.bers[c], rng1));
-  }
+  const CampaignRunner runner(config.threads);
+  const std::size_t rows = config.injection_points.size();
+  const std::size_t cols = config.bers.size();
+
+  // Transient (injection point, BER) grid: one fine-tune run per cell,
+  // accumulated into per-shard heatmaps merged in the final reduce.
+  result.transient = runner.map_reduce(
+      rows * cols, config.seed ^ 0x7a,
+      [&] { return HeatmapGrid(row_labels, col_labels); },
+      [&](HeatmapGrid& acc, std::size_t trial, Rng& rng) {
+        const std::size_t r = trial / cols;
+        const std::size_t c = trial % cols;
+        const int step =
+            static_cast<int>(config.injection_points[r] * steps_budget);
+        acc.set(r, c,
+                run_fine_tune(config.bers[c], step, std::nullopt, 0.0, rng));
+      },
+      [](HeatmapGrid& into, HeatmapGrid&& from) { into.merge(from); });
+
+  // Fault-free reference plus the two stuck-at rows, as a flat trial
+  // list: trial 0 is fault-free, then stuck-at-0 per BER, stuck-at-1
+  // per BER.
+  const std::vector<double> flat = runner.map(
+      1 + 2 * cols, config.seed ^ 0x7a5a,
+      [&](std::size_t trial, Rng& rng) {
+        if (trial == 0)
+          return run_fine_tune(std::nullopt, 0, std::nullopt, 0.0, rng);
+        const std::size_t index = trial - 1;
+        const FaultType type =
+            index < cols ? FaultType::kStuckAt0 : FaultType::kStuckAt1;
+        const double ber = config.bers[index % cols];
+        return run_fine_tune(std::nullopt, 0, type, ber, rng);
+      });
+  result.fault_free_msf = flat[0];
+  result.stuck_at_0.assign(flat.begin() + 1,
+                           flat.begin() + 1 + static_cast<std::ptrdiff_t>(cols));
+  result.stuck_at_1.assign(flat.begin() + 1 + static_cast<std::ptrdiff_t>(cols),
+                           flat.end());
   return result;
 }
 
@@ -127,34 +188,48 @@ EnvironmentSweepResult run_environment_sweep(
     const DroneInferenceCampaignConfig& config) {
   EnvironmentSweepResult result;
   result.bers = config.bers;
-  Rng seeder(config.seed ^ 0x7b);
   const std::vector<DroneWorld> worlds = {DroneWorld::indoor_long(),
                                           DroneWorld::indoor_vanleer()};
-  for (const DroneWorld& world : worlds) {
+  for (const DroneWorld& world : worlds)
     result.environments.push_back(world.name());
-    const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
-    QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
-                                    bundle.c3f2.input_shape());
-    std::vector<double> row;
-    for (double ber : config.bers) {
-      // Fault-free cells share one fixed stream (per environment) so
-      // every row reports the same baseline rollouts.
-      Rng rng = ber <= 0.0
-                    ? Rng(config.seed ^ (0xb05e + result.environments.size()))
-                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
-                                   result.environments.size());
-      row.push_back(msf_with_faults(
-          engine, world, bundle.env_config, config.repeats, rng,
-          [&](QuantizedInferenceEngine& e, Rng& r) {
-            if (ber <= 0.0) return;
-            const FaultMap map = FaultMap::sample(
-                FaultType::kTransientFlip, ber, e.weight_word_count(),
-                e.format().total_bits(), r);
-            e.inject_weight_faults(map);
-          }));
-    }
-    result.msf.push_back(std::move(row));
-  }
+
+  const CampaignRunner runner(config.threads);
+
+  // Phase 1: per-environment policy training in parallel. Training is
+  // deterministic in (world, spec), so the trial stream goes unused.
+  std::vector<DronePolicyBundle> bundles(worlds.size());
+  runner.for_each(worlds.size(), config.seed ^ 0x7b00,
+                  [&](std::size_t env, Rng&) {
+                    bundles[env] = train_drone_policy(worlds[env],
+                                                      config.policy);
+                  });
+
+  // Phase 2: flat (environment, BER) cell grid; each cell builds its
+  // own engine so fault state never crosses trials. Fault-free cells
+  // share one fixed stream (per environment) so every row reports the
+  // same baseline rollouts.
+  const std::size_t ber_count = config.bers.size();
+  const std::vector<double> cells = runner.map(
+      worlds.size() * ber_count, config.seed ^ 0x7b,
+      [&](std::size_t trial, Rng& trial_rng) {
+        const std::size_t env = trial / ber_count;
+        const double ber = config.bers[trial % ber_count];
+        QuantizedInferenceEngine engine(bundles[env].network,
+                                        QFormat::drone_weights(),
+                                        bundles[env].c3f2.input_shape());
+        Rng rng = ber <= 0.0 ? Rng(config.seed ^ (0xb05e + env + 1))
+                             : trial_rng;
+        return msf_with_faults(
+            engine, worlds[env], bundles[env].env_config, config.repeats,
+            rng, [&](QuantizedInferenceEngine& e, Rng& r) {
+              if (ber <= 0.0) return;
+              arm_weight_transient(ber, e, r);
+            });
+      });
+  for (std::size_t env = 0; env < worlds.size(); ++env)
+    result.msf.emplace_back(
+        cells.begin() + static_cast<std::ptrdiff_t>(env * ber_count),
+        cells.begin() + static_cast<std::ptrdiff_t>((env + 1) * ber_count));
   return result;
 }
 
@@ -173,48 +248,35 @@ LocationSweepResult run_location_sweep(
   LocationSweepResult result;
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
-  QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
-                                  bundle.c3f2.input_shape());
-  Rng seeder(config.seed ^ 0x7c);
 
-  for (int location_index = 0; location_index < 4; ++location_index) {
-    const auto location = static_cast<DroneFaultLocation>(location_index);
-    std::vector<double> row;
-    for (double ber : config.bers) {
-      Rng rng = ber <= 0.0
-                    ? Rng(config.seed ^ 0xb05e)
-                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
-                                   location_index * 131);
-      row.push_back(msf_with_faults(
-          engine, world, bundle.env_config, config.repeats, rng,
-          [&](QuantizedInferenceEngine& e, Rng& r) {
-            if (ber <= 0.0) return;
-            switch (location) {
-              case DroneFaultLocation::kInput:
-                e.set_input_transient_ber(ber);
-                break;
-              case DroneFaultLocation::kWeightTransient: {
-                const FaultMap map = FaultMap::sample(
-                    FaultType::kTransientFlip, ber, e.weight_word_count(),
-                    e.format().total_bits(), r);
-                e.inject_weight_faults(map);
-                break;
-              }
-              case DroneFaultLocation::kActivationTransient:
-                e.set_activation_transient_ber(ber);
-                break;
-              case DroneFaultLocation::kActivationPermanent: {
-                const FaultMap map = FaultMap::sample(
-                    FaultType::kStuckAt1, ber, e.activation_buffer_size(),
-                    e.format().total_bits(), r);
-                e.set_activation_stuck(StuckAtMask::compile(map));
-                break;
-              }
-            }
-          }));
-    }
-    result.msf.push_back(std::move(row));
-  }
+  result.msf = sweep_msf_grid(
+      config, 0x7c, 4, world, bundle.env_config,
+      [&](std::size_t) {
+        return QuantizedInferenceEngine(bundle.network,
+                                        QFormat::drone_weights(),
+                                        bundle.c3f2.input_shape());
+      },
+      [](std::size_t row, double ber, QuantizedInferenceEngine& e,
+         Rng& r) {
+        switch (static_cast<DroneFaultLocation>(row)) {
+          case DroneFaultLocation::kInput:
+            e.set_input_transient_ber(ber);
+            break;
+          case DroneFaultLocation::kWeightTransient:
+            arm_weight_transient(ber, e, r);
+            break;
+          case DroneFaultLocation::kActivationTransient:
+            e.set_activation_transient_ber(ber);
+            break;
+          case DroneFaultLocation::kActivationPermanent: {
+            const FaultMap map = FaultMap::sample(
+                FaultType::kStuckAt1, ber, e.activation_buffer_size(),
+                e.format().total_bits(), r);
+            e.set_activation_stuck(StuckAtMask::compile(map));
+            break;
+          }
+        }
+      });
   return result;
 }
 
@@ -223,28 +285,20 @@ LayerSweepResult run_layer_sweep(const DroneWorld& world,
   LayerSweepResult result;
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
-  QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
-                                  bundle.c3f2.input_shape());
-  result.layers = engine.layer_labels();
-  Rng seeder(config.seed ^ 0x7d);
+  const auto engine_for = [&](std::size_t) {
+    return QuantizedInferenceEngine(bundle.network, QFormat::drone_weights(),
+                                    bundle.c3f2.input_shape());
+  };
+  const std::size_t layer_count = [&] {
+    const QuantizedInferenceEngine probe = engine_for(0);
+    result.layers = probe.layer_labels();
+    return probe.parametered_layer_count();
+  }();
 
-  for (std::size_t layer = 0; layer < engine.parametered_layer_count();
-       ++layer) {
-    std::vector<double> row;
-    for (double ber : config.bers) {
-      Rng rng = ber <= 0.0
-                    ? Rng(config.seed ^ 0xb05e)
-                    : seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
-                                   layer * 131);
-      row.push_back(msf_with_faults(
-          engine, world, bundle.env_config, config.repeats, rng,
-          [&](QuantizedInferenceEngine& e, Rng& r) {
-            if (ber <= 0.0) return;
-            e.inject_layer_weight_faults(layer, ber, r);
-          }));
-    }
-    result.msf.push_back(std::move(row));
-  }
+  result.msf = sweep_msf_grid(
+      config, 0x7d, layer_count, world, bundle.env_config, engine_for,
+      [](std::size_t layer, double ber, QuantizedInferenceEngine& e,
+         Rng& r) { e.inject_layer_weight_faults(layer, ber, r); });
   return result;
 }
 
@@ -253,7 +307,6 @@ DataTypeSweepResult run_data_type_sweep(
   DataTypeSweepResult result;
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
-  Rng seeder(config.seed ^ 0x7e);
 
   // All three under the same (sign-magnitude) encoding so the sweep
   // isolates the range-vs-resolution trade-off the paper studies.
@@ -261,26 +314,18 @@ DataTypeSweepResult run_data_type_sweep(
       QFormat::q_1_4_11(Encoding::kSignMagnitude),
       QFormat::q_1_7_8(Encoding::kSignMagnitude),
       QFormat::q_1_10_5(Encoding::kSignMagnitude)};
-  for (const QFormat& format : formats) {
+  for (const QFormat& format : formats)
     result.formats.push_back(format.name());
-    QuantizedInferenceEngine engine(bundle.network, format,
-                                    bundle.c3f2.input_shape());
-    std::vector<double> row;
-    for (double ber : config.bers) {
-      Rng rng = seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
-                             result.formats.size() * 131);
-      row.push_back(msf_with_faults(
-          engine, world, bundle.env_config, config.repeats, rng,
-          [&](QuantizedInferenceEngine& e, Rng& r) {
-            if (ber <= 0.0) return;
-            const FaultMap map = FaultMap::sample(
-                FaultType::kTransientFlip, ber, e.weight_word_count(),
-                e.format().total_bits(), r);
-            e.inject_weight_faults(map);
-          }));
-    }
-    result.msf.push_back(std::move(row));
-  }
+
+  result.msf = sweep_msf_grid(
+      config, 0x7e, formats.size(), world, bundle.env_config,
+      [&](std::size_t row) {
+        return QuantizedInferenceEngine(bundle.network, formats[row],
+                                        bundle.c3f2.input_shape());
+      },
+      [](std::size_t, double ber, QuantizedInferenceEngine& e, Rng& r) {
+        arm_weight_transient(ber, e, r);
+      });
   return result;
 }
 
@@ -289,29 +334,41 @@ DroneMitigationResult run_drone_mitigation_comparison(
   DroneMitigationResult result;
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
-  Rng seeder(config.seed ^ 0x7f);
 
-  for (bool mitigated : {false, true}) {
-    QuantizedInferenceEngine engine(bundle.network, QFormat::drone_weights(),
-                                    bundle.c3f2.input_shape());
-    if (mitigated) engine.enable_weight_protection(0.1);
-    std::vector<double>& out =
-        mitigated ? result.mitigated_msf : result.baseline_msf;
-    for (double ber : config.bers) {
-      Rng rng = seeder.split(static_cast<std::uint64_t>(ber * 1e7) +
-                             (mitigated ? 977 : 0));
-      out.push_back(msf_with_faults(
-          engine, world, bundle.env_config, config.repeats, rng,
-          [&](QuantizedInferenceEngine& e, Rng& r) {
-            if (ber <= 0.0) return;
-            const FaultMap map = FaultMap::sample(
-                FaultType::kTransientFlip, ber, e.weight_word_count(),
-                e.format().total_bits(), r);
-            e.inject_weight_faults(map);
-          }));
-    }
-    if (mitigated && engine.weight_detector() != nullptr)
-      result.detections = engine.weight_detector()->detections();
+  // Rows: 0 = baseline, 1 = range-detector-hardened. Each cell reports
+  // its detector tally so the campaign total is an order-independent
+  // sum over trials.
+  struct Cell {
+    double msf = 0.0;
+    std::uint64_t detections = 0;
+  };
+  const std::size_t ber_count = config.bers.size();
+  const CampaignRunner runner(config.threads);
+  const std::vector<Cell> cells = runner.map(
+      2 * ber_count, config.seed ^ 0x7f,
+      [&](std::size_t trial, Rng& trial_rng) {
+        const bool mitigated = trial >= ber_count;
+        const double ber = config.bers[trial % ber_count];
+        QuantizedInferenceEngine engine(bundle.network,
+                                        QFormat::drone_weights(),
+                                        bundle.c3f2.input_shape());
+        if (mitigated) engine.enable_weight_protection(0.1);
+        Cell cell;
+        Rng rng = ber <= 0.0 ? Rng(config.seed ^ 0xb05e) : trial_rng;
+        cell.msf = msf_with_faults(
+            engine, world, bundle.env_config, config.repeats, rng,
+            [&](QuantizedInferenceEngine& e, Rng& r) {
+              if (ber <= 0.0) return;
+              arm_weight_transient(ber, e, r);
+            });
+        if (mitigated && engine.weight_detector() != nullptr)
+          cell.detections = engine.weight_detector()->detections();
+        return cell;
+      });
+  for (std::size_t i = 0; i < ber_count; ++i) {
+    result.baseline_msf.push_back(cells[i].msf);
+    result.mitigated_msf.push_back(cells[ber_count + i].msf);
+    result.detections += cells[ber_count + i].detections;
   }
   return result;
 }

@@ -23,6 +23,9 @@ struct DroneTrainingCampaignConfig {
   double permanent_ber = 1e-3;           ///< BER for the stuck-at rows
   int eval_repeats = 5;
   std::uint64_t seed = 42;
+  /// Campaign worker threads; <= 0 selects hardware_concurrency.
+  /// Results are bit-identical for every value (see src/campaign/).
+  int threads = 0;
 };
 
 struct DroneTrainingCampaignResult {
@@ -49,6 +52,9 @@ struct DroneInferenceCampaignConfig {
   std::vector<double> bers;
   int repeats = 10;    ///< fault draws x rollouts per point
   std::uint64_t seed = 42;
+  /// Campaign worker threads; <= 0 selects hardware_concurrency.
+  /// Results are bit-identical for every value (see src/campaign/).
+  int threads = 0;
 };
 
 /// Fig. 7b: MSF vs BER (transient weight faults) per environment.

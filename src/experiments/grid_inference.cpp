@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "campaign/campaign_runner.h"
 #include "core/anomaly_detector.h"
 #include "core/injector.h"
 #include "nn/quantized_engine.h"
@@ -67,6 +68,118 @@ struct TrainedPolicies {
   std::unique_ptr<MlpQAgent> mlp;
 };
 
+/// One tabular fault-injection repeat: sample the mode's fault against
+/// a private copy of the golden table, roll out, report success.
+bool tabular_fault_trial(const GridWorld& env, const QVector& golden,
+                         RangeAnomalyDetector* det, InferenceFaultMode mode,
+                         double ber, int max_steps, Rng& rng) {
+  switch (mode) {
+    case InferenceFaultMode::kTransientM: {
+      QVector table = golden;
+      FaultMap map = FaultMap::sample(FaultType::kTransientFlip, ber,
+                                      table.size(),
+                                      table.format().total_bits(), rng);
+      map.apply_once(table.words());
+      return tabular_rollout(env, table, det, max_steps);
+    }
+    case InferenceFaultMode::kTransient1: {
+      // The register upset corrupts reads of a single step.
+      const FaultMap map = FaultMap::sample(
+          FaultType::kTransientFlip, ber, golden.size(),
+          golden.format().total_bits(), rng);
+      const int fault_step = static_cast<int>(rng.below(20));
+      int state = env.source_state();
+      for (int step = 0; step < max_steps; ++step) {
+        QVector view = golden;
+        if (step == fault_step) map.apply_once(view.words());
+        int best_action = 0;
+        double best_value = -1e30;
+        for (int action = 0; action < GridWorld::action_count(); ++action) {
+          const std::size_t index =
+              static_cast<std::size_t>(state) * GridWorld::action_count() +
+              static_cast<std::size_t>(action);
+          double value = view.get(index);
+          if (det != nullptr)
+            value = det->filter(0, static_cast<float>(value));
+          if (value > best_value) {
+            best_value = value;
+            best_action = action;
+          }
+        }
+        const GridWorld::StepResult step_result = env.step(state, best_action);
+        if (step_result.done) return step_result.reward > 0.0;
+        state = step_result.next_state;
+      }
+      return false;
+    }
+    case InferenceFaultMode::kStuckAt0:
+    case InferenceFaultMode::kStuckAt1: {
+      QVector table = golden;
+      const FaultType type = mode == InferenceFaultMode::kStuckAt0
+                                 ? FaultType::kStuckAt0
+                                 : FaultType::kStuckAt1;
+      const FaultMap map = FaultMap::sample(
+          type, ber, table.size(), table.format().total_bits(), rng);
+      StuckAtMask::compile(map).apply(table);
+      return tabular_rollout(env, table, det, max_steps);
+    }
+  }
+  return false;
+}
+
+/// One NN fault-injection repeat through a cell-private engine.
+bool nn_fault_trial(const GridWorld& env, QuantizedInferenceEngine& engine,
+                    InferenceFaultMode mode, double ber, int max_steps,
+                    Rng& rng) {
+  engine.reset_faults();
+  switch (mode) {
+    case InferenceFaultMode::kTransientM: {
+      FaultMap map = FaultMap::sample(
+          FaultType::kTransientFlip, ber, engine.weight_word_count(),
+          engine.format().total_bits(), rng);
+      engine.inject_weight_faults(map);
+      return engine_rollout(env, engine, rng, max_steps);
+    }
+    case InferenceFaultMode::kTransient1: {
+      FaultMap map = FaultMap::sample(
+          FaultType::kTransientFlip, ber, engine.weight_word_count(),
+          engine.format().total_bits(), rng);
+      const int fault_step = static_cast<int>(rng.below(20));
+      return engine_rollout(env, engine, rng, max_steps, &map, fault_step);
+    }
+    case InferenceFaultMode::kStuckAt0:
+    case InferenceFaultMode::kStuckAt1: {
+      const FaultType type = mode == InferenceFaultMode::kStuckAt0
+                                 ? FaultType::kStuckAt0
+                                 : FaultType::kStuckAt1;
+      const FaultMap map = FaultMap::sample(
+          type, ber, engine.weight_word_count(),
+          engine.format().total_bits(), rng);
+      engine.set_weight_stuck(StuckAtMask::compile(map));
+      return engine_rollout(env, engine, rng, max_steps);
+    }
+  }
+  return false;
+}
+
+/// Per-shard accumulator: success and detection tallies per
+/// (mode, BER) cell. Integer adds, so the shard partition never
+/// affects the merged campaign totals.
+struct InferenceAccum {
+  std::vector<int> successes;
+  std::vector<std::uint64_t> detections;
+
+  explicit InferenceAccum(std::size_t cells)
+      : successes(cells, 0), detections(cells, 0) {}
+
+  void merge(const InferenceAccum& other) {
+    for (std::size_t i = 0; i < successes.size(); ++i) {
+      successes[i] += other.successes[i];
+      detections[i] += other.detections[i];
+    }
+  }
+};
+
 TrainedPolicies train_policy(const InferenceCampaignConfig& config) {
   TrainedPolicies trained{GridWorld::preset(config.density), nullptr,
                           nullptr};
@@ -123,157 +236,83 @@ InferenceCampaignResult run_inference_campaign(
   result.bers = config.bers;
   result.success_by_mode.assign(4, {});
 
-  Rng campaign_rng(config.seed ^ 0xabcd);
+  // Trial grid: (mode, BER, repeat), sharded at repeat granularity so
+  // a campaign with few BER points (e.g. the fault_campaign CLI's
+  // single-BER runs) still saturates the pool. Every trial owns its
+  // fault state (table copy / engine / detector) and tallies into its
+  // shard's per-cell counters, merged in the final reduce.
+  const std::size_t ber_count = config.bers.size();
+  const std::size_t cell_count = 4 * ber_count;
+  const auto repeat_count = static_cast<std::size_t>(config.repeats);
+  const CampaignRunner runner(config.threads);
+  const auto merge_accums = [](InferenceAccum& into,
+                               InferenceAccum&& from) { into.merge(from); };
+  InferenceAccum totals(cell_count);
 
-  // --- tabular path ------------------------------------------------------
   if (config.kind == GridPolicyKind::kTabular) {
     const QVector golden = trained.tabular->table();
-    RangeAnomalyDetector detector(golden.format(), 1,
-                                  config.detector_margin);
+    RangeAnomalyDetector calibrated(golden.format(), 1,
+                                    config.detector_margin);
     if (config.mitigated) {
       const auto values = golden.decode_all();
-      for (double v : values) detector.calibrate(0, v);
-      detector.finalize();
+      for (double v : values) calibrated.calibrate(0, v);
+      calibrated.finalize();
     }
-    RangeAnomalyDetector* det = config.mitigated ? &detector : nullptr;
 
-    for (int mode_index = 0; mode_index < 4; ++mode_index) {
-      const auto mode = static_cast<InferenceFaultMode>(mode_index);
-      for (double ber : config.bers) {
-        std::size_t successes = 0;
-        for (int repeat = 0; repeat < config.repeats; ++repeat) {
-          QVector table = golden;
-          Rng rng = campaign_rng.split(
-              static_cast<std::uint64_t>(mode_index) * 100000 +
-              static_cast<std::uint64_t>(ber * 1e6) + repeat);
-          bool success = false;
-          switch (mode) {
-            case InferenceFaultMode::kTransientM: {
-              FaultMap map = FaultMap::sample(
-                  FaultType::kTransientFlip, ber, table.size(),
-                  table.format().total_bits(), rng);
-              map.apply_once(table.words());
-              success = tabular_rollout(trained.env, table, det, max_steps);
-              break;
-            }
-            case InferenceFaultMode::kTransient1: {
-              // The register upset corrupts reads of a single step.
-              const FaultMap map = FaultMap::sample(
-                  FaultType::kTransientFlip, ber, table.size(),
-                  table.format().total_bits(), rng);
-              const int fault_step = static_cast<int>(rng.below(20));
-              int state = trained.env.source_state();
-              success = false;
-              for (int step = 0; step < max_steps; ++step) {
-                QVector view = table;
-                if (step == fault_step) map.apply_once(view.words());
-                int best_action = 0;
-                double best_value = -1e30;
-                for (int action = 0; action < GridWorld::action_count();
-                     ++action) {
-                  const std::size_t index =
-                      static_cast<std::size_t>(state) *
-                          GridWorld::action_count() +
-                      static_cast<std::size_t>(action);
-                  double value = view.get(index);
-                  if (det != nullptr)
-                    value = det->filter(0, static_cast<float>(value));
-                  if (value > best_value) {
-                    best_value = value;
-                    best_action = action;
-                  }
-                }
-                const GridWorld::StepResult step_result =
-                    trained.env.step(state, best_action);
-                if (step_result.done) {
-                  success = step_result.reward > 0.0;
-                  break;
-                }
-                state = step_result.next_state;
-              }
-              break;
-            }
-            case InferenceFaultMode::kStuckAt0:
-            case InferenceFaultMode::kStuckAt1: {
-              const FaultType type = mode == InferenceFaultMode::kStuckAt0
-                                         ? FaultType::kStuckAt0
-                                         : FaultType::kStuckAt1;
-              const FaultMap map = FaultMap::sample(
-                  type, ber, table.size(), table.format().total_bits(),
-                  rng);
-              StuckAtMask::compile(map).apply(table);
-              success = tabular_rollout(trained.env, table, det, max_steps);
-              break;
-            }
-          }
-          if (success) ++successes;
-        }
-        result.success_by_mode[static_cast<std::size_t>(mode_index)]
-            .push_back(100.0 * static_cast<double>(successes) /
-                       static_cast<double>(config.repeats));
-      }
-    }
-    if (config.mitigated) result.detections = detector.detections();
-    return result;
+    totals = runner.map_reduce(
+        cell_count * repeat_count, config.seed ^ 0xabcd,
+        [&] { return InferenceAccum(cell_count); },
+        [&](InferenceAccum& acc, std::size_t trial, Rng& rng) {
+          const std::size_t cell = trial / repeat_count;
+          const auto mode =
+              static_cast<InferenceFaultMode>(cell / ber_count);
+          const double ber = config.bers[cell % ber_count];
+          // Trial-private detector copy; tallies sum over trials.
+          RangeAnomalyDetector detector = calibrated;
+          RangeAnomalyDetector* det = config.mitigated ? &detector : nullptr;
+          if (tabular_fault_trial(trained.env, golden, det, mode, ber,
+                                  max_steps, rng))
+            ++acc.successes[cell];
+          acc.detections[cell] += detector.detections();
+        },
+        merge_accums);
+  } else {
+    // --- NN path (through the quantized inference engine) --------------
+    // Snapshot the trained network once: MlpQAgent::network() commits
+    // the quantized buffer and must not run concurrently.
+    const Network golden_net = trained.mlp->network();
+    const QFormat format = trained.mlp->weights().format();
+    const Shape input_shape{trained.env.state_count(), 1, 1};
+
+    totals = runner.map_reduce(
+        cell_count * repeat_count, config.seed ^ 0xabcd,
+        [&] { return InferenceAccum(cell_count); },
+        [&](InferenceAccum& acc, std::size_t trial, Rng& rng) {
+          const std::size_t cell = trial / repeat_count;
+          const auto mode =
+              static_cast<InferenceFaultMode>(cell / ber_count);
+          const double ber = config.bers[cell % ber_count];
+          QuantizedInferenceEngine engine(golden_net, format, input_shape);
+          if (config.mitigated)
+            engine.enable_weight_protection(config.detector_margin);
+          if (nn_fault_trial(trained.env, engine, mode, ber, max_steps,
+                             rng))
+            ++acc.successes[cell];
+          if (config.mitigated && engine.weight_detector() != nullptr)
+            acc.detections[cell] += engine.weight_detector()->detections();
+        },
+        merge_accums);
   }
 
-  // --- NN path (through the quantized inference engine) ------------------
-  QuantizedInferenceEngine engine(
-      trained.mlp->network(), trained.mlp->weights().format(),
-      Shape{trained.env.state_count(), 1, 1});
-  if (config.mitigated)
-    engine.enable_weight_protection(config.detector_margin);
-
-  for (int mode_index = 0; mode_index < 4; ++mode_index) {
-    const auto mode = static_cast<InferenceFaultMode>(mode_index);
-    for (double ber : config.bers) {
-      std::size_t successes = 0;
-      for (int repeat = 0; repeat < config.repeats; ++repeat) {
-        Rng rng = campaign_rng.split(
-            static_cast<std::uint64_t>(mode_index) * 100000 +
-            static_cast<std::uint64_t>(ber * 1e6) + repeat);
-        engine.reset_faults();
-        bool success = false;
-        switch (mode) {
-          case InferenceFaultMode::kTransientM: {
-            FaultMap map = FaultMap::sample(
-                FaultType::kTransientFlip, ber, engine.weight_word_count(),
-                engine.format().total_bits(), rng);
-            engine.inject_weight_faults(map);
-            success = engine_rollout(trained.env, engine, rng, max_steps);
-            break;
-          }
-          case InferenceFaultMode::kTransient1: {
-            FaultMap map = FaultMap::sample(
-                FaultType::kTransientFlip, ber, engine.weight_word_count(),
-                engine.format().total_bits(), rng);
-            const int fault_step = static_cast<int>(rng.below(20));
-            success = engine_rollout(trained.env, engine, rng, max_steps,
-                                     &map, fault_step);
-            break;
-          }
-          case InferenceFaultMode::kStuckAt0:
-          case InferenceFaultMode::kStuckAt1: {
-            const FaultType type = mode == InferenceFaultMode::kStuckAt0
-                                       ? FaultType::kStuckAt0
-                                       : FaultType::kStuckAt1;
-            const FaultMap map = FaultMap::sample(
-                type, ber, engine.weight_word_count(),
-                engine.format().total_bits(), rng);
-            engine.set_weight_stuck(StuckAtMask::compile(map));
-            success = engine_rollout(trained.env, engine, rng, max_steps);
-            break;
-          }
-        }
-        if (success) ++successes;
-      }
-      result.success_by_mode[static_cast<std::size_t>(mode_index)].push_back(
-          100.0 * static_cast<double>(successes) /
+  for (std::size_t mode = 0; mode < 4; ++mode) {
+    for (std::size_t b = 0; b < ber_count; ++b) {
+      const std::size_t cell = mode * ber_count + b;
+      result.success_by_mode[mode].push_back(
+          100.0 * static_cast<double>(totals.successes[cell]) /
           static_cast<double>(config.repeats));
+      if (config.mitigated) result.detections += totals.detections[cell];
     }
   }
-  if (config.mitigated && engine.weight_detector() != nullptr)
-    result.detections = engine.weight_detector()->detections();
   return result;
 }
 

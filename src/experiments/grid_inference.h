@@ -36,6 +36,9 @@ struct InferenceCampaignConfig {
   /// Detection margin for the mitigated arm (the paper uses 10%).
   double detector_margin = 0.1;
   std::uint64_t seed = 42;
+  /// Campaign worker threads; <= 0 selects hardware_concurrency.
+  /// Results are bit-identical for every value (see src/campaign/).
+  int threads = 0;
 };
 
 struct InferenceCampaignResult {

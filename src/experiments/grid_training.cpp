@@ -3,6 +3,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "campaign/campaign_runner.h"
 #include "core/injector.h"
 #include "rl/mlp_q.h"
 #include "rl/tabular_q.h"
@@ -149,27 +150,37 @@ HeatmapGrid run_transient_training_heatmap(
     col_labels.push_back(std::to_string(episode));
 
   HeatmapGrid grid(row_labels, col_labels);
-  Rng seeder(config.seed);
-  for (std::size_t r = 0; r < config.bers.size(); ++r) {
-    for (std::size_t c = 0; c < config.injection_episodes.size(); ++c) {
-      std::size_t successes = 0;
-      for (int repeat = 0; repeat < config.repeats; ++repeat) {
+
+  // Trial grid: (BER, injection episode, repeat), sharded across the
+  // pool. Shards accumulate per-cell success counts (integer adds are
+  // partition-invariant) merged in the final reduce.
+  const std::size_t cols = config.injection_episodes.size();
+  const std::size_t cell_count = config.bers.size() * cols;
+  const auto repeats = static_cast<std::size_t>(config.repeats);
+  const CampaignRunner runner(config.threads);
+  const std::vector<int> successes = runner.map_reduce(
+      cell_count * repeats, config.seed,
+      [&] { return std::vector<int>(cell_count, 0); },
+      [&](std::vector<int>& acc, std::size_t trial, Rng& rng) {
+        const std::size_t cell = trial / repeats;
         GridTrainSpec spec;
         spec.kind = config.kind;
         spec.density = config.density;
         spec.episodes = config.episodes;
-        spec.transient_ber = config.bers[r];
-        spec.transient_episode = config.injection_episodes[c];
+        spec.transient_ber = config.bers[cell / cols];
+        spec.transient_episode =
+            config.injection_episodes[cell % cols];
         spec.mitigated = config.mitigated;
-        spec.seed = seeder.split(r * 1000 + c * 10 +
-                                 static_cast<std::size_t>(repeat))();
-        if (run_grid_training(spec).success) ++successes;
-      }
-      grid.set(r, c,
-               100.0 * static_cast<double>(successes) /
-                   static_cast<double>(config.repeats));
-    }
-  }
+        spec.seed = rng();
+        if (run_grid_training(spec).success) ++acc[cell];
+      },
+      [](std::vector<int>& into, std::vector<int>&& from) {
+        for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+      });
+  for (std::size_t cell = 0; cell < cell_count; ++cell)
+    grid.set(cell / cols, cell % cols,
+             100.0 * static_cast<double>(successes[cell]) /
+                 static_cast<double>(config.repeats));
   return grid;
 }
 
@@ -177,29 +188,38 @@ PermanentTrainingSweep run_permanent_training_sweep(
     const TrainingHeatmapConfig& config) {
   PermanentTrainingSweep sweep;
   sweep.bers = config.bers;
-  Rng seeder(config.seed ^ 0x9e37);
-  for (FaultType type : {FaultType::kStuckAt0, FaultType::kStuckAt1}) {
-    for (std::size_t r = 0; r < config.bers.size(); ++r) {
-      std::size_t successes = 0;
-      for (int repeat = 0; repeat < config.repeats; ++repeat) {
+
+  // Trial grid: (fault type, BER, repeat) flattened with stuck-at-0
+  // cells first, matching the result layout.
+  const std::size_t ber_count = config.bers.size();
+  const auto repeats = static_cast<std::size_t>(config.repeats);
+  const CampaignRunner runner(config.threads);
+  const std::vector<int> successes = runner.map_reduce(
+      2 * ber_count * repeats, config.seed ^ 0x9e37,
+      [&] { return std::vector<int>(2 * ber_count, 0); },
+      [&](std::vector<int>& acc, std::size_t trial, Rng& rng) {
+        const std::size_t cell = trial / repeats;
         GridTrainSpec spec;
         spec.kind = config.kind;
         spec.density = config.density;
         spec.episodes = config.episodes;
-        spec.permanent_type = type;
-        spec.permanent_ber = config.bers[r];
+        spec.permanent_type = cell < ber_count ? FaultType::kStuckAt0
+                                               : FaultType::kStuckAt1;
+        spec.permanent_ber = config.bers[cell % ber_count];
         spec.permanent_episode = 0;
         spec.mitigated = config.mitigated;
-        spec.seed = seeder.split(r * 100 +
-                                 static_cast<std::size_t>(repeat))();
-        if (run_grid_training(spec).success) ++successes;
-      }
-      const double pct = 100.0 * static_cast<double>(successes) /
-                         static_cast<double>(config.repeats);
-      (type == FaultType::kStuckAt0 ? sweep.stuck_at_0_success
-                                    : sweep.stuck_at_1_success)
-          .push_back(pct);
-    }
+        spec.seed = rng();
+        if (run_grid_training(spec).success) ++acc[cell];
+      },
+      [](std::vector<int>& into, std::vector<int>&& from) {
+        for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
+      });
+  for (std::size_t cell = 0; cell < 2 * ber_count; ++cell) {
+    const double pct = 100.0 * static_cast<double>(successes[cell]) /
+                       static_cast<double>(config.repeats);
+    (cell < ber_count ? sweep.stuck_at_0_success
+                      : sweep.stuck_at_1_success)
+        .push_back(pct);
   }
   return sweep;
 }
@@ -283,24 +303,33 @@ std::vector<RewardCurve> run_reward_curves(GridPolicyKind kind, int episodes,
 
 TransientConvergenceResult run_transient_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int fault_episode,
-    int max_extra_episodes, int repeats, std::uint64_t seed) {
+    int max_extra_episodes, int repeats, std::uint64_t seed, int threads) {
   TransientConvergenceResult result;
   result.bers = bers;
-  Rng seeder(seed ^ 0xc0ffee);
+
+  // Per-trial recovery times collected in parallel, then folded in
+  // trial order so the floating-point means are thread-count-invariant.
+  const auto repeat_count = static_cast<std::size_t>(repeats);
+  const CampaignRunner runner(threads);
+  const std::vector<int> recoveries = runner.map(
+      bers.size() * repeat_count, seed ^ 0xc0ffee,
+      [&](std::size_t trial, Rng& rng) {
+        GridTrainSpec spec;
+        spec.kind = kind;
+        spec.episodes = fault_episode + max_extra_episodes;
+        spec.transient_ber = bers[trial / repeat_count];
+        spec.transient_episode = fault_episode;
+        spec.track_reconvergence = true;
+        spec.seed = rng();
+        return run_grid_training(spec).reconverge_episodes;
+      });
   for (std::size_t b = 0; b < bers.size(); ++b) {
     RunningStats episodes_taken;
     int failures = 0;
-    for (int repeat = 0; repeat < repeats; ++repeat) {
-      GridTrainSpec spec;
-      spec.kind = kind;
-      spec.episodes = fault_episode + max_extra_episodes;
-      spec.transient_ber = bers[b];
-      spec.transient_episode = fault_episode;
-      spec.track_reconvergence = true;
-      spec.seed = seeder.split(b * 100 + static_cast<std::size_t>(repeat))();
-      const GridTrainResult run = run_grid_training(spec);
-      if (run.reconverge_episodes >= 0) {
-        episodes_taken.add(run.reconverge_episodes);
+    for (std::size_t repeat = 0; repeat < repeat_count; ++repeat) {
+      const int recovered = recoveries[b * repeat_count + repeat];
+      if (recovered >= 0) {
+        episodes_taken.add(recovered);
       } else {
         ++failures;
         episodes_taken.add(max_extra_episodes);  // censored at the cap
@@ -315,80 +344,110 @@ TransientConvergenceResult run_transient_convergence(
 
 PermanentConvergenceResult run_permanent_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int early_episode,
-    int late_episode, int extra_episodes, int repeats, std::uint64_t seed) {
+    int late_episode, int extra_episodes, int repeats, std::uint64_t seed,
+    int threads) {
   PermanentConvergenceResult result;
   result.bers = bers;
-  Rng seeder(seed ^ 0xdead);
-  const auto run_cell = [&](FaultType type, int inject_at, double ber,
-                            std::size_t salt) {
-    std::size_t successes = 0;
-    for (int repeat = 0; repeat < repeats; ++repeat) {
-      GridTrainSpec spec;
-      spec.kind = kind;
-      spec.episodes = inject_at + extra_episodes;
-      spec.permanent_type = type;
-      spec.permanent_ber = ber;
-      spec.permanent_episode = inject_at;
-      spec.seed = seeder.split(salt * 131 + static_cast<std::size_t>(repeat))();
-      if (run_grid_training(spec).success) ++successes;
-    }
-    return 100.0 * static_cast<double>(successes) /
-           static_cast<double>(repeats);
+
+  // Trial grid: (BER, arm, repeat) where the four arms per BER are
+  // (SA0 early, SA0 late, SA1 early, SA1 late).
+  const auto repeat_count = static_cast<std::size_t>(repeats);
+  const CampaignRunner runner(threads);
+  const std::vector<char> successes = runner.map(
+      bers.size() * 4 * repeat_count, seed ^ 0xdead,
+      [&](std::size_t trial, Rng& rng) -> char {
+        const std::size_t cell = trial / repeat_count;
+        const std::size_t arm = cell % 4;
+        GridTrainSpec spec;
+        spec.kind = kind;
+        const int inject_at = arm % 2 == 0 ? early_episode : late_episode;
+        spec.episodes = inject_at + extra_episodes;
+        spec.permanent_type =
+            arm < 2 ? FaultType::kStuckAt0 : FaultType::kStuckAt1;
+        spec.permanent_ber = bers[cell / 4];
+        spec.permanent_episode = inject_at;
+        spec.seed = rng();
+        return run_grid_training(spec).success ? 1 : 0;
+      });
+  const auto cell_pct = [&](std::size_t b, std::size_t arm) {
+    std::size_t wins = 0;
+    const std::size_t base = (b * 4 + arm) * repeat_count;
+    for (std::size_t repeat = 0; repeat < repeat_count; ++repeat)
+      wins += static_cast<std::size_t>(successes[base + repeat]);
+    return 100.0 * static_cast<double>(wins) / static_cast<double>(repeats);
   };
   for (std::size_t b = 0; b < bers.size(); ++b) {
-    result.sa0_early.push_back(
-        run_cell(FaultType::kStuckAt0, early_episode, bers[b], b * 4 + 0));
-    result.sa0_late.push_back(
-        run_cell(FaultType::kStuckAt0, late_episode, bers[b], b * 4 + 1));
-    result.sa1_early.push_back(
-        run_cell(FaultType::kStuckAt1, early_episode, bers[b], b * 4 + 2));
-    result.sa1_late.push_back(
-        run_cell(FaultType::kStuckAt1, late_episode, bers[b], b * 4 + 3));
+    result.sa0_early.push_back(cell_pct(b, 0));
+    result.sa0_late.push_back(cell_pct(b, 1));
+    result.sa1_early.push_back(cell_pct(b, 2));
+    result.sa1_late.push_back(cell_pct(b, 3));
   }
   return result;
 }
 
 std::vector<ExplorationStudyRow> run_exploration_study(
     GridPolicyKind kind, const std::vector<double>& bers, int episodes,
-    int repeats, std::uint64_t seed) {
-  std::vector<ExplorationStudyRow> rows;
-  Rng seeder(seed ^ 0xfeed);
-  for (FaultType type : {FaultType::kTransientFlip, FaultType::kStuckAt0,
-                         FaultType::kStuckAt1}) {
-    for (std::size_t b = 0; b < bers.size(); ++b) {
-      RunningStats peak, steady, recovery;
-      for (int repeat = 0; repeat < repeats; ++repeat) {
+    int repeats, std::uint64_t seed, int threads) {
+  const std::vector<FaultType> types = {
+      FaultType::kTransientFlip, FaultType::kStuckAt0, FaultType::kStuckAt1};
+  const int transient_episode = static_cast<int>(0.6 * episodes);
+
+  // Per-trial telemetry collected in parallel, folded in trial order.
+  struct Telemetry {
+    double peak = 0.0;
+    int steady = 0;
+    int recovery = 0;
+  };
+  const auto repeat_count = static_cast<std::size_t>(repeats);
+  const CampaignRunner runner(threads);
+  const std::vector<Telemetry> trials = runner.map(
+      types.size() * bers.size() * repeat_count, seed ^ 0xfeed,
+      [&](std::size_t trial, Rng& rng) {
+        const std::size_t cell = trial / repeat_count;
+        const FaultType type = types[cell / bers.size()];
+        const double ber = bers[cell % bers.size()];
         GridTrainSpec spec;
         spec.kind = kind;
         spec.episodes = episodes;
         spec.mitigated = true;
-        spec.seed = seeder.split(b * 100 + static_cast<std::size_t>(repeat) +
-                                 static_cast<std::size_t>(type) * 7919)();
+        spec.seed = rng();
         if (type == FaultType::kTransientFlip) {
-          spec.transient_ber = bers[b];
-          spec.transient_episode = static_cast<int>(0.6 * episodes);
+          spec.transient_ber = ber;
+          spec.transient_episode = transient_episode;
           spec.track_reconvergence = true;
         } else {
           spec.permanent_type = type;
-          spec.permanent_ber = bers[b];
+          spec.permanent_ber = ber;
         }
         const GridTrainResult run = run_grid_training(spec);
-        peak.add(run.peak_exploration * 100.0);
-        steady.add(run.steady_episode >= 0 ? run.steady_episode : episodes);
-        if (type == FaultType::kTransientFlip)
-          recovery.add(run.reconverge_episodes >= 0
-                           ? run.reconverge_episodes
-                           : episodes - spec.transient_episode);
-      }
-      ExplorationStudyRow row;
-      row.type = type;
-      row.ber = bers[b];
-      row.mean_peak_exploration = peak.mean();
-      row.mean_episodes_to_steady = steady.mean();
-      row.mean_recovery_episodes =
-          type == FaultType::kTransientFlip ? recovery.mean() : -1.0;
-      rows.push_back(row);
+        Telemetry telemetry;
+        telemetry.peak = run.peak_exploration * 100.0;
+        telemetry.steady =
+            run.steady_episode >= 0 ? run.steady_episode : episodes;
+        telemetry.recovery = run.reconverge_episodes >= 0
+                                 ? run.reconverge_episodes
+                                 : episodes - transient_episode;
+        return telemetry;
+      });
+
+  std::vector<ExplorationStudyRow> rows;
+  for (std::size_t cell = 0; cell < types.size() * bers.size(); ++cell) {
+    const FaultType type = types[cell / bers.size()];
+    RunningStats peak, steady, recovery;
+    for (std::size_t repeat = 0; repeat < repeat_count; ++repeat) {
+      const Telemetry& telemetry = trials[cell * repeat_count + repeat];
+      peak.add(telemetry.peak);
+      steady.add(telemetry.steady);
+      if (type == FaultType::kTransientFlip) recovery.add(telemetry.recovery);
     }
+    ExplorationStudyRow row;
+    row.type = type;
+    row.ber = bers[cell % bers.size()];
+    row.mean_peak_exploration = peak.mean();
+    row.mean_episodes_to_steady = steady.mean();
+    row.mean_recovery_episodes =
+        type == FaultType::kTransientFlip ? recovery.mean() : -1.0;
+    rows.push_back(row);
   }
   return rows;
 }

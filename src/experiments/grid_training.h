@@ -82,6 +82,9 @@ struct TrainingHeatmapConfig {
   int repeats = 10;
   bool mitigated = false;
   std::uint64_t seed = 42;
+  /// Campaign worker threads; <= 0 selects hardware_concurrency.
+  /// Results are bit-identical for every value (see src/campaign/).
+  int threads = 0;
 };
 
 /// Success rate (%) per (BER, injection episode) cell under transient
@@ -135,7 +138,8 @@ struct TransientConvergenceResult {
 
 TransientConvergenceResult run_transient_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int fault_episode,
-    int max_extra_episodes, int repeats, std::uint64_t seed);
+    int max_extra_episodes, int repeats, std::uint64_t seed,
+    int threads = 0);
 
 // ---- Fig. 4b / 4d: permanent faults + extra training --------------------
 
@@ -150,7 +154,8 @@ struct PermanentConvergenceResult {
 
 PermanentConvergenceResult run_permanent_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int early_episode,
-    int late_episode, int extra_episodes, int repeats, std::uint64_t seed);
+    int late_episode, int extra_episodes, int repeats, std::uint64_t seed,
+    int threads = 0);
 
 // ---- Fig. 9: exploration adaptation telemetry ---------------------------
 
@@ -164,6 +169,6 @@ struct ExplorationStudyRow {
 
 std::vector<ExplorationStudyRow> run_exploration_study(
     GridPolicyKind kind, const std::vector<double>& bers, int episodes,
-    int repeats, std::uint64_t seed);
+    int repeats, std::uint64_t seed, int threads = 0);
 
 }  // namespace ftnav

@@ -19,6 +19,7 @@ BenchConfig bench_config_from_env() {
   config.seed = static_cast<std::uint64_t>(env_int("FTNAV_SEED", 42));
   config.repeats = static_cast<int>(env_int("FTNAV_REPEATS", 0));
   config.full_scale = env_int("FTNAV_FULL", 0) != 0;
+  config.threads = static_cast<int>(env_int("FTNAV_THREADS", 0));
   return config;
 }
 
@@ -33,7 +34,10 @@ std::string describe(const BenchConfig& config) {
       << " repeats=" << (config.repeats > 0 ? std::to_string(config.repeats)
                                             : std::string("default"))
       << " scale=" << (config.full_scale ? "full(paper)" : "fast")
-      << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1]";
+      << " threads=" << (config.threads > 0 ? std::to_string(config.threads)
+                                            : std::string("auto"))
+      << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1 / "
+         "FTNAV_THREADS]";
   return out.str();
 }
 

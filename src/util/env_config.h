@@ -4,6 +4,8 @@
 //   FTNAV_REPEATS  override per-cell repeat count
 //   FTNAV_SEED     override the campaign seed
 //   FTNAV_FULL=1   run paper-scale sweeps (denser grids, more repeats)
+//   FTNAV_THREADS  campaign worker threads (0 = hardware_concurrency;
+//                  results are identical for every value)
 //
 // Benches print the resolved configuration so results are reproducible.
 
@@ -16,6 +18,7 @@ struct BenchConfig {
   std::uint64_t seed = 42;
   int repeats = 0;        // 0 means "use the bench's default"
   bool full_scale = false;
+  int threads = 0;        // 0 means "hardware_concurrency"
 
   /// Repeat count to use given the bench's fast-mode default.
   int resolve_repeats(int fast_default, int full_default) const;

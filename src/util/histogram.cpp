@@ -35,6 +35,23 @@ void Histogram::add_all(std::span<const double> xs) noexcept {
   for (double x : xs) add(x);
 }
 
+void Histogram::merge(const Histogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size())
+    throw std::invalid_argument("Histogram::merge: binning mismatch");
+  if (other.total_ == 0) return;
+  if (total_ == 0) {
+    observed_min_ = other.observed_min_;
+    observed_max_ = other.observed_max_;
+  } else {
+    observed_min_ = std::min(observed_min_, other.observed_min_);
+    observed_max_ = std::max(observed_max_, other.observed_max_);
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    counts_[i] += other.counts_[i];
+  total_ += other.total_;
+}
+
 double Histogram::bin_low(std::size_t i) const {
   if (i >= counts_.size()) throw std::out_of_range("Histogram::bin_low");
   return lo_ + (hi_ - lo_) * static_cast<double>(i) /

@@ -24,6 +24,13 @@ class Histogram {
   void add(double x) noexcept;
   void add_all(std::span<const double> xs) noexcept;
 
+  /// Folds another histogram's counts into this one. Both must share
+  /// the same binning (lo, hi, bins); throws std::invalid_argument
+  /// otherwise. Bin counts are integers, so a sharded campaign can
+  /// accumulate per-shard histograms and merge them in any partition
+  /// without changing the result.
+  void merge(const Histogram& other);
+
   std::size_t bin_count() const noexcept { return counts_.size(); }
   std::uint64_t count_in_bin(std::size_t i) const { return counts_.at(i); }
   std::uint64_t total() const noexcept { return total_; }

@@ -91,4 +91,14 @@ Rng Rng::split(std::uint64_t salt) noexcept {
   return Rng(splitmix64(mix));
 }
 
+Rng Rng::stream(std::uint64_t seed, std::uint64_t stream) noexcept {
+  // Two chained splitmix64 steps decorrelate nearby (seed, stream)
+  // pairs; golden-ratio spacing keeps stream 0 distinct from the seed
+  // itself.
+  std::uint64_t state = seed;
+  std::uint64_t mix = splitmix64(state) ^
+                      ((stream + 1) * 0x9e3779b97f4a7c15ULL);
+  return Rng(splitmix64(mix));
+}
+
 }  // namespace ftnav

@@ -58,7 +58,16 @@ class Rng {
   double normal(double mean, double stddev) noexcept;
 
   /// Derives an independent child stream; deterministic in (state, salt).
+  /// NOTE: advances this generator's state -- successive calls with the
+  /// same salt return different streams. Serial drivers rely on that;
+  /// parallel campaigns must use the stateless `stream` instead.
   Rng split(std::uint64_t salt) noexcept;
+
+  /// Counter-derived stream construction: a generator that is a pure
+  /// function of (seed, stream). Trial i of a sharded campaign draws
+  /// from stream(seed, i) and therefore sees bit-identical variates no
+  /// matter which worker thread runs it or in what order.
+  static Rng stream(std::uint64_t seed, std::uint64_t stream) noexcept;
 
  private:
   std::uint64_t s_[4];

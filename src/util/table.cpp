@@ -105,6 +105,16 @@ bool HeatmapGrid::has(std::size_t row, std::size_t col) const {
   return present_[index(row, col)];
 }
 
+void HeatmapGrid::merge(const HeatmapGrid& other) {
+  if (row_labels_ != other.row_labels_ || col_labels_ != other.col_labels_)
+    throw std::invalid_argument("HeatmapGrid::merge: axis mismatch");
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (!other.present_[i]) continue;
+    values_[i] = other.values_[i];
+    present_[i] = true;
+  }
+}
+
 double HeatmapGrid::at(std::size_t row, std::size_t col) const {
   const auto i = index(row, col);
   if (!present_[i]) throw std::out_of_range("HeatmapGrid: cell not set");

@@ -45,6 +45,13 @@ class HeatmapGrid {
   bool has(std::size_t row, std::size_t col) const;
   double at(std::size_t row, std::size_t col) const;
 
+  /// Copies every present cell of `other` into this grid. Labels and
+  /// dimensions must match; throws std::invalid_argument otherwise.
+  /// Campaign shards each fill a disjoint set of cells, so merging
+  /// per-shard grids reassembles the full heatmap independent of the
+  /// partition.
+  void merge(const HeatmapGrid& other);
+
   std::size_t rows() const noexcept { return row_labels_.size(); }
   std::size_t cols() const noexcept { return col_labels_.size(); }
 

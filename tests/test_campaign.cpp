@@ -1,0 +1,227 @@
+// Tests for the parallel sharded campaign engine: sharding arithmetic,
+// counter-derived stream determinism, thread-count invariance of full
+// campaign drivers, shard-boundary edge cases, and worker exception
+// propagation.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "campaign/campaign_runner.h"
+#include "experiments/drone_campaigns.h"
+#include "experiments/grid_inference.h"
+#include "experiments/grid_training.h"
+#include "util/histogram.h"
+
+namespace ftnav {
+namespace {
+
+TEST(ShardTrials, CoversRangeWithBalancedShards) {
+  const auto shards = shard_trials(10, 4);
+  ASSERT_EQ(shards.size(), 4u);
+  // 10 = 3 + 3 + 2 + 2, contiguous from 0.
+  EXPECT_EQ(shards[0].size(), 3u);
+  EXPECT_EQ(shards[1].size(), 3u);
+  EXPECT_EQ(shards[2].size(), 2u);
+  EXPECT_EQ(shards[3].size(), 2u);
+  std::size_t expected_begin = 0;
+  for (const CampaignShard& shard : shards) {
+    EXPECT_EQ(shard.begin, expected_begin);
+    expected_begin = shard.end;
+  }
+  EXPECT_EQ(expected_begin, 10u);
+}
+
+TEST(ShardTrials, GridSmallerThanPoolYieldsOneTrialShards) {
+  const auto shards = shard_trials(3, 16);
+  ASSERT_EQ(shards.size(), 3u);
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].begin, i);
+    EXPECT_EQ(shards[i].end, i + 1);
+  }
+}
+
+TEST(ShardTrials, EmptyGridAndZeroShards) {
+  EXPECT_TRUE(shard_trials(0, 8).empty());
+  EXPECT_TRUE(shard_trials(5, 0).empty());
+}
+
+TEST(ResolveThreads, PositivePassesThroughNonPositiveAutodetects) {
+  EXPECT_EQ(resolve_threads(3), 3);
+  EXPECT_GE(resolve_threads(0), 1);
+  EXPECT_GE(resolve_threads(-2), 1);
+}
+
+TEST(RngStream, IsPureFunctionOfSeedAndIndex) {
+  Rng a = Rng::stream(42, 7);
+  Rng b = Rng::stream(42, 7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a(), b());
+  // Neighboring streams and seeds decorrelate from the first draw.
+  EXPECT_NE(Rng::stream(42, 7)(), Rng::stream(42, 8)());
+  EXPECT_NE(Rng::stream(42, 7)(), Rng::stream(43, 7)());
+}
+
+TEST(CampaignRunner, MapIsThreadCountInvariant) {
+  const auto trial = [](std::size_t index, Rng& rng) {
+    double acc = static_cast<double>(index);
+    for (int draw = 0; draw < 100; ++draw) acc += rng.uniform();
+    return acc;
+  };
+  const std::vector<double> serial = CampaignRunner(1).map(97, 5, trial);
+  const std::vector<double> parallel = CampaignRunner(4).map(97, 5, trial);
+  EXPECT_EQ(serial, parallel);  // bit-identical, not approximately equal
+}
+
+TEST(CampaignRunner, MapHandlesGridSmallerThanPool) {
+  const CampaignRunner runner(8);
+  const std::vector<double> two =
+      runner.map(2, 11, [](std::size_t, Rng& rng) { return rng.uniform(); });
+  ASSERT_EQ(two.size(), 2u);
+  const std::vector<double> empty =
+      runner.map(0, 11, [](std::size_t, Rng& rng) { return rng.uniform(); });
+  EXPECT_TRUE(empty.empty());
+}
+
+TEST(CampaignRunner, ForEachVisitsEveryTrialExactlyOnce) {
+  const CampaignRunner runner(4);
+  std::vector<std::atomic<int>> visits(101);
+  runner.for_each(101, 3,
+                  [&](std::size_t trial, Rng&) { ++visits[trial]; });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(CampaignRunner, MapReduceMergesHistogramShards) {
+  const auto run_with = [](int threads) {
+    return CampaignRunner(threads).map_reduce(
+        500, 17, [] { return Histogram(0.0, 1.0, 10); },
+        [](Histogram& acc, std::size_t, Rng& rng) { acc.add(rng.uniform()); },
+        [](Histogram& into, Histogram&& from) { into.merge(from); });
+  };
+  const Histogram serial = run_with(1);
+  const Histogram parallel = run_with(4);
+  EXPECT_EQ(serial.total(), 500u);
+  EXPECT_EQ(parallel.total(), 500u);
+  for (std::size_t bin = 0; bin < serial.bin_count(); ++bin)
+    EXPECT_EQ(serial.count_in_bin(bin), parallel.count_in_bin(bin));
+  EXPECT_EQ(serial.observed_min(), parallel.observed_min());
+  EXPECT_EQ(serial.observed_max(), parallel.observed_max());
+}
+
+TEST(CampaignRunner, WorkerExceptionPropagatesToCaller) {
+  const CampaignRunner runner(4);
+  EXPECT_THROW(
+      runner.for_each(64, 1,
+                      [](std::size_t trial, Rng&) {
+                        if (trial == 13)
+                          throw std::runtime_error("injected failure");
+                      }),
+      std::runtime_error);
+}
+
+TEST(CampaignRunner, ExceptionAbortsRemainingShards) {
+  const CampaignRunner runner(2);
+  std::atomic<int> executed{0};
+  try {
+    runner.for_each(1000, 1, [&](std::size_t, Rng&) {
+      ++executed;
+      throw std::runtime_error("boom");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error&) {
+  }
+  // At most one trial per in-flight shard ran; the rest were skipped.
+  EXPECT_LT(executed.load(), 1000);
+}
+
+// ---- thread-count invariance of the ported experiment drivers ----------
+
+DroneInferenceCampaignConfig tiny_drone_campaign(int threads) {
+  DroneInferenceCampaignConfig config;
+  config.policy.preset = C3F2Preset::kFast;
+  config.policy.imitation_episodes = 2;
+  config.policy.ddqn_episodes = 0;
+  config.policy.seed = 3;
+  config.policy.env_max_steps = 40;
+  config.policy.env_max_distance = 30.0;
+  config.bers = {0.0, 1e-2};
+  config.repeats = 2;
+  config.seed = 5;
+  config.threads = threads;
+  return config;
+}
+
+TEST(CampaignDeterminism, DroneInferenceSweepMatchesAcrossThreadCounts) {
+  const EnvironmentSweepResult serial =
+      run_environment_sweep(tiny_drone_campaign(1));
+  const EnvironmentSweepResult parallel =
+      run_environment_sweep(tiny_drone_campaign(4));
+  ASSERT_EQ(serial.msf.size(), parallel.msf.size());
+  for (std::size_t env = 0; env < serial.msf.size(); ++env)
+    EXPECT_EQ(serial.msf[env], parallel.msf[env]);  // bit-identical MSF
+}
+
+TEST(CampaignDeterminism, DroneTrainingHeatmapIsByteIdentical) {
+  DroneTrainingCampaignConfig config;
+  config.policy.preset = C3F2Preset::kFast;
+  config.policy.imitation_episodes = 2;
+  config.policy.ddqn_episodes = 0;
+  config.policy.seed = 3;
+  config.policy.env_max_steps = 40;
+  config.policy.env_max_distance = 30.0;
+  config.bers = {1e-3, 1e-1};
+  config.injection_points = {0.0, 0.5};
+  config.fine_tune_episodes = 1;
+  config.eval_repeats = 1;
+  config.seed = 13;
+
+  config.threads = 1;
+  const DroneTrainingCampaignResult serial =
+      run_drone_training_campaign(DroneWorld::indoor_long(), config);
+  config.threads = 4;
+  const DroneTrainingCampaignResult parallel =
+      run_drone_training_campaign(DroneWorld::indoor_long(), config);
+
+  EXPECT_EQ(serial.transient.to_csv(9), parallel.transient.to_csv(9));
+  EXPECT_EQ(serial.stuck_at_0, parallel.stuck_at_0);
+  EXPECT_EQ(serial.stuck_at_1, parallel.stuck_at_1);
+  EXPECT_EQ(serial.fault_free_msf, parallel.fault_free_msf);
+}
+
+TEST(CampaignDeterminism, GridInferenceCampaignMatchesAcrossThreadCounts) {
+  InferenceCampaignConfig config;
+  config.kind = GridPolicyKind::kTabular;
+  config.train_episodes = 400;
+  config.bers = {0.0, 0.02};
+  config.repeats = 10;
+  config.seed = 7;
+  config.mitigated = true;
+
+  config.threads = 1;
+  const InferenceCampaignResult serial = run_inference_campaign(config);
+  config.threads = 4;
+  const InferenceCampaignResult parallel = run_inference_campaign(config);
+
+  ASSERT_EQ(serial.success_by_mode.size(), parallel.success_by_mode.size());
+  for (std::size_t mode = 0; mode < serial.success_by_mode.size(); ++mode)
+    EXPECT_EQ(serial.success_by_mode[mode], parallel.success_by_mode[mode]);
+  EXPECT_EQ(serial.detections, parallel.detections);
+}
+
+TEST(CampaignDeterminism, TrainingHeatmapMatchesAcrossThreadCounts) {
+  TrainingHeatmapConfig config;
+  config.episodes = 120;
+  config.bers = {0.0, 0.01};
+  config.injection_episodes = {0, 60, 110};
+  config.repeats = 2;
+
+  config.threads = 1;
+  const HeatmapGrid serial = run_transient_training_heatmap(config);
+  config.threads = 4;
+  const HeatmapGrid parallel = run_transient_training_heatmap(config);
+  EXPECT_EQ(serial.to_csv(9), parallel.to_csv(9));
+}
+
+}  // namespace
+}  // namespace ftnav

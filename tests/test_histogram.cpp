@@ -59,6 +59,35 @@ TEST(Histogram, AddAllAndRender) {
   EXPECT_NE(art.find('|'), std::string::npos);
 }
 
+TEST(Histogram, MergeAddsCountsAndExtrema) {
+  Histogram a(0.0, 10.0, 5);
+  a.add_all(std::vector<double>{1.0, 2.0});
+  Histogram b(0.0, 10.0, 5);
+  b.add_all(std::vector<double>{7.0, 9.5});
+  a.merge(b);
+  EXPECT_EQ(a.total(), 4u);
+  EXPECT_DOUBLE_EQ(a.observed_min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.observed_max(), 9.5);
+  EXPECT_EQ(a.count_in_bin(0), 1u);  // 1.0
+  EXPECT_EQ(a.count_in_bin(3), 1u);  // 7.0
+  EXPECT_EQ(a.count_in_bin(4), 1u);  // 9.5
+}
+
+TEST(Histogram, MergeRejectsBinningMismatch) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 4)), std::invalid_argument);
+  EXPECT_THROW(a.merge(Histogram(0.0, 8.0, 5)), std::invalid_argument);
+}
+
+TEST(Histogram, MergeEmptyKeepsExtrema) {
+  Histogram a(0.0, 10.0, 5);
+  a.add(3.0);
+  a.merge(Histogram(0.0, 10.0, 5));
+  EXPECT_EQ(a.total(), 1u);
+  EXPECT_DOUBLE_EQ(a.observed_min(), 3.0);
+  EXPECT_DOUBLE_EQ(a.observed_max(), 3.0);
+}
+
 TEST(BitStats, CountsZerosAndOnes) {
   const std::vector<std::uint32_t> words = {0b1111, 0b0000, 0b1010};
   const BitStats stats = count_bits(words, 4);

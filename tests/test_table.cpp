@@ -78,6 +78,23 @@ TEST(Heatmap, CsvRoundTrip) {
   EXPECT_NE(csv.find("ber=0.1,1.5,2.5"), std::string::npos);
 }
 
+TEST(Heatmap, MergeCombinesDisjointCells) {
+  HeatmapGrid a({"r0", "r1"}, {"c0", "c1"});
+  a.set(0, 0, 1.0);
+  HeatmapGrid b({"r0", "r1"}, {"c0", "c1"});
+  b.set(1, 1, 4.0);
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(a.at(1, 1), 4.0);
+  EXPECT_FALSE(a.has(0, 1));
+}
+
+TEST(Heatmap, MergeRejectsAxisMismatch) {
+  HeatmapGrid a({"r0"}, {"c0"});
+  EXPECT_THROW(a.merge(HeatmapGrid({"other"}, {"c0"})),
+               std::invalid_argument);
+}
+
 TEST(FormatDouble, Precision) {
   EXPECT_EQ(format_double(3.14159, 2), "3.14");
   EXPECT_EQ(format_double(-1.0, 0), "-1");
