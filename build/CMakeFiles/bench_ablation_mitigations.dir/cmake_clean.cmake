@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_mitigations.dir/bench/bench_ablation_mitigations.cpp.o"
+  "CMakeFiles/bench_ablation_mitigations.dir/bench/bench_ablation_mitigations.cpp.o.d"
+  "bench/bench_ablation_mitigations"
+  "bench/bench_ablation_mitigations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_mitigations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

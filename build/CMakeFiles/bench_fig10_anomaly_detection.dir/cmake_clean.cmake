@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_anomaly_detection.dir/bench/bench_fig10_anomaly_detection.cpp.o"
+  "CMakeFiles/bench_fig10_anomaly_detection.dir/bench/bench_fig10_anomaly_detection.cpp.o.d"
+  "bench/bench_fig10_anomaly_detection"
+  "bench/bench_fig10_anomaly_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_anomaly_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_gridworld_maps.dir/bench/bench_fig1_gridworld_maps.cpp.o"
+  "CMakeFiles/bench_fig1_gridworld_maps.dir/bench/bench_fig1_gridworld_maps.cpp.o.d"
+  "bench/bench_fig1_gridworld_maps"
+  "bench/bench_fig1_gridworld_maps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_gridworld_maps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

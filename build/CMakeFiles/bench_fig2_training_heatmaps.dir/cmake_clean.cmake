@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_training_heatmaps.dir/bench/bench_fig2_training_heatmaps.cpp.o"
+  "CMakeFiles/bench_fig2_training_heatmaps.dir/bench/bench_fig2_training_heatmaps.cpp.o.d"
+  "bench/bench_fig2_training_heatmaps"
+  "bench/bench_fig2_training_heatmaps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_training_heatmaps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_reward_curves.dir/bench/bench_fig3_reward_curves.cpp.o"
+  "CMakeFiles/bench_fig3_reward_curves.dir/bench/bench_fig3_reward_curves.cpp.o.d"
+  "bench/bench_fig3_reward_curves"
+  "bench/bench_fig3_reward_curves.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_reward_curves.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

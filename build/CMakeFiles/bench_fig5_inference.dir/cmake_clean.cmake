@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_inference.dir/bench/bench_fig5_inference.cpp.o"
+  "CMakeFiles/bench_fig5_inference.dir/bench/bench_fig5_inference.cpp.o.d"
+  "bench/bench_fig5_inference"
+  "bench/bench_fig5_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_drone_training.dir/bench/bench_fig7a_drone_training.cpp.o"
+  "CMakeFiles/bench_fig7a_drone_training.dir/bench/bench_fig7a_drone_training.cpp.o.d"
+  "bench/bench_fig7a_drone_training"
+  "bench/bench_fig7a_drone_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_drone_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

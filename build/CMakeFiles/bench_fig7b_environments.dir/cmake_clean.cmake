@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_environments.dir/bench/bench_fig7b_environments.cpp.o"
+  "CMakeFiles/bench_fig7b_environments.dir/bench/bench_fig7b_environments.cpp.o.d"
+  "bench/bench_fig7b_environments"
+  "bench/bench_fig7b_environments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_environments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

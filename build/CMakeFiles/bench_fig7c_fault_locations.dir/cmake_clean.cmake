@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7c_fault_locations.dir/bench/bench_fig7c_fault_locations.cpp.o"
+  "CMakeFiles/bench_fig7c_fault_locations.dir/bench/bench_fig7c_fault_locations.cpp.o.d"
+  "bench/bench_fig7c_fault_locations"
+  "bench/bench_fig7c_fault_locations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7c_fault_locations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7c_fault_locations.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7d_layer_sensitivity.dir/bench/bench_fig7d_layer_sensitivity.cpp.o"
+  "CMakeFiles/bench_fig7d_layer_sensitivity.dir/bench/bench_fig7d_layer_sensitivity.cpp.o.d"
+  "bench/bench_fig7d_layer_sensitivity"
+  "bench/bench_fig7d_layer_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7d_layer_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

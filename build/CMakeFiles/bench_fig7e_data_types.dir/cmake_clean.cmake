@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7e_data_types.dir/bench/bench_fig7e_data_types.cpp.o"
+  "CMakeFiles/bench_fig7e_data_types.dir/bench/bench_fig7e_data_types.cpp.o.d"
+  "bench/bench_fig7e_data_types"
+  "bench/bench_fig7e_data_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7e_data_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_mitigated_training.dir/bench/bench_fig8_mitigated_training.cpp.o"
+  "CMakeFiles/bench_fig8_mitigated_training.dir/bench/bench_fig8_mitigated_training.cpp.o.d"
+  "bench/bench_fig8_mitigated_training"
+  "bench/bench_fig8_mitigated_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_mitigated_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_exploration_study.dir/bench/bench_fig9_exploration_study.cpp.o"
+  "CMakeFiles/bench_fig9_exploration_study.dir/bench/bench_fig9_exploration_study.cpp.o.d"
+  "bench/bench_fig9_exploration_study"
+  "bench/bench_fig9_exploration_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_exploration_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_overhead_micro.dir/bench/bench_overhead_micro.cpp.o"
+  "CMakeFiles/bench_overhead_micro.dir/bench/bench_overhead_micro.cpp.o.d"
+  "bench/bench_overhead_micro"
+  "bench/bench_overhead_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_overhead_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

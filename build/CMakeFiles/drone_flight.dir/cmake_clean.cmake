@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drone_flight.dir/examples/drone_flight.cpp.o"
+  "CMakeFiles/drone_flight.dir/examples/drone_flight.cpp.o.d"
+  "examples/drone_flight"
+  "examples/drone_flight.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drone_flight.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/campaign/campaign_runner.cpp" "CMakeFiles/ftnav.dir/src/campaign/campaign_runner.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/campaign/campaign_runner.cpp.o.d"
+  "/root/repo/src/core/anomaly_detector.cpp" "CMakeFiles/ftnav.dir/src/core/anomaly_detector.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/core/anomaly_detector.cpp.o.d"
+  "/root/repo/src/core/exploration.cpp" "CMakeFiles/ftnav.dir/src/core/exploration.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/core/exploration.cpp.o.d"
+  "/root/repo/src/core/fault_model.cpp" "CMakeFiles/ftnav.dir/src/core/fault_model.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/core/fault_model.cpp.o.d"
+  "/root/repo/src/core/injector.cpp" "CMakeFiles/ftnav.dir/src/core/injector.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/core/injector.cpp.o.d"
+  "/root/repo/src/core/redundancy.cpp" "CMakeFiles/ftnav.dir/src/core/redundancy.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/core/redundancy.cpp.o.d"
+  "/root/repo/src/envs/drone_camera.cpp" "CMakeFiles/ftnav.dir/src/envs/drone_camera.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/envs/drone_camera.cpp.o.d"
+  "/root/repo/src/envs/drone_env.cpp" "CMakeFiles/ftnav.dir/src/envs/drone_env.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/envs/drone_env.cpp.o.d"
+  "/root/repo/src/envs/drone_world.cpp" "CMakeFiles/ftnav.dir/src/envs/drone_world.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/envs/drone_world.cpp.o.d"
+  "/root/repo/src/envs/expert_policy.cpp" "CMakeFiles/ftnav.dir/src/envs/expert_policy.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/envs/expert_policy.cpp.o.d"
+  "/root/repo/src/envs/gridworld.cpp" "CMakeFiles/ftnav.dir/src/envs/gridworld.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/envs/gridworld.cpp.o.d"
+  "/root/repo/src/experiments/drone_campaigns.cpp" "CMakeFiles/ftnav.dir/src/experiments/drone_campaigns.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/experiments/drone_campaigns.cpp.o.d"
+  "/root/repo/src/experiments/drone_policy.cpp" "CMakeFiles/ftnav.dir/src/experiments/drone_policy.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/experiments/drone_policy.cpp.o.d"
+  "/root/repo/src/experiments/grid_inference.cpp" "CMakeFiles/ftnav.dir/src/experiments/grid_inference.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/experiments/grid_inference.cpp.o.d"
+  "/root/repo/src/experiments/grid_training.cpp" "CMakeFiles/ftnav.dir/src/experiments/grid_training.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/experiments/grid_training.cpp.o.d"
+  "/root/repo/src/fixed/qformat.cpp" "CMakeFiles/ftnav.dir/src/fixed/qformat.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/fixed/qformat.cpp.o.d"
+  "/root/repo/src/fixed/qvector.cpp" "CMakeFiles/ftnav.dir/src/fixed/qvector.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/fixed/qvector.cpp.o.d"
+  "/root/repo/src/nn/c3f2.cpp" "CMakeFiles/ftnav.dir/src/nn/c3f2.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/c3f2.cpp.o.d"
+  "/root/repo/src/nn/layers.cpp" "CMakeFiles/ftnav.dir/src/nn/layers.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/layers.cpp.o.d"
+  "/root/repo/src/nn/network.cpp" "CMakeFiles/ftnav.dir/src/nn/network.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/network.cpp.o.d"
+  "/root/repo/src/nn/quantized_engine.cpp" "CMakeFiles/ftnav.dir/src/nn/quantized_engine.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/quantized_engine.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "CMakeFiles/ftnav.dir/src/nn/serialize.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/serialize.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "CMakeFiles/ftnav.dir/src/nn/tensor.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/nn/tensor.cpp.o.d"
+  "/root/repo/src/rl/dqn.cpp" "CMakeFiles/ftnav.dir/src/rl/dqn.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/rl/dqn.cpp.o.d"
+  "/root/repo/src/rl/fine_tune.cpp" "CMakeFiles/ftnav.dir/src/rl/fine_tune.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/rl/fine_tune.cpp.o.d"
+  "/root/repo/src/rl/mlp_q.cpp" "CMakeFiles/ftnav.dir/src/rl/mlp_q.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/rl/mlp_q.cpp.o.d"
+  "/root/repo/src/rl/replay.cpp" "CMakeFiles/ftnav.dir/src/rl/replay.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/rl/replay.cpp.o.d"
+  "/root/repo/src/rl/tabular_q.cpp" "CMakeFiles/ftnav.dir/src/rl/tabular_q.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/rl/tabular_q.cpp.o.d"
+  "/root/repo/src/util/env_config.cpp" "CMakeFiles/ftnav.dir/src/util/env_config.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/util/env_config.cpp.o.d"
+  "/root/repo/src/util/histogram.cpp" "CMakeFiles/ftnav.dir/src/util/histogram.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/util/histogram.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/ftnav.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/util/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "CMakeFiles/ftnav.dir/src/util/stats.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/util/stats.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "CMakeFiles/ftnav.dir/src/util/table.cpp.o" "gcc" "CMakeFiles/ftnav.dir/src/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardened_training.dir/examples/hardened_training.cpp.o"
+  "CMakeFiles/hardened_training.dir/examples/hardened_training.cpp.o.d"
+  "examples/hardened_training"
+  "examples/hardened_training.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardened_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/redundancy_comparison.dir/examples/redundancy_comparison.cpp.o"
+  "CMakeFiles/redundancy_comparison.dir/examples/redundancy_comparison.cpp.o.d"
+  "examples/redundancy_comparison"
+  "examples/redundancy_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/redundancy_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

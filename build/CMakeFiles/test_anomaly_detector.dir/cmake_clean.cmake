@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_anomaly_detector.dir/tests/test_anomaly_detector.cpp.o"
+  "CMakeFiles/test_anomaly_detector.dir/tests/test_anomaly_detector.cpp.o.d"
+  "test_anomaly_detector"
+  "test_anomaly_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_anomaly_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dqn.dir/tests/test_dqn.cpp.o"
+  "CMakeFiles/test_dqn.dir/tests/test_dqn.cpp.o.d"
+  "test_dqn"
+  "test_dqn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dqn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

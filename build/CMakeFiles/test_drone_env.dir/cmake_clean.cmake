@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drone_env.dir/tests/test_drone_env.cpp.o"
+  "CMakeFiles/test_drone_env.dir/tests/test_drone_env.cpp.o.d"
+  "test_drone_env"
+  "test_drone_env.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drone_env.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drone_experiments.dir/tests/test_drone_experiments.cpp.o"
+  "CMakeFiles/test_drone_experiments.dir/tests/test_drone_experiments.cpp.o.d"
+  "test_drone_experiments"
+  "test_drone_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drone_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

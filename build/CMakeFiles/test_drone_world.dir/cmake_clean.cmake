@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drone_world.dir/tests/test_drone_world.cpp.o"
+  "CMakeFiles/test_drone_world.dir/tests/test_drone_world.cpp.o.d"
+  "test_drone_world"
+  "test_drone_world.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drone_world.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

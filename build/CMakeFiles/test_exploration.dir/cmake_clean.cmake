@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_exploration.dir/tests/test_exploration.cpp.o"
+  "CMakeFiles/test_exploration.dir/tests/test_exploration.cpp.o.d"
+  "test_exploration"
+  "test_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fault_model.dir/tests/test_fault_model.cpp.o"
+  "CMakeFiles/test_fault_model.dir/tests/test_fault_model.cpp.o.d"
+  "test_fault_model"
+  "test_fault_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fault_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fine_tune.dir/tests/test_fine_tune.cpp.o"
+  "CMakeFiles/test_fine_tune.dir/tests/test_fine_tune.cpp.o.d"
+  "test_fine_tune"
+  "test_fine_tune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fine_tune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

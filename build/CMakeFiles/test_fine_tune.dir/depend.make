@@ -1,0 +1,2 @@
+# Empty dependencies file for test_fine_tune.
+# This may be replaced when dependencies are built.

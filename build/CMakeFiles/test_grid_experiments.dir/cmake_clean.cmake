@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_grid_experiments.dir/tests/test_grid_experiments.cpp.o"
+  "CMakeFiles/test_grid_experiments.dir/tests/test_grid_experiments.cpp.o.d"
+  "test_grid_experiments"
+  "test_grid_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_grid_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

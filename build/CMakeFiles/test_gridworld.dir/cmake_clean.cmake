@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gridworld.dir/tests/test_gridworld.cpp.o"
+  "CMakeFiles/test_gridworld.dir/tests/test_gridworld.cpp.o.d"
+  "test_gridworld"
+  "test_gridworld.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gridworld.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mlp_q.dir/tests/test_mlp_q.cpp.o"
+  "CMakeFiles/test_mlp_q.dir/tests/test_mlp_q.cpp.o.d"
+  "test_mlp_q"
+  "test_mlp_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mlp_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

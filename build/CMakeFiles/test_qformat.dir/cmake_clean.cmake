@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qformat.dir/tests/test_qformat.cpp.o"
+  "CMakeFiles/test_qformat.dir/tests/test_qformat.cpp.o.d"
+  "test_qformat"
+  "test_qformat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qformat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

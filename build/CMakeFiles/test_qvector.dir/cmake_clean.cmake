@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_qvector.dir/tests/test_qvector.cpp.o"
+  "CMakeFiles/test_qvector.dir/tests/test_qvector.cpp.o.d"
+  "test_qvector"
+  "test_qvector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_qvector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_random_worlds.dir/tests/test_random_worlds.cpp.o"
+  "CMakeFiles/test_random_worlds.dir/tests/test_random_worlds.cpp.o.d"
+  "test_random_worlds"
+  "test_random_worlds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_random_worlds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_redundancy.dir/tests/test_redundancy.cpp.o"
+  "CMakeFiles/test_redundancy.dir/tests/test_redundancy.cpp.o.d"
+  "test_redundancy"
+  "test_redundancy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_redundancy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tabular_q.dir/tests/test_tabular_q.cpp.o"
+  "CMakeFiles/test_tabular_q.dir/tests/test_tabular_q.cpp.o.d"
+  "test_tabular_q"
+  "test_tabular_q.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tabular_q.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
