@@ -7,10 +7,14 @@
 // paper's qualitative claim the numbers should exhibit.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "campaign/streaming.h"
 #include "util/env_config.h"
+#include "util/table.h"
 
 namespace ftnav::benchharness {
 
@@ -26,6 +30,66 @@ inline void print_banner(const std::string& artifact,
 inline void print_shape_note(const std::string& note) {
   std::printf("expected shape: %s\n\n", note.c_str());
 }
+
+/// Streaming knobs for one campaign inside a bench: a progress line
+/// every FTNAV_PROGRESS trials, and periodic checkpoints into
+/// FTNAV_CHECKPOINT_DIR (resumed when FTNAV_RESUME=1). `label` names
+/// the campaign in progress lines and checkpoint filenames, so every
+/// campaign in a bench needs its own label.
+inline CampaignStreamConfig stream_for(const BenchConfig& config,
+                                       const std::string& label) {
+  CampaignStreamConfig stream;
+  if (config.progress_every > 0) {
+    stream.progress_every_trials =
+        static_cast<std::size_t>(config.progress_every);
+    stream.on_progress = [label](const StreamProgress& progress) {
+      std::printf("  [%s] %zu/%zu trials (%.1f%%), %zu/%zu shards\n",
+                  label.c_str(), progress.trials_done,
+                  progress.trials_total, 100.0 * progress.fraction(),
+                  progress.shards_done, progress.shards_total);
+      std::fflush(stdout);
+    };
+  }
+  if (!config.checkpoint_dir.empty()) {
+    stream.checkpoint_path = config.checkpoint_dir + "/" + label + ".ckpt";
+    stream.resume = config.resume;
+  }
+  return stream;
+}
+
+/// Collects the tables a bench prints and, when FTNAV_JSON_DIR is set,
+/// writes them to "<dir>/<artifact>.json" on destruction (CI uploads
+/// these as workflow artifacts on Release runs).
+class JsonArtifact {
+ public:
+  JsonArtifact(const BenchConfig& config, std::string artifact)
+      : dir_(config.json_dir), artifact_(std::move(artifact)) {}
+
+  void add(const std::string& name, const Table& table) {
+    entries_.emplace_back(name, table.to_json());
+  }
+  void add(const std::string& name, const HeatmapGrid& grid,
+           int precision = 6) {
+    entries_.emplace_back(name, grid.to_json(precision));
+  }
+
+  ~JsonArtifact() {
+    if (dir_.empty() || entries_.empty()) return;
+    std::ofstream out(dir_ + "/" + artifact_ + ".json");
+    if (!out) return;  // benches never fail on artifact export
+    out << "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out << (i ? ",\n " : "\n ") << json_quote(entries_[i].first) << ": "
+          << entries_[i].second;
+    }
+    out << "\n}\n";
+  }
+
+ private:
+  std::string dir_;
+  std::string artifact_;
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 /// BER axis of the Grid World training figures (0.1%..1.0%).
 inline std::vector<double> grid_training_bers(bool full) {

@@ -18,6 +18,7 @@ int main() {
 
   const int episodes = 1000;  // paper scale; NN needs the full budget
 
+  JsonArtifact artifact(config, "fig2");
   for (GridPolicyKind kind :
        {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
     const bool tabular = kind == GridPolicyKind::kTabular;
@@ -31,13 +32,17 @@ int main() {
         config.resolve_repeats(tabular ? 10 : 3, tabular ? 100 : 20);
     heatmap_config.seed = config.seed;
     heatmap_config.threads = config.threads;
+    heatmap_config.stream =
+        stream_for(config, tabular ? "fig2a" : "fig2c");
 
     std::printf("--- Fig. 2%c (%s): transient faults, success rate (%%) by "
                 "(BER, injection episode), %d repeats/cell ---\n",
                 tabular ? 'a' : 'c', to_string(kind).c_str(),
                 heatmap_config.repeats);
-    std::printf("%s\n",
-                run_transient_training_heatmap(heatmap_config).render(0).c_str());
+    const HeatmapGrid transient =
+        run_transient_training_heatmap(heatmap_config);
+    std::printf("%s\n", transient.render(0).c_str());
+    artifact.add(tabular ? "fig2a_transient" : "fig2c_transient", transient);
 
     std::printf("--- Fig. 2%c (%s): permanent faults from episode 0, "
                 "success rate (%%) by BER ---\n",

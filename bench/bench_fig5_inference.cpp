@@ -19,21 +19,24 @@ int main() {
   const std::vector<double> bers = {0.0,   0.002, 0.004,
                                     0.006, 0.008, 0.010};
 
+  JsonArtifact artifact(config, "fig5");
   for (GridPolicyKind kind :
        {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
+    const bool tabular = kind == GridPolicyKind::kTabular;
     InferenceCampaignConfig campaign;
     campaign.kind = kind;
     campaign.train_episodes = config.full_scale ? 1500 : 1000;
     campaign.bers = bers;
-    campaign.repeats = config.resolve_repeats(
-        kind == GridPolicyKind::kTabular ? 200 : 60, 1000);
+    campaign.repeats = config.resolve_repeats(tabular ? 200 : 60, 1000);
     campaign.seed = config.seed;
     campaign.threads = config.threads;
+    campaign.stream =
+        stream_for(config, tabular ? "fig5a" : "fig5b");
 
     std::printf("--- Fig. 5%c: %s-based inference (%d fault draws per "
                 "point) ---\n",
-                kind == GridPolicyKind::kTabular ? 'a' : 'b',
-                to_string(kind).c_str(), campaign.repeats);
+                tabular ? 'a' : 'b', to_string(kind).c_str(),
+                campaign.repeats);
     const InferenceCampaignResult result = run_inference_campaign(campaign);
 
     Table table({"BER", "Transient-M", "Transient-1", "Stuck-at-0",
@@ -46,6 +49,7 @@ int main() {
                      format_double(result.success_by_mode[3][b], 0)});
     }
     std::printf("%s\n", table.render().c_str());
+    artifact.add(tabular ? "fig5a_tabular" : "fig5b_nn", table);
   }
 
   print_shape_note(

@@ -26,6 +26,7 @@ int main() {
   campaign.eval_repeats = config.resolve_repeats(3, 10);
   campaign.seed = config.seed;
   campaign.threads = config.threads;
+  campaign.stream = stream_for(config, "fig7a");
 
   const DroneWorld world = DroneWorld::indoor_long();
   const DroneTrainingCampaignResult result =
@@ -43,6 +44,10 @@ int main() {
   }
   std::printf("permanent faults throughout fine-tuning:\n%s\n",
               table.render().c_str());
+
+  JsonArtifact artifact(config, "fig7a");
+  artifact.add("transient_msf", result.transient);
+  artifact.add("permanent_msf", table);
 
   print_shape_note(
       "flight quality degrades with higher BER and later injection "

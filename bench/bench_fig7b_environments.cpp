@@ -20,6 +20,7 @@ int main() {
   campaign.repeats = config.resolve_repeats(15, 100);
   campaign.seed = config.seed;
   campaign.threads = config.threads;
+  campaign.stream = stream_for(config, "fig7b");
 
   const EnvironmentSweepResult result = run_environment_sweep(campaign);
 
@@ -33,6 +34,9 @@ int main() {
     table.add_row(std::move(row));
   }
   std::printf("%s\n", table.render().c_str());
+
+  JsonArtifact artifact(config, "fig7b");
+  artifact.add("msf_by_environment", table);
 
   print_shape_note(
       "both environments show the same trend: flight quality degrades "

@@ -5,17 +5,27 @@
 //   ./build/examples/fault_campaign [--policy tabular|nn]
 //       [--mode tm|t1|sa0|sa1] [--ber <fraction>] [--repeats <n>]
 //       [--density low|middle|high] [--mitigate] [--seed <n>]
-//       [--threads <n>]
+//       [--threads <n>] [--progress <trials>]
+//       [--checkpoint <file>] [--resume] [--stop-after <shards>]
+//
+// Long campaigns stream progress (--progress N prints a line at least
+// every N trials) and checkpoint to disk (--checkpoint FILE). A killed
+// campaign restarted with --resume finishes from the checkpoint with
+// byte-identical results, for any --threads value. --stop-after N is
+// the graceful-stop kill switch CI's kill-and-resume job uses: the
+// campaign checkpoints after N shards and exits with status 3.
 //
 // Example:
 //   ./build/examples/fault_campaign --policy nn --mode tm
 //       --ber 0.005 --repeats 200 --mitigate --threads 4
+//       --progress 50 --checkpoint /tmp/campaign.ckpt
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
+#include "campaign/streaming.h"
 #include "experiments/grid_inference.h"
 #include "util/stats.h"
 
@@ -25,7 +35,8 @@ namespace {
   std::fprintf(stderr,
                "usage: %s [--policy tabular|nn] [--mode tm|t1|sa0|sa1] "
                "[--ber f] [--repeats n] [--density low|middle|high] "
-               "[--mitigate] [--seed n] [--threads n]\n",
+               "[--mitigate] [--seed n] [--threads n] [--progress n] "
+               "[--checkpoint file] [--resume] [--stop-after n]\n",
                argv0);
   std::exit(2);
 }
@@ -78,9 +89,37 @@ int main(int argc, char** argv) {
       config.seed = static_cast<std::uint64_t>(std::atoll(next()));
     } else if (arg == "--threads") {
       config.threads = std::atoi(next());
+    } else if (arg == "--progress") {
+      const int every = std::atoi(next());
+      if (every <= 0) usage(argv[0]);
+      config.stream.progress_every_trials = static_cast<std::size_t>(every);
+      config.stream.on_progress = [](const StreamProgress& progress) {
+        std::printf("progress: %zu/%zu trials (%.1f%%), %zu/%zu shards\n",
+                    progress.trials_done, progress.trials_total,
+                    100.0 * progress.fraction(), progress.shards_done,
+                    progress.shards_total);
+        std::fflush(stdout);
+      };
+    } else if (arg == "--checkpoint") {
+      config.stream.checkpoint_path = next();
+    } else if (arg == "--resume") {
+      config.stream.resume = true;
+    } else if (arg == "--stop-after") {
+      const int shards = std::atoi(next());
+      if (shards <= 0) usage(argv[0]);
+      config.stream.stop_after_shards = static_cast<std::size_t>(shards);
     } else {
       usage(argv[0]);
     }
+  }
+  if (config.stream.stop_after_shards > 0 &&
+      config.stream.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--stop-after requires --checkpoint\n");
+    return 2;
+  }
+  if (config.stream.resume && config.stream.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint\n");
+    return 2;
   }
 
   config.bers = {ber};
@@ -90,7 +129,20 @@ int main(int argc, char** argv) {
               config.repeats, config.mitigated ? "yes" : "no",
               static_cast<unsigned long long>(config.seed), config.threads);
 
-  const InferenceCampaignResult result = run_inference_campaign(config);
+  InferenceCampaignResult result;
+  try {
+    result = run_inference_campaign(config);
+  } catch (const CampaignInterrupted& interrupted) {
+    std::printf("%s\n", interrupted.what());
+    std::printf("re-run with --checkpoint %s --resume to finish\n",
+                config.stream.checkpoint_path.c_str());
+    return 3;
+  } catch (const std::exception& error) {
+    // e.g. resume refused: checkpoint from a different configuration,
+    // or a corrupt checkpoint file.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
   const double success =
       result.success_by_mode[static_cast<std::size_t>(mode)][0];
   const auto ci = wilson_interval(

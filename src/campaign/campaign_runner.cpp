@@ -1,17 +1,23 @@
 #include "campaign/campaign_runner.h"
 
-#include <atomic>
-#include <exception>
 #include <thread>
+
+#include "campaign/worker_pool.h"
 
 namespace ftnav {
 namespace {
 
-/// Shards handed out per worker: oversubscription smooths out
-/// heterogeneous trial costs (a high-BER training run can take many
+/// Shards handed out per worker in batch mode: oversubscription smooths
+/// out heterogeneous trial costs (a high-BER training run can take many
 /// times longer than a fault-free rollout) without giving up the
 /// cache-friendliness of contiguous trial ranges.
 constexpr std::size_t kShardsPerWorker = 4;
+
+/// Streamed campaigns use a fixed partition so the completed-shard
+/// bitmap in a checkpoint means the same thing for every thread count
+/// and machine. 64 shards keeps pools up to ~16 workers balanced while
+/// giving checkpoint/progress a useful granularity.
+constexpr std::size_t kStreamShards = 64;
 
 }  // namespace
 
@@ -31,6 +37,10 @@ std::vector<CampaignShard> shard_trials(std::size_t trial_count,
     begin += size;
   }
   return shards;
+}
+
+std::size_t stream_shard_count(std::size_t trial_count) noexcept {
+  return trial_count < kStreamShards ? trial_count : kStreamShards;
 }
 
 int resolve_threads(int threads) noexcept {
@@ -59,46 +69,31 @@ void CampaignRunner::run_shards_prepartitioned(
     const std::vector<CampaignShard>& shards,
     const std::function<void(std::size_t)>& body) const {
   if (shards.empty()) return;
+  WorkerPool::instance().run(shards.size(), threads_, body);
+}
 
-  // Workers pull shard indices from a shared counter; results land in
-  // trial-indexed slots (or per-shard accumulators), so the pull order
-  // never affects campaign output.
-  std::atomic<std::size_t> next_shard{0};
-  std::atomic<bool> failed{false};
-  std::vector<std::exception_ptr> errors(shards.size());
+void CampaignRunner::run_shards_prepartitioned_indices(
+    const std::vector<std::size_t>& indices,
+    const std::function<void(std::size_t)>& body) const {
+  if (indices.empty()) return;
+  WorkerPool::instance().run(
+      indices.size(), threads_,
+      [&](std::size_t position) { body(indices[position]); });
+}
 
-  const auto worker = [&]() {
-    while (!failed.load(std::memory_order_relaxed)) {
-      const std::size_t index =
-          next_shard.fetch_add(1, std::memory_order_relaxed);
-      if (index >= shards.size()) return;
-      try {
-        body(index);
-      } catch (...) {
-        errors[index] = std::current_exception();
-        failed.store(true, std::memory_order_relaxed);
-        return;
-      }
-    }
-  };
-
-  const std::size_t pool_size =
-      shards.size() < static_cast<std::size_t>(threads_)
-          ? shards.size()
-          : static_cast<std::size_t>(threads_);
-  if (pool_size <= 1) {
-    worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(pool_size);
-    for (std::size_t i = 0; i < pool_size; ++i) pool.emplace_back(worker);
-    for (std::thread& thread : pool) thread.join();
-  }
-
-  // Rethrow the failure from the lowest shard index so the surfaced
-  // error does not depend on scheduling.
-  for (std::exception_ptr& error : errors)
-    if (error) std::rethrow_exception(error);
+void CampaignRunner::save_checkpoint(
+    const std::string& path, std::uint64_t fingerprint,
+    const StreamProgress& progress,
+    const std::vector<std::uint8_t>& shard_done,
+    const std::function<void(std::ostream&)>& write_payload) {
+  CampaignCheckpoint::Header header;
+  header.fingerprint = fingerprint;
+  header.trial_count = progress.trials_total;
+  header.shard_count = progress.shards_total;
+  header.trials_done = progress.trials_done;
+  std::ostringstream payload;
+  write_payload(payload);
+  CampaignCheckpoint::save(path, header, shard_done, payload.str());
 }
 
 }  // namespace ftnav

@@ -1,5 +1,5 @@
 #pragma once
-// Parallel sharded fault-injection campaign engine.
+// Parallel sharded fault-injection campaign engine (v2).
 //
 // The paper's figures are produced by campaigns: grids of
 // BER x injection location x repeat trials, each an independent
@@ -11,26 +11,42 @@
 //   (campaign seed, trial index) -- never of thread count, scheduling
 //   order, or shard boundaries.
 //
-// `map` evaluates a trial function over [0, trial_count) on a
-// fixed-size worker pool and returns the results indexed by trial, so
-// campaign output is bit-identical for any `threads` value.
-// `map_reduce` additionally keeps one accumulator per shard and merges
-// them in ascending shard order; use it for partition-invariant
-// statistics (counts, disjoint HeatmapGrid cells, Histogram bins).
-// Order-sensitive floating-point folds should instead `map` to a
-// per-trial vector and fold serially in trial order.
+// v2 dispatches shards to the process-wide persistent WorkerPool
+// (work-stealing deques, reused across campaign phases — see
+// worker_pool.h) instead of spawning threads per campaign.
 //
-// The first exception thrown by a trial (lowest shard index wins, for
-// determinism) aborts the remaining shards and is rethrown on the
-// calling thread after the pool joins.
+// `map` evaluates a trial function over [0, trial_count) and returns
+// the results indexed by trial, so campaign output is bit-identical
+// for any `threads` value. `map_reduce` additionally keeps one
+// accumulator per shard and merges them in ascending shard order; use
+// it for partition-invariant statistics (counts, disjoint HeatmapGrid
+// cells, Histogram bins). Order-sensitive floating-point folds should
+// instead `map` to a per-trial vector and fold serially in trial order.
+//
+// The `*_streamed` variants add streaming partial results and
+// checkpoint/resume (see streaming.h and checkpoint.h). Their shard
+// partition is a pure function of the trial count — never of the
+// thread count — so a checkpoint written by a 1-thread run resumes
+// bit-identically under 8 threads and vice versa. Streamed
+// accumulators must merge order-invariantly (integer tallies, disjoint
+// cells, min/max); every campaign accumulator in src/experiments does.
+//
+// The first exception thrown by a trial aborts the remaining shards
+// and is rethrown on the calling thread after the region joins (among
+// concurrently failing shards, the lowest recorded index wins).
 
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
 #include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "campaign/checkpoint.h"
+#include "campaign/streaming.h"
 #include "util/rng.h"
 
 namespace ftnav {
@@ -50,9 +66,36 @@ struct CampaignShard {
 std::vector<CampaignShard> shard_trials(std::size_t trial_count,
                                         std::size_t max_shards);
 
+/// Shard budget of a streamed campaign: a pure function of the trial
+/// count (fixed 64-way split, fewer for tiny grids) so checkpoints are
+/// valid across thread counts and machines.
+std::size_t stream_shard_count(std::size_t trial_count) noexcept;
+
 /// Resolves a config `threads` knob: values > 0 pass through, anything
 /// else becomes std::thread::hardware_concurrency() (minimum 1).
 int resolve_threads(int threads) noexcept;
+
+namespace detail {
+
+/// Accumulator adapter that lets `map` campaigns ride the streaming
+/// machinery: the merged side owns the full trial-indexed results
+/// vector; each per-shard partial carries only its slice, which the
+/// merge copies into place (disjoint ranges, hence order-invariant).
+template <typename T>
+struct MapAccum {
+  std::vector<T> results;     // merged side (full trial count)
+  std::size_t slice_begin = 0;
+  std::vector<T> slice;       // partial side
+
+  void save_state(std::ostream& out) const {
+    CampaignStateCodec<std::vector<T>>::save(out, results);
+  }
+  void restore_state(std::istream& in) {
+    CampaignStateCodec<std::vector<T>>::load(in, results);
+  }
+};
+
+}  // namespace detail
 
 class CampaignRunner {
  public:
@@ -80,6 +123,44 @@ class CampaignRunner {
       }
     });
     return results;
+  }
+
+  /// `map` with streaming progress and checkpoint/resume. Results are
+  /// bit-identical to `map` for every thread count and interruption
+  /// point. `tag` names the campaign in the checkpoint fingerprint;
+  /// the result type must be trivially copyable (raw-bytes payload).
+  template <typename Fn>
+  auto map_streamed(std::string_view tag, std::size_t trial_count,
+                    std::uint64_t seed, Fn&& fn,
+                    const CampaignStreamConfig& stream) const
+      -> std::vector<std::invoke_result_t<Fn&, std::size_t, Rng&>> {
+    using T = std::invoke_result_t<Fn&, std::size_t, Rng&>;
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "map_streamed results must be trivially copyable");
+    static_assert(!std::is_same_v<T, bool>,
+                  "CampaignRunner::map_streamed: return char or int "
+                  "instead of bool");
+    if (!stream.streaming_enabled()) return map(trial_count, seed, fn);
+    using Accum = detail::MapAccum<T>;
+    Accum initial;
+    initial.results.assign(trial_count, T{});
+    Accum merged = run_streamed<Accum>(
+        tag, trial_count, seed, std::move(initial),
+        [] { return Accum{}; },  // per-shard partials carry only a slice
+        [&](Accum& acc, const CampaignShard& shard, std::size_t trial,
+            Rng& rng) {
+          if (acc.slice.empty()) {
+            acc.slice_begin = shard.begin;
+            acc.slice.reserve(shard.size());
+          }
+          acc.slice.push_back(fn(trial, rng));
+        },
+        [](Accum& into, Accum&& from) {
+          for (std::size_t i = 0; i < from.slice.size(); ++i)
+            into.results[from.slice_begin + i] = from.slice[i];
+        },
+        stream);
+    return std::move(merged.results);
   }
 
   /// Deterministic parallel for-each over trials; `fn(trial, rng)`
@@ -125,9 +206,32 @@ class CampaignRunner {
     return result;
   }
 
+  /// `map_reduce` with streaming progress and checkpoint/resume. The
+  /// accumulator must merge order-invariantly and be serializable via
+  /// CampaignStateCodec (save_state/restore_state members, or a
+  /// vector of trivially copyable tallies). Results are bit-identical
+  /// to `map_reduce` for every thread count and interruption point.
+  template <typename MakeAcc, typename AccumulateFn, typename MergeFn>
+  auto map_reduce_streamed(std::string_view tag, std::size_t trial_count,
+                           std::uint64_t seed, MakeAcc&& make_acc,
+                           AccumulateFn&& accumulate, MergeFn&& merge,
+                           const CampaignStreamConfig& stream) const
+      -> std::invoke_result_t<MakeAcc&> {
+    using Acc = std::invoke_result_t<MakeAcc&>;
+    if (!stream.streaming_enabled())
+      return map_reduce(trial_count, seed, make_acc, accumulate, merge);
+    if (trial_count == 0) return make_acc();
+    return run_streamed<Acc>(
+        tag, trial_count, seed, make_acc(), make_acc,
+        [&](Acc& acc, const CampaignShard&, std::size_t trial, Rng& rng) {
+          accumulate(acc, trial, rng);
+        },
+        std::forward<MergeFn>(merge), stream);
+  }
+
  private:
-  /// Number of shards to cut a campaign into: oversubscribed relative
-  /// to the pool so heterogeneous trial costs still balance.
+  /// Number of shards to cut a batch campaign into: oversubscribed
+  /// relative to the pool so heterogeneous trial costs still balance.
   std::size_t shard_budget() const noexcept;
 
   /// Shards [0, trial_count) and dispatches shard bodies to the pool.
@@ -138,6 +242,112 @@ class CampaignRunner {
   void run_shards_prepartitioned(
       const std::vector<CampaignShard>& shards,
       const std::function<void(std::size_t)>& body) const;
+
+  /// Shared core of the streamed paths: thread-independent partition,
+  /// optional checkpoint resume, per-shard accumulate -> commit into a
+  /// StreamingAggregator, periodic checkpoint saves, graceful stop.
+  /// `make_partial()` builds a fresh per-shard accumulator;
+  /// `accumulate(acc, shard, trial, rng)` fills it.
+  template <typename Acc, typename MakePartial, typename AccumulateFn,
+            typename MergeFn>
+  Acc run_streamed(std::string_view tag, std::size_t trial_count,
+                   std::uint64_t seed, Acc initial, MakePartial&& make_partial,
+                   AccumulateFn accumulate, MergeFn merge,
+                   const CampaignStreamConfig& stream) const {
+    const std::vector<CampaignShard> shards =
+        shard_trials(trial_count, stream_shard_count(trial_count));
+    const std::uint64_t fingerprint = CampaignCheckpoint::fingerprint(
+        tag, seed, trial_count, shards.size());
+    const bool checkpointing = !stream.checkpoint_path.empty();
+
+    // Resume: load merged state + completed-shard bitmap.
+    std::vector<std::uint8_t> restored(shards.size(), 0);
+    if (checkpointing && stream.resume) {
+      if (auto loaded = CampaignCheckpoint::load(stream.checkpoint_path)) {
+        if (loaded->header.fingerprint != fingerprint)
+          throw std::runtime_error(
+              "campaign resume: checkpoint was written by a different "
+              "campaign configuration: " +
+              stream.checkpoint_path);
+        std::istringstream payload(loaded->payload);
+        CampaignStateCodec<Acc>::load(payload, initial);
+        restored = loaded->shard_done;
+      }
+    }
+
+    StreamingAggregator<Acc> aggregator(
+        std::move(initial),
+        [&merge](Acc& into, Acc&& from) { merge(into, std::move(from)); },
+        trial_count, shards.size());
+    std::vector<std::size_t> pending;
+    for (std::size_t i = 0; i < shards.size(); ++i) {
+      if (restored[i])
+        aggregator.restore_shard(i, shards[i].size());
+      else
+        pending.push_back(i);
+    }
+
+    if (stream.on_progress && stream.progress_every_trials > 0) {
+      aggregator.set_snapshot_callback(
+          stream.progress_every_trials,
+          [&stream](const StreamProgress& progress, const Acc&) {
+            stream.on_progress(progress);
+          });
+    }
+
+    // Commit hook (runs under the aggregator lock): periodic + final
+    // checkpoint saves, then the graceful-stop kill switch.
+    std::size_t shards_since_save = 0;
+    bool stop_requested = false;
+    aggregator.set_commit_hook([&](const StreamingAggregator<Acc>& agg) {
+      const bool complete =
+          agg.progress().shards_done == agg.progress().shards_total;
+      const bool stop = stream.stop_after_shards > 0 && !stop_requested &&
+                        agg.committed_this_run() >= stream.stop_after_shards;
+      ++shards_since_save;
+      if (checkpointing &&
+          (shards_since_save >= stream.checkpoint_every_shards || stop ||
+           complete)) {
+        save_checkpoint(stream.checkpoint_path, fingerprint, agg.progress(),
+                        agg.shard_done(), [&agg](std::ostream& out) {
+                          CampaignStateCodec<Acc>::save(out, agg.merged());
+                        });
+        shards_since_save = 0;
+      }
+      if (stop) {
+        stop_requested = true;
+        throw CampaignInterrupted(
+            "campaign stopped after " +
+            std::to_string(agg.committed_this_run()) + " shards" +
+            (checkpointing ? " (checkpoint saved)" : ""));
+      }
+    });
+
+    run_shards_prepartitioned_indices(
+        pending, [&](std::size_t shard_index) {
+          const CampaignShard& shard = shards[shard_index];
+          Acc acc = make_partial();
+          for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+            Rng rng = Rng::stream(seed, trial);
+            accumulate(acc, shard, trial, rng);
+          }
+          aggregator.commit_shard(shard_index, shard.size(), std::move(acc));
+        });
+    aggregator.finish();
+    return aggregator.take();
+  }
+
+  /// Dispatches `body` for the listed shard indices only.
+  void run_shards_prepartitioned_indices(
+      const std::vector<std::size_t>& indices,
+      const std::function<void(std::size_t)>& body) const;
+
+  /// Serializes an aggregator snapshot to `path` (atomic replace).
+  static void save_checkpoint(
+      const std::string& path, std::uint64_t fingerprint,
+      const StreamProgress& progress,
+      const std::vector<std::uint8_t>& shard_done,
+      const std::function<void(std::ostream&)>& write_payload);
 
   int threads_;
 };

@@ -1,0 +1,140 @@
+#include "campaign/checkpoint.h"
+
+#include <bit>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/binary_io.h"
+
+namespace ftnav {
+namespace {
+
+constexpr char kMagic[8] = {'F', 'T', 'N', 'V', 'C', 'K', 'P', '1'};
+
+}  // namespace
+
+ConfigDigest& ConfigDigest::add(std::uint64_t value) noexcept {
+  for (int byte = 0; byte < 8; ++byte) {
+    state_ ^= (value >> (8 * byte)) & 0xff;
+    state_ *= 0x100000001b3ULL;
+  }
+  return *this;
+}
+
+ConfigDigest& ConfigDigest::add(double value) noexcept {
+  return add(std::bit_cast<std::uint64_t>(value));
+}
+
+ConfigDigest& ConfigDigest::add(std::string_view text) noexcept {
+  for (char ch : text) {
+    state_ ^= static_cast<unsigned char>(ch);
+    state_ *= 0x100000001b3ULL;
+  }
+  return add(static_cast<std::uint64_t>(text.size()));
+}
+
+ConfigDigest& ConfigDigest::add(const std::vector<double>& values) noexcept {
+  for (double value : values) add(value);
+  return add(static_cast<std::uint64_t>(values.size()));
+}
+
+ConfigDigest& ConfigDigest::add(const std::vector<int>& values) noexcept {
+  for (int value : values) add(value);
+  return add(static_cast<std::uint64_t>(values.size()));
+}
+
+std::string ConfigDigest::hex() const {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(state_));
+  return buffer;
+}
+
+std::uint64_t CampaignCheckpoint::fingerprint(std::string_view tag,
+                                              std::uint64_t seed,
+                                              std::size_t trial_count,
+                                              std::size_t shard_count) {
+  std::string blob(tag);
+  blob.push_back('\0');
+  for (std::uint64_t value :
+       {seed, static_cast<std::uint64_t>(trial_count),
+        static_cast<std::uint64_t>(shard_count)}) {
+    for (int byte = 0; byte < 8; ++byte)
+      blob.push_back(static_cast<char>((value >> (8 * byte)) & 0xff));
+  }
+  return io::fnv1a(blob);
+}
+
+void CampaignCheckpoint::save(const std::string& path, const Header& header,
+                              const std::vector<std::uint8_t>& shard_done,
+                              const std::string& payload) {
+  if (shard_done.size() != header.shard_count)
+    throw std::runtime_error("CampaignCheckpoint::save: bitmap size mismatch");
+
+  std::ostringstream body;
+  io::write_bytes(body, kMagic, sizeof kMagic);
+  io::write_u64(body, header.fingerprint);
+  io::write_u64(body, header.trial_count);
+  io::write_u64(body, header.shard_count);
+  io::write_u64(body, header.trials_done);
+  io::write_vector(body, shard_done);
+  io::write_string(body, payload);
+  const std::string bytes = body.str();
+  const std::uint64_t checksum = io::fnv1a(bytes);
+
+  const std::string tmp_path = path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("CampaignCheckpoint: cannot open " + tmp_path);
+    io::write_bytes(out, bytes.data(), bytes.size());
+    io::write_u64(out, checksum);
+    out.flush();
+    if (!out)
+      throw std::runtime_error("CampaignCheckpoint: write failed: " +
+                               tmp_path);
+  }
+  if (std::rename(tmp_path.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("CampaignCheckpoint: rename failed: " + path);
+}
+
+std::optional<CampaignCheckpoint::Loaded> CampaignCheckpoint::load(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+  if (bytes.size() < sizeof kMagic + 8)
+    throw std::runtime_error("CampaignCheckpoint: truncated file: " + path);
+
+  // Trailing u64 is the checksum of everything before it.
+  const std::string body = bytes.substr(0, bytes.size() - 8);
+  std::istringstream tail(bytes.substr(bytes.size() - 8));
+  if (io::read_u64(tail) != io::fnv1a(body))
+    throw std::runtime_error("CampaignCheckpoint: checksum mismatch: " + path);
+
+  std::istringstream body_in(body);
+  char magic[sizeof kMagic];
+  io::read_bytes(body_in, magic, sizeof magic);
+  if (std::string_view(magic, sizeof magic) !=
+      std::string_view(kMagic, sizeof kMagic))
+    throw std::runtime_error("CampaignCheckpoint: bad magic: " + path);
+
+  Loaded loaded;
+  loaded.header.fingerprint = io::read_u64(body_in);
+  loaded.header.trial_count = io::read_u64(body_in);
+  loaded.header.shard_count = io::read_u64(body_in);
+  loaded.header.trials_done = io::read_u64(body_in);
+  loaded.shard_done = io::read_vector<std::uint8_t>(body_in);
+  if (loaded.shard_done.size() != loaded.header.shard_count)
+    throw std::runtime_error("CampaignCheckpoint: bitmap size mismatch: " +
+                             path);
+  loaded.payload = io::read_string(body_in);
+  return loaded;
+}
+
+}  // namespace ftnav

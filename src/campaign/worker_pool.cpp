@@ -1,0 +1,223 @@
+#include "campaign/worker_pool.h"
+
+#include <optional>
+#include <utility>
+
+namespace ftnav {
+namespace {
+
+thread_local bool tls_in_parallel_region = false;
+
+/// RAII flag so nested campaign runs on a participating thread fall
+/// back to inline execution instead of deadlocking on the pool.
+struct RegionScope {
+  bool previous;
+  RegionScope() : previous(tls_in_parallel_region) {
+    tls_in_parallel_region = true;
+  }
+  ~RegionScope() { tls_in_parallel_region = previous; }
+};
+
+}  // namespace
+
+bool WorkerPool::in_parallel_region() noexcept {
+  return tls_in_parallel_region;
+}
+
+WorkerPool& WorkerPool::instance() {
+  static WorkerPool pool;
+  return pool;
+}
+
+WorkerPool::WorkerPool(int initial_workers) {
+  if (initial_workers > 0) ensure_workers(initial_workers);
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex);
+    stopping_ = true;
+  }
+  wake_cv.notify_all();
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  for (std::thread& worker : workers_)
+    if (worker.joinable()) worker.join();
+}
+
+void WorkerPool::ensure_workers(int count) {
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  while (static_cast<int>(workers_.size()) < count) {
+    workers_.emplace_back([this] { worker_main(); });
+    ++stats_.workers_spawned;
+  }
+}
+
+int WorkerPool::worker_count() const {
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  return static_cast<int>(workers_.size());
+}
+
+WorkerPool::Stats WorkerPool::stats() const {
+  std::lock_guard<std::mutex> lock(pool_mutex);
+  Stats snapshot = stats_;
+  snapshot.steals = steals_.load(std::memory_order_relaxed);
+  snapshot.tasks_run = tasks_run_.load(std::memory_order_relaxed);
+  return snapshot;
+}
+
+void WorkerPool::Region::record_error(std::size_t task,
+                                      std::exception_ptr e) {
+  std::lock_guard<std::mutex> lock(error_mutex);
+  if (!error || task < error_index) {
+    error = std::move(e);
+    error_index = task;
+  }
+  failed.store(true, std::memory_order_relaxed);
+}
+
+void WorkerPool::Region::finish_task() {
+  if (remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(done_mutex);
+    done_cv.notify_all();
+  }
+}
+
+void WorkerPool::Region::wait_done() {
+  std::unique_lock<std::mutex> lock(done_mutex);
+  done_cv.wait(lock, [this] {
+    return remaining.load(std::memory_order_acquire) == 0;
+  });
+}
+
+void WorkerPool::participate(Region& region, std::size_t lane_index) {
+  RegionScope scope;
+  const std::size_t lane_count = region.lanes.size();
+  while (true) {
+    // Own lane first (front, in deal order), then steal from the back
+    // of the other lanes.
+    std::optional<std::size_t> task;
+    {
+      Lane& own = region.lanes[lane_index];
+      std::lock_guard<std::mutex> lock(own.mutex);
+      if (!own.tasks.empty()) {
+        task = own.tasks.front();
+        own.tasks.pop_front();
+      }
+    }
+    if (!task) {
+      for (std::size_t offset = 1; offset < lane_count && !task; ++offset) {
+        Lane& victim = region.lanes[(lane_index + offset) % lane_count];
+        std::lock_guard<std::mutex> lock(victim.mutex);
+        if (!victim.tasks.empty()) {
+          task = victim.tasks.back();
+          victim.tasks.pop_back();
+          steals_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    }
+    if (!task) return;
+
+    if (region.failed.load(std::memory_order_relaxed)) {
+      // Abandoned after a failure: drain without executing so the
+      // remaining-counter still reaches zero.
+      region.finish_task();
+      continue;
+    }
+    try {
+      (*region.body)(*task);
+      tasks_run_.fetch_add(1, std::memory_order_relaxed);
+    } catch (...) {
+      region.record_error(*task, std::current_exception());
+    }
+    region.finish_task();
+  }
+}
+
+void WorkerPool::worker_main() {
+  std::unique_lock<std::mutex> lock(wake_mutex);
+  while (true) {
+    wake_cv.wait(lock, [this] {
+      return stopping_ || current_region_ != nullptr;
+    });
+    if (stopping_) return;
+    const std::shared_ptr<Region> region = current_region_;
+    const std::uint64_t generation = generation_;
+    lock.unlock();
+
+    const int lane =
+        region->next_lane.fetch_add(1, std::memory_order_relaxed);
+    if (lane < static_cast<int>(region->lanes.size()))
+      participate(*region, static_cast<std::size_t>(lane));
+
+    lock.lock();
+    // Park until this region retires (or a new one is posted), so a
+    // finished worker does not spin re-claiming lanes it already lost.
+    wake_cv.wait(lock, [this, generation] {
+      return stopping_ || generation_ != generation ||
+             current_region_ == nullptr;
+    });
+  }
+}
+
+void WorkerPool::run(std::size_t task_count, int parallelism,
+                     const std::function<void(std::size_t)>& body) {
+  if (task_count == 0) return;
+  std::size_t lanes = parallelism > 0
+                          ? static_cast<std::size_t>(parallelism)
+                          : std::size_t{1};
+  if (lanes > task_count) lanes = task_count;
+
+  if (lanes <= 1 || tls_in_parallel_region) {
+    // Serial (and nested-call) path: ascending task order; the first
+    // failure propagates directly and aborts the rest.
+    RegionScope scope;
+    for (std::size_t task = 0; task < task_count; ++task) body(task);
+    tasks_run_.fetch_add(task_count, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(pool_mutex);
+      ++stats_.regions_run;
+    }
+    return;
+  }
+
+  ensure_workers(static_cast<int>(lanes) - 1);
+
+  // One region at a time: a second caller blocks here until the first
+  // campaign finishes. (Pool workers never reach this lock — they take
+  // the inline path above.)
+  std::lock_guard<std::mutex> region_guard(region_mutex);
+
+  auto region = std::make_shared<Region>();
+  region->body = &body;
+  region->lanes = std::vector<Lane>(lanes);
+  region->remaining.store(task_count, std::memory_order_relaxed);
+  // Deal tasks round-robin so every lane starts with near-equal work
+  // spread across the index space.
+  for (std::size_t task = 0; task < task_count; ++task) {
+    region->lanes[task % lanes].tasks.push_back(task);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex);
+    current_region_ = region;
+    ++generation_;
+  }
+  wake_cv.notify_all();
+
+  participate(*region, 0);  // the caller works lane 0
+  region->wait_done();
+
+  {
+    std::lock_guard<std::mutex> lock(wake_mutex);
+    current_region_ = nullptr;
+  }
+  wake_cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex);
+    ++stats_.regions_run;
+  }
+
+  if (region->error) std::rethrow_exception(region->error);
+}
+
+}  // namespace ftnav

@@ -1,0 +1,132 @@
+#pragma once
+// Process-wide persistent worker pool with work-stealing deques.
+//
+// PR 1's CampaignRunner spawned a fresh std::thread set per campaign
+// call; a multi-phase experiment (train policies, then sweep a trial
+// grid, then sweep another) paid thread startup/teardown per phase and
+// threw away warm stacks. This pool is created once per process and
+// reused by every campaign phase:
+//
+//   - workers sleep on a condition variable between parallel regions,
+//     so an idle pool costs nothing but a few parked threads;
+//   - a region deals its tasks round-robin into per-participant deques;
+//     each participant pops its own deque front-first (cache-friendly,
+//     contiguous shard order) and steals from the back of other lanes
+//     when it runs dry, so heterogeneous task costs still balance;
+//   - the calling thread participates as lane 0, so `parallelism = n`
+//     means the caller plus `n - 1` pool workers;
+//   - the pool grows on demand (never shrinks) up to the largest
+//     parallelism any region has requested;
+//   - a region entered from inside a pool worker (nested campaign) or
+//     with parallelism <= 1 executes inline and serially on the caller,
+//     so re-entrance can never deadlock the pool.
+//
+// Determinism note: campaign results never depend on which worker runs
+// which task (see campaign_runner.h); the pool therefore makes no
+// scheduling promises beyond "every task runs exactly once, or is
+// abandoned after a failure". When tasks fail, the recorded error with
+// the lowest task index is rethrown on the caller — but *which* tasks
+// got to run before the abort is scheduling-dependent, so with
+// multiple failing tasks the surfaced exception can vary across runs.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ftnav {
+
+class WorkerPool {
+ public:
+  /// Telemetry counters; monotone over the pool's lifetime. Tests use
+  /// `workers_spawned` to assert phases reuse threads instead of
+  /// respawning, and `steals` to observe the stealing path.
+  struct Stats {
+    std::uint64_t workers_spawned = 0;
+    std::uint64_t regions_run = 0;
+    std::uint64_t tasks_run = 0;
+    std::uint64_t steals = 0;
+  };
+
+  /// The process-wide pool every CampaignRunner dispatches through.
+  static WorkerPool& instance();
+
+  /// A standalone pool (tests); `initial_workers` may be 0 — the pool
+  /// grows lazily as regions request parallelism.
+  explicit WorkerPool(int initial_workers = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Runs `body(0) .. body(task_count - 1)`, each exactly once, using
+  /// at most `parallelism` threads (the caller plus pool workers).
+  /// Blocks until every task has run or been abandoned after a failure;
+  /// rethrows the pending failure with the lowest task index. Executes
+  /// inline and serially when `parallelism <= 1`, when the grid has a
+  /// single task, or when called from inside a pool worker.
+  void run(std::size_t task_count, int parallelism,
+           const std::function<void(std::size_t)>& body);
+
+  /// Spawns workers until at least `count` exist (grow-only).
+  void ensure_workers(int count);
+
+  int worker_count() const;
+  Stats stats() const;
+
+  /// True while the current thread is executing inside a parallel
+  /// region (pool worker or participating caller). Nested `run` calls
+  /// observe this and fall back to inline serial execution.
+  static bool in_parallel_region() noexcept;
+
+ private:
+  struct Lane {
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+  };
+
+  /// One parallel region: per-lane deques plus completion accounting.
+  struct Region {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::vector<Lane> lanes;
+    std::atomic<int> next_lane{1};  // lane 0 belongs to the caller
+    std::atomic<std::size_t> remaining{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::size_t error_index = 0;
+    std::exception_ptr error;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+
+    void record_error(std::size_t task, std::exception_ptr e);
+    void finish_task();
+    void wait_done();
+  };
+
+  void worker_main();
+  void participate(Region& region, std::size_t lane_index);
+
+  mutable std::mutex pool_mutex;  // guards workers_ growth + stats
+  std::vector<std::thread> workers_;
+  Stats stats_;
+
+  std::mutex wake_mutex;
+  std::condition_variable wake_cv;
+  std::shared_ptr<Region> current_region_;
+  std::uint64_t generation_ = 0;
+  bool stopping_ = false;
+
+  std::mutex region_mutex;  // serializes regions (one campaign at a time)
+
+  std::atomic<std::uint64_t> steals_{0};
+  std::atomic<std::uint64_t> tasks_run_{0};
+};
+
+}  // namespace ftnav

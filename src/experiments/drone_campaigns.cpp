@@ -34,6 +34,32 @@ double msf_with_faults(QuantizedInferenceEngine& engine,
   return distances.mean();
 }
 
+/// Digests the policy hyper-parameters into a checkpoint tag digest
+/// (the trained policy, and with it every trial, depends on them).
+ConfigDigest& add_policy_spec(ConfigDigest& digest,
+                              const DronePolicySpec& spec) {
+  return digest.add(static_cast<int>(spec.preset))
+      .add(spec.imitation_episodes)
+      .add(spec.ddqn_episodes)
+      .add(spec.imitation_lr)
+      .add(spec.seed)
+      .add(spec.env_max_steps)
+      .add(spec.env_max_distance);
+}
+
+/// Checkpoint tag for an inference campaign grid: base name plus a
+/// digest of everything that gives its trials meaning.
+std::string inference_stream_tag(const std::string& base,
+                                 const DroneInferenceCampaignConfig& config,
+                                 const DroneWorld* world) {
+  ConfigDigest digest;
+  add_policy_spec(digest, config.policy)
+      .add(config.bers)
+      .add(config.repeats);
+  if (world != nullptr) digest.add(world->name());
+  return base + "#" + digest.hex();
+}
+
 /// Shared shape of the Fig. 7c-e sweeps: a (row, BER) cell grid where
 /// every cell owns a freshly built engine (so fault state never leaks
 /// across trials) and runs `config.repeats` rollouts. `engine_for(row)`
@@ -48,7 +74,9 @@ std::vector<std::vector<double>> sweep_msf_grid(
     ArmFn&& arm) {
   const std::size_t ber_count = config.bers.size();
   const CampaignRunner runner(config.threads);
-  const std::vector<double> cells = runner.map(
+  const std::vector<double> cells = runner.map_streamed(
+      inference_stream_tag("drone-sweep/" + std::to_string(tag), config,
+                           &world),
       row_count * ber_count, config.seed ^ tag,
       [&](std::size_t trial, Rng& trial_rng) {
         const std::size_t row = trial / ber_count;
@@ -61,7 +89,8 @@ std::vector<std::vector<double>> sweep_msf_grid(
               if (ber <= 0.0) return;
               arm(row, ber, e, r);
             });
-      });
+      },
+      config.stream);
   std::vector<std::vector<double>> grid;
   grid.reserve(row_count);
   for (std::size_t row = 0; row < row_count; ++row)
@@ -84,6 +113,16 @@ void arm_weight_transient(double ber, QuantizedInferenceEngine& engine,
 DroneTrainingCampaignResult run_drone_training_campaign(
     const DroneWorld& world, const DroneTrainingCampaignConfig& config) {
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
+
+  ConfigDigest digest;
+  add_policy_spec(digest, config.policy)
+      .add(config.bers)
+      .add(config.injection_points)
+      .add(config.fine_tune_episodes)
+      .add(config.permanent_ber)
+      .add(config.eval_repeats)
+      .add(world.name());
+  const std::string tag_suffix = "#" + digest.hex();
 
   std::vector<std::string> row_labels;
   for (double fraction : config.injection_points)
@@ -148,9 +187,11 @@ DroneTrainingCampaignResult run_drone_training_campaign(
   const std::size_t cols = config.bers.size();
 
   // Transient (injection point, BER) grid: one fine-tune run per cell,
-  // accumulated into per-shard heatmaps merged in the final reduce.
-  result.transient = runner.map_reduce(
-      rows * cols, config.seed ^ 0x7a,
+  // accumulated into per-shard heatmaps. Cells are disjoint, so the
+  // streamed completion-order merge reassembles the same grid.
+  result.transient = runner.map_reduce_streamed(
+      "drone-training/transient" + tag_suffix, rows * cols,
+      config.seed ^ 0x7a,
       [&] { return HeatmapGrid(row_labels, col_labels); },
       [&](HeatmapGrid& acc, std::size_t trial, Rng& rng) {
         const std::size_t r = trial / cols;
@@ -160,13 +201,15 @@ DroneTrainingCampaignResult run_drone_training_campaign(
         acc.set(r, c,
                 run_fine_tune(config.bers[c], step, std::nullopt, 0.0, rng));
       },
-      [](HeatmapGrid& into, HeatmapGrid&& from) { into.merge(from); });
+      [](HeatmapGrid& into, HeatmapGrid&& from) { into.merge(from); },
+      with_checkpoint_suffix(config.stream, "transient"));
 
   // Fault-free reference plus the two stuck-at rows, as a flat trial
   // list: trial 0 is fault-free, then stuck-at-0 per BER, stuck-at-1
   // per BER.
-  const std::vector<double> flat = runner.map(
-      1 + 2 * cols, config.seed ^ 0x7a5a,
+  const std::vector<double> flat = runner.map_streamed(
+      "drone-training/flat" + tag_suffix, 1 + 2 * cols,
+      config.seed ^ 0x7a5a,
       [&](std::size_t trial, Rng& rng) {
         if (trial == 0)
           return run_fine_tune(std::nullopt, 0, std::nullopt, 0.0, rng);
@@ -175,7 +218,8 @@ DroneTrainingCampaignResult run_drone_training_campaign(
             index < cols ? FaultType::kStuckAt0 : FaultType::kStuckAt1;
         const double ber = config.bers[index % cols];
         return run_fine_tune(std::nullopt, 0, type, ber, rng);
-      });
+      },
+      with_checkpoint_suffix(config.stream, "flat"));
   result.fault_free_msf = flat[0];
   result.stuck_at_0.assign(flat.begin() + 1,
                            flat.begin() + 1 + static_cast<std::ptrdiff_t>(cols));
@@ -209,7 +253,8 @@ EnvironmentSweepResult run_environment_sweep(
   // share one fixed stream (per environment) so every row reports the
   // same baseline rollouts.
   const std::size_t ber_count = config.bers.size();
-  const std::vector<double> cells = runner.map(
+  const std::vector<double> cells = runner.map_streamed(
+      inference_stream_tag("drone-env-sweep", config, nullptr),
       worlds.size() * ber_count, config.seed ^ 0x7b,
       [&](std::size_t trial, Rng& trial_rng) {
         const std::size_t env = trial / ber_count;
@@ -225,7 +270,8 @@ EnvironmentSweepResult run_environment_sweep(
               if (ber <= 0.0) return;
               arm_weight_transient(ber, e, r);
             });
-      });
+      },
+      config.stream);
   for (std::size_t env = 0; env < worlds.size(); ++env)
     result.msf.emplace_back(
         cells.begin() + static_cast<std::ptrdiff_t>(env * ber_count),
@@ -344,7 +390,8 @@ DroneMitigationResult run_drone_mitigation_comparison(
   };
   const std::size_t ber_count = config.bers.size();
   const CampaignRunner runner(config.threads);
-  const std::vector<Cell> cells = runner.map(
+  const std::vector<Cell> cells = runner.map_streamed(
+      inference_stream_tag("drone-mitigation", config, &world),
       2 * ber_count, config.seed ^ 0x7f,
       [&](std::size_t trial, Rng& trial_rng) {
         const bool mitigated = trial >= ber_count;
@@ -364,7 +411,8 @@ DroneMitigationResult run_drone_mitigation_comparison(
         if (mitigated && engine.weight_detector() != nullptr)
           cell.detections = engine.weight_detector()->detections();
         return cell;
-      });
+      },
+      config.stream);
   for (std::size_t i = 0; i < ber_count; ++i) {
     result.baseline_msf.push_back(cells[i].msf);
     result.mitigated_msf.push_back(cells[ber_count + i].msf);

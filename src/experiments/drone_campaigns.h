@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/streaming.h"
 #include "experiments/drone_policy.h"
 #include "util/table.h"
 
@@ -26,6 +27,10 @@ struct DroneTrainingCampaignConfig {
   /// Campaign worker threads; <= 0 selects hardware_concurrency.
   /// Results are bit-identical for every value (see src/campaign/).
   int threads = 0;
+  /// Streaming progress + checkpoint/resume. The transient grid and
+  /// the stuck-at sweep checkpoint to "<path>.transient" and
+  /// "<path>.flat"; policy training re-runs on resume.
+  CampaignStreamConfig stream;
 };
 
 struct DroneTrainingCampaignResult {
@@ -55,6 +60,9 @@ struct DroneInferenceCampaignConfig {
   /// Campaign worker threads; <= 0 selects hardware_concurrency.
   /// Results are bit-identical for every value (see src/campaign/).
   int threads = 0;
+  /// Streaming progress + checkpoint/resume for the trial grid
+  /// (policy training is not checkpointed and re-runs on resume).
+  CampaignStreamConfig stream;
 };
 
 /// Fig. 7b: MSF vs BER (transient weight faults) per environment.

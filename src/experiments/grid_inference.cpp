@@ -163,8 +163,9 @@ bool nn_fault_trial(const GridWorld& env, QuantizedInferenceEngine& engine,
 }
 
 /// Per-shard accumulator: success and detection tallies per
-/// (mode, BER) cell. Integer adds, so the shard partition never
-/// affects the merged campaign totals.
+/// (mode, BER) cell. Integer adds, so neither the shard partition nor
+/// the merge order affects the merged campaign totals (the streamed
+/// path merges in completion order).
 struct InferenceAccum {
   std::vector<int> successes;
   std::vector<std::uint64_t> detections;
@@ -177,6 +178,22 @@ struct InferenceAccum {
       successes[i] += other.successes[i];
       detections[i] += other.detections[i];
     }
+  }
+
+  // Checkpoint state hooks (see CampaignStateCodec).
+  void save_state(std::ostream& out) const {
+    io::write_vector(out, successes);
+    io::write_vector(out, detections);
+  }
+  void restore_state(std::istream& in) {
+    auto loaded_successes = io::read_vector<int>(in);
+    auto loaded_detections = io::read_vector<std::uint64_t>(in);
+    if (loaded_successes.size() != successes.size() ||
+        loaded_detections.size() != detections.size())
+      throw std::runtime_error(
+          "InferenceAccum: checkpoint cell-count mismatch");
+    successes = std::move(loaded_successes);
+    detections = std::move(loaded_detections);
   }
 };
 
@@ -247,6 +264,21 @@ InferenceCampaignResult run_inference_campaign(
   const CampaignRunner runner(config.threads);
   const auto merge_accums = [](InferenceAccum& into,
                                InferenceAccum&& from) { into.merge(from); };
+  // Checkpoint identity: the same config must never resume a grid it
+  // did not write. Seed and trial count live in the checkpoint
+  // fingerprint; everything else that gives trials their meaning is
+  // digested into the tag.
+  const std::string stream_tag =
+      std::string("grid-inference/") +
+      (config.kind == GridPolicyKind::kTabular ? "tabular" : "nn") +
+      (config.mitigated ? "/mitigated" : "") + "#" +
+      ConfigDigest()
+          .add(static_cast<int>(config.density))
+          .add(config.train_episodes)
+          .add(config.repeats)
+          .add(config.detector_margin)
+          .add(config.bers)
+          .hex();
   InferenceAccum totals(cell_count);
 
   if (config.kind == GridPolicyKind::kTabular) {
@@ -259,8 +291,8 @@ InferenceCampaignResult run_inference_campaign(
       calibrated.finalize();
     }
 
-    totals = runner.map_reduce(
-        cell_count * repeat_count, config.seed ^ 0xabcd,
+    totals = runner.map_reduce_streamed(
+        stream_tag, cell_count * repeat_count, config.seed ^ 0xabcd,
         [&] { return InferenceAccum(cell_count); },
         [&](InferenceAccum& acc, std::size_t trial, Rng& rng) {
           const std::size_t cell = trial / repeat_count;
@@ -275,7 +307,7 @@ InferenceCampaignResult run_inference_campaign(
             ++acc.successes[cell];
           acc.detections[cell] += detector.detections();
         },
-        merge_accums);
+        merge_accums, config.stream);
   } else {
     // --- NN path (through the quantized inference engine) --------------
     // Snapshot the trained network once: MlpQAgent::network() commits
@@ -284,8 +316,8 @@ InferenceCampaignResult run_inference_campaign(
     const QFormat format = trained.mlp->weights().format();
     const Shape input_shape{trained.env.state_count(), 1, 1};
 
-    totals = runner.map_reduce(
-        cell_count * repeat_count, config.seed ^ 0xabcd,
+    totals = runner.map_reduce_streamed(
+        stream_tag, cell_count * repeat_count, config.seed ^ 0xabcd,
         [&] { return InferenceAccum(cell_count); },
         [&](InferenceAccum& acc, std::size_t trial, Rng& rng) {
           const std::size_t cell = trial / repeat_count;
@@ -301,7 +333,7 @@ InferenceCampaignResult run_inference_campaign(
           if (config.mitigated && engine.weight_detector() != nullptr)
             acc.detections[cell] += engine.weight_detector()->detections();
         },
-        merge_accums);
+        merge_accums, config.stream);
   }
 
   for (std::size_t mode = 0; mode < 4; ++mode) {
@@ -323,10 +355,12 @@ MitigationComparison run_inference_mitigation_comparison(
 
   InferenceCampaignConfig baseline = config;
   baseline.mitigated = false;
+  baseline.stream = with_checkpoint_suffix(config.stream, "baseline");
   const InferenceCampaignResult off = run_inference_campaign(baseline);
 
   InferenceCampaignConfig hardened = config;
   hardened.mitigated = true;
+  hardened.stream = with_checkpoint_suffix(config.stream, "mitigated");
   const InferenceCampaignResult on = run_inference_campaign(hardened);
 
   comparison.baseline_success = off.success_by_mode[0];   // Transient-M

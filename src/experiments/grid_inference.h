@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/streaming.h"
 #include "experiments/grid_training.h"
 
 namespace ftnav {
@@ -39,6 +40,9 @@ struct InferenceCampaignConfig {
   /// Campaign worker threads; <= 0 selects hardware_concurrency.
   /// Results are bit-identical for every value (see src/campaign/).
   int threads = 0;
+  /// Streaming progress + checkpoint/resume for the trial grid
+  /// (policy training is not checkpointed and re-runs on resume).
+  CampaignStreamConfig stream;
 };
 
 struct InferenceCampaignResult {

@@ -158,8 +158,19 @@ HeatmapGrid run_transient_training_heatmap(
   const std::size_t cell_count = config.bers.size() * cols;
   const auto repeats = static_cast<std::size_t>(config.repeats);
   const CampaignRunner runner(config.threads);
-  const std::vector<int> successes = runner.map_reduce(
-      cell_count * repeats, config.seed,
+  const std::string stream_tag =
+      std::string("grid-training/transient-heatmap/") +
+      to_string(config.kind) + (config.mitigated ? "/mitigated" : "") +
+      "#" +
+      ConfigDigest()
+          .add(static_cast<int>(config.density))
+          .add(config.episodes)
+          .add(config.repeats)
+          .add(config.bers)
+          .add(config.injection_episodes)
+          .hex();
+  const std::vector<int> successes = runner.map_reduce_streamed(
+      stream_tag, cell_count * repeats, config.seed,
       [&] { return std::vector<int>(cell_count, 0); },
       [&](std::vector<int>& acc, std::size_t trial, Rng& rng) {
         const std::size_t cell = trial / repeats;
@@ -176,7 +187,8 @@ HeatmapGrid run_transient_training_heatmap(
       },
       [](std::vector<int>& into, std::vector<int>&& from) {
         for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
-      });
+      },
+      with_checkpoint_suffix(config.stream, "transient"));
   for (std::size_t cell = 0; cell < cell_count; ++cell)
     grid.set(cell / cols, cell % cols,
              100.0 * static_cast<double>(successes[cell]) /
@@ -194,8 +206,18 @@ PermanentTrainingSweep run_permanent_training_sweep(
   const std::size_t ber_count = config.bers.size();
   const auto repeats = static_cast<std::size_t>(config.repeats);
   const CampaignRunner runner(config.threads);
-  const std::vector<int> successes = runner.map_reduce(
-      2 * ber_count * repeats, config.seed ^ 0x9e37,
+  const std::string stream_tag =
+      std::string("grid-training/permanent-sweep/") +
+      to_string(config.kind) + (config.mitigated ? "/mitigated" : "") +
+      "#" +
+      ConfigDigest()
+          .add(static_cast<int>(config.density))
+          .add(config.episodes)
+          .add(config.repeats)
+          .add(config.bers)
+          .hex();
+  const std::vector<int> successes = runner.map_reduce_streamed(
+      stream_tag, 2 * ber_count * repeats, config.seed ^ 0x9e37,
       [&] { return std::vector<int>(2 * ber_count, 0); },
       [&](std::vector<int>& acc, std::size_t trial, Rng& rng) {
         const std::size_t cell = trial / repeats;
@@ -213,7 +235,8 @@ PermanentTrainingSweep run_permanent_training_sweep(
       },
       [](std::vector<int>& into, std::vector<int>&& from) {
         for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
-      });
+      },
+      with_checkpoint_suffix(config.stream, "permanent"));
   for (std::size_t cell = 0; cell < 2 * ber_count; ++cell) {
     const double pct = 100.0 * static_cast<double>(successes[cell]) /
                        static_cast<double>(config.repeats);

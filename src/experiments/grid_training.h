@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "campaign/streaming.h"
 #include "core/exploration.h"
 #include "core/fault_model.h"
 #include "envs/gridworld.h"
@@ -85,6 +86,10 @@ struct TrainingHeatmapConfig {
   /// Campaign worker threads; <= 0 selects hardware_concurrency.
   /// Results are bit-identical for every value (see src/campaign/).
   int threads = 0;
+  /// Streaming progress + checkpoint/resume. The transient heatmap and
+  /// the permanent sweep checkpoint to "<path>.transient" and
+  /// "<path>.permanent" respectively.
+  CampaignStreamConfig stream;
 };
 
 /// Success rate (%) per (BER, injection episode) cell under transient

@@ -14,12 +14,21 @@ std::int64_t env_int(const char* name, std::int64_t fallback) {
   return value;
 }
 
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return raw != nullptr ? std::string(raw) : fallback;
+}
+
 BenchConfig bench_config_from_env() {
   BenchConfig config;
   config.seed = static_cast<std::uint64_t>(env_int("FTNAV_SEED", 42));
   config.repeats = static_cast<int>(env_int("FTNAV_REPEATS", 0));
   config.full_scale = env_int("FTNAV_FULL", 0) != 0;
   config.threads = static_cast<int>(env_int("FTNAV_THREADS", 0));
+  config.progress_every = static_cast<int>(env_int("FTNAV_PROGRESS", 0));
+  config.checkpoint_dir = env_string("FTNAV_CHECKPOINT_DIR", "");
+  config.resume = env_int("FTNAV_RESUME", 0) != 0;
+  config.json_dir = env_string("FTNAV_JSON_DIR", "");
   return config;
 }
 
@@ -35,9 +44,16 @@ std::string describe(const BenchConfig& config) {
                                             : std::string("default"))
       << " scale=" << (config.full_scale ? "full(paper)" : "fast")
       << " threads=" << (config.threads > 0 ? std::to_string(config.threads)
-                                            : std::string("auto"))
-      << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1 / "
-         "FTNAV_THREADS]";
+                                            : std::string("auto"));
+  if (config.progress_every > 0)
+    out << " progress=" << config.progress_every;
+  if (!config.checkpoint_dir.empty())
+    out << " checkpoints=" << config.checkpoint_dir
+        << (config.resume ? " (resume)" : "");
+  if (!config.json_dir.empty()) out << " json=" << config.json_dir;
+  out << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1 / "
+         "FTNAV_THREADS / FTNAV_PROGRESS / FTNAV_CHECKPOINT_DIR / "
+         "FTNAV_RESUME=1 / FTNAV_JSON_DIR]";
   return out.str();
 }
 

@@ -1,11 +1,18 @@
 #pragma once
 // Environment-variable experiment knobs shared by every bench binary.
 //
-//   FTNAV_REPEATS  override per-cell repeat count
-//   FTNAV_SEED     override the campaign seed
-//   FTNAV_FULL=1   run paper-scale sweeps (denser grids, more repeats)
-//   FTNAV_THREADS  campaign worker threads (0 = hardware_concurrency;
-//                  results are identical for every value)
+//   FTNAV_REPEATS         override per-cell repeat count
+//   FTNAV_SEED            override the campaign seed
+//   FTNAV_FULL=1          run paper-scale sweeps (denser grids, more repeats)
+//   FTNAV_THREADS         campaign worker threads (0 = hardware_concurrency;
+//                         results are identical for every value)
+//   FTNAV_PROGRESS        emit streamed progress every N trials (0 = off)
+//   FTNAV_CHECKPOINT_DIR  periodically checkpoint campaigns into this
+//                         directory (must exist); empty = off
+//   FTNAV_RESUME=1        resume from the checkpoints in
+//                         FTNAV_CHECKPOINT_DIR instead of restarting
+//   FTNAV_JSON_DIR        also write each table as JSON into this
+//                         directory (CI uploads these as artifacts)
 //
 // Benches print the resolved configuration so results are reproducible.
 
@@ -19,13 +26,20 @@ struct BenchConfig {
   int repeats = 0;        // 0 means "use the bench's default"
   bool full_scale = false;
   int threads = 0;        // 0 means "hardware_concurrency"
+  int progress_every = 0; // streamed progress cadence in trials; 0 = off
+  std::string checkpoint_dir;  // campaign checkpoints land here; "" = off
+  bool resume = false;         // resume from existing checkpoints
+  std::string json_dir;        // JSON table artifacts land here; "" = off
 
   /// Repeat count to use given the bench's fast-mode default.
   int resolve_repeats(int fast_default, int full_default) const;
 };
 
-/// Reads FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL from the environment.
+/// Reads the FTNAV_* knobs above from the environment.
 BenchConfig bench_config_from_env();
+
+/// String environment variable with fallback (unset -> fallback).
+std::string env_string(const char* name, const std::string& fallback);
 
 /// Integer environment variable with fallback (empty/invalid -> fallback).
 std::int64_t env_int(const char* name, std::int64_t fallback);

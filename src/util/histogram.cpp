@@ -7,6 +7,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace ftnav {
 
 Histogram::Histogram(double lo, double hi, std::size_t bins)
@@ -82,6 +84,27 @@ std::string Histogram::render(int width) const {
     out << buf << std::string(static_cast<std::size_t>(bar), '#') << '\n';
   }
   return out.str();
+}
+
+void Histogram::save_state(std::ostream& out) const {
+  io::write_f64(out, lo_);
+  io::write_f64(out, hi_);
+  io::write_vector(out, counts_);
+  io::write_u64(out, total_);
+  io::write_f64(out, observed_min_);
+  io::write_f64(out, observed_max_);
+}
+
+void Histogram::restore_state(std::istream& in) {
+  const double lo = io::read_f64(in);
+  const double hi = io::read_f64(in);
+  auto counts = io::read_vector<std::uint64_t>(in);
+  if (lo != lo_ || hi != hi_ || counts.size() != counts_.size())
+    throw std::runtime_error("Histogram::restore_state: binning mismatch");
+  counts_ = std::move(counts);
+  total_ = io::read_u64(in);
+  observed_min_ = io::read_f64(in);
+  observed_max_ = io::read_f64(in);
 }
 
 double BitStats::zero_fraction() const noexcept {

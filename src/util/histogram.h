@@ -8,6 +8,7 @@
 // than stuck-at-0 faults. BitStats reproduces that measurement.
 
 #include <cstdint>
+#include <iosfwd>
 #include <span>
 #include <string>
 #include <vector>
@@ -42,6 +43,13 @@ class Histogram {
   /// ASCII rendering with a log-scaled bar per bin (matches the paper's
   /// log-frequency axes); `width` is the maximum bar width.
   std::string render(int width = 50) const;
+
+  /// Exact binary snapshot of the accumulated state (doubles travel as
+  /// raw bit patterns), used by campaign checkpoints. `restore_state`
+  /// replaces this histogram's counts and must see the same binning it
+  /// was saved with; throws std::runtime_error otherwise.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in);
 
  private:
   double lo_;

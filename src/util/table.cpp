@@ -5,7 +5,31 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/binary_io.h"
+
 namespace ftnav {
+
+std::string json_quote(const std::string& s) {
+  std::string out = "\"";
+  for (char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
 
 std::string format_double(double v, int precision) {
   char buf[64];
@@ -77,6 +101,22 @@ std::string Table::to_csv() const {
       out << (c ? "," : "") << quote(row[c]);
     out << '\n';
   }
+  return out.str();
+}
+
+std::string Table::to_json() const {
+  std::ostringstream out;
+  out << "{\"headers\":[";
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    out << (c ? "," : "") << json_quote(headers_[c]);
+  out << "],\"rows\":[";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << (r ? ",[" : "[");
+    for (std::size_t c = 0; c < rows_[r].size(); ++c)
+      out << (c ? "," : "") << json_quote(rows_[r][c]);
+    out << ']';
+  }
+  out << "]}";
   return out.str();
 }
 
@@ -154,6 +194,61 @@ std::string HeatmapGrid::to_csv(int precision) const {
     out << '\n';
   }
   return out.str();
+}
+
+std::string HeatmapGrid::to_json(int precision) const {
+  std::ostringstream out;
+  out << "{\"rows\":[";
+  for (std::size_t r = 0; r < rows(); ++r)
+    out << (r ? "," : "") << json_quote(row_labels_[r]);
+  out << "],\"cols\":[";
+  for (std::size_t c = 0; c < cols(); ++c)
+    out << (c ? "," : "") << json_quote(col_labels_[c]);
+  out << "],\"cells\":[";
+  for (std::size_t r = 0; r < rows(); ++r) {
+    out << (r ? ",[" : "[");
+    for (std::size_t c = 0; c < cols(); ++c) {
+      out << (c ? "," : "");
+      if (present_[r * cols() + c])
+        out << format_double(values_[r * cols() + c], precision);
+      else
+        out << "null";
+    }
+    out << ']';
+  }
+  out << "]}";
+  return out.str();
+}
+
+void HeatmapGrid::save_state(std::ostream& out) const {
+  io::write_u64(out, row_labels_.size());
+  for (const std::string& label : row_labels_) io::write_string(out, label);
+  io::write_u64(out, col_labels_.size());
+  for (const std::string& label : col_labels_) io::write_string(out, label);
+  for (double value : values_) io::write_f64(out, value);
+  // vector<bool> packs bits; expand to bytes for the stream.
+  std::vector<std::uint8_t> present(present_.size());
+  for (std::size_t i = 0; i < present_.size(); ++i)
+    present[i] = present_[i] ? 1 : 0;
+  io::write_vector(out, present);
+}
+
+void HeatmapGrid::restore_state(std::istream& in) {
+  const auto read_labels = [&in] {
+    std::vector<std::string> labels(io::read_u64(in));
+    for (std::string& label : labels) label = io::read_string(in);
+    return labels;
+  };
+  const std::vector<std::string> rows_in = read_labels();
+  const std::vector<std::string> cols_in = read_labels();
+  if (rows_in != row_labels_ || cols_in != col_labels_)
+    throw std::runtime_error("HeatmapGrid::restore_state: axis mismatch");
+  for (double& value : values_) value = io::read_f64(in);
+  const auto present = io::read_vector<std::uint8_t>(in);
+  if (present.size() != present_.size())
+    throw std::runtime_error("HeatmapGrid::restore_state: size mismatch");
+  for (std::size_t i = 0; i < present.size(); ++i)
+    present_[i] = present[i] != 0;
 }
 
 }  // namespace ftnav

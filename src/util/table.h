@@ -3,6 +3,7 @@
 // 2-D heatmaps (the layout of Fig. 2 / Fig. 7a / Fig. 8). Every bench
 // binary prints through these so all figures share one output contract.
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -27,6 +28,10 @@ class Table {
 
   /// Renders as RFC-4180-ish CSV (cells containing commas are quoted).
   std::string to_csv() const;
+
+  /// Renders as a JSON object {"headers": [...], "rows": [[...], ...]}
+  /// (CI uploads bench tables in this form as workflow artifacts).
+  std::string to_json() const;
 
  private:
   std::vector<std::string> headers_;
@@ -59,6 +64,16 @@ class HeatmapGrid {
   std::string render(int precision = 0) const;
   std::string to_csv(int precision = 4) const;
 
+  /// JSON object {"rows": [...], "cols": [...], "cells": [[...]]} with
+  /// null for missing cells.
+  std::string to_json(int precision = 6) const;
+
+  /// Exact binary snapshot of cells + presence (labels included), used
+  /// by campaign checkpoints. `restore_state` requires matching labels;
+  /// throws std::runtime_error otherwise.
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in);
+
  private:
   std::size_t index(std::size_t row, std::size_t col) const;
 
@@ -70,5 +85,9 @@ class HeatmapGrid {
 
 /// Formats a double with fixed precision (helper for table rows).
 std::string format_double(double v, int precision = 2);
+
+/// JSON string literal with minimal escaping (quotes, backslashes,
+/// control characters) — shared by every JSON emitter in the repo.
+std::string json_quote(const std::string& s);
 
 }  // namespace ftnav

@@ -1,22 +1,35 @@
 // Tests for the parallel sharded campaign engine: sharding arithmetic,
 // counter-derived stream determinism, thread-count invariance of full
-// campaign drivers, shard-boundary edge cases, and worker exception
-// propagation.
+// campaign drivers, shard-boundary edge cases, worker exception
+// propagation, and persistent worker-pool reuse across campaign phases.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <stdexcept>
 
 #include "campaign/campaign_runner.h"
+#include "campaign/worker_pool.h"
 #include "experiments/drone_campaigns.h"
 #include "experiments/grid_inference.h"
 #include "experiments/grid_training.h"
+#include "util/env_config.h"
 #include "util/histogram.h"
 
 namespace ftnav {
 namespace {
+
+/// Thread count for the parallel arm of the determinism tests. CI's
+/// determinism job runs this suite under FTNAV_THREADS=1 (everything
+/// serial) and FTNAV_THREADS=4 (serial vs 4-way pool), so the env knob
+/// genuinely changes the schedule being compared against serial.
+int parallel_threads() {
+  const int threads = static_cast<int>(env_int("FTNAV_THREADS", 4));
+  return threads > 0 ? threads : 4;
+}
 
 TEST(ShardTrials, CoversRangeWithBalancedShards) {
   const auto shards = shard_trials(10, 4);
@@ -70,7 +83,8 @@ TEST(CampaignRunner, MapIsThreadCountInvariant) {
     return acc;
   };
   const std::vector<double> serial = CampaignRunner(1).map(97, 5, trial);
-  const std::vector<double> parallel = CampaignRunner(4).map(97, 5, trial);
+  const std::vector<double> parallel =
+      CampaignRunner(parallel_threads()).map(97, 5, trial);
   EXPECT_EQ(serial, parallel);  // bit-identical, not approximately equal
 }
 
@@ -135,6 +149,90 @@ TEST(CampaignRunner, ExceptionAbortsRemainingShards) {
   EXPECT_LT(executed.load(), 1000);
 }
 
+// ---- persistent worker pool ---------------------------------------------
+
+TEST(WorkerPoolTest, ExecutesEveryTaskExactlyOnce) {
+  WorkerPool pool(3);
+  std::vector<std::atomic<int>> visits(57);
+  pool.run(57, 4, [&](std::size_t task) { ++visits[task]; });
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(pool.stats().tasks_run, 57u);
+}
+
+TEST(WorkerPoolTest, ReusesWorkersAcrossCampaignPhases) {
+  // Multiple campaign phases on the process-wide pool must reuse the
+  // same parked workers instead of respawning threads per phase.
+  WorkerPool& pool = WorkerPool::instance();
+  const auto phase = [](std::uint64_t seed) {
+    return CampaignRunner(4).map(64, seed, [](std::size_t, Rng& rng) {
+      return rng.uniform();
+    });
+  };
+  (void)phase(1);  // pool is warm after the first phase
+  const WorkerPool::Stats warm = pool.stats();
+  (void)phase(2);
+  (void)phase(3);
+  const CampaignRunner runner(4);
+  (void)runner.map_reduce(
+      100, 4, [] { return 0; },
+      [](int& acc, std::size_t, Rng&) { ++acc; },
+      [](int& into, int&& from) { into += from; });
+  const WorkerPool::Stats after = pool.stats();
+  EXPECT_EQ(after.workers_spawned, warm.workers_spawned);
+  EXPECT_GE(after.regions_run, warm.regions_run + 3);
+  EXPECT_GE(pool.worker_count(), 3);
+}
+
+TEST(WorkerPoolTest, StealsTasksFromABlockedParticipant) {
+  // Lane 0 (the caller) blocks in its first task until every other
+  // task has run. Lane 0's remaining tasks can then only execute if
+  // the lane-1 worker steals them, so completion proves stealing.
+  WorkerPool pool(1);
+  const std::uint64_t steals_before = pool.stats().steals;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int done = 0;
+  pool.run(6, 2, [&](std::size_t task) {
+    std::unique_lock<std::mutex> lock(mutex);
+    if (task == 0) {
+      cv.wait(lock, [&] { return done == 5; });
+    } else {
+      ++done;
+      cv.notify_all();
+    }
+  });
+  EXPECT_GE(pool.stats().steals, steals_before + 2);
+}
+
+TEST(WorkerPoolTest, NestedCampaignRunsInlineWithoutDeadlock) {
+  // A trial that itself runs a campaign must not re-enter the pool.
+  const CampaignRunner outer(4);
+  const std::vector<double> totals =
+      outer.map(8, 5, [](std::size_t, Rng&) {
+        const CampaignRunner inner(4);
+        const std::vector<double> draws =
+            inner.map(16, 9, [](std::size_t, Rng& rng) {
+              return rng.uniform();
+            });
+        double total = 0.0;
+        for (double draw : draws) total += draw;
+        return total;
+      });
+  for (double total : totals) EXPECT_EQ(total, totals.front());
+}
+
+TEST(WorkerPoolTest, FailingTaskIsRethrownOnTheCaller) {
+  WorkerPool pool(4);
+  try {
+    pool.run(40, 4, [&](std::size_t task) {
+      if (task == 17) throw std::runtime_error("task 17");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& error) {
+    EXPECT_STREQ(error.what(), "task 17");
+  }
+}
+
 // ---- thread-count invariance of the ported experiment drivers ----------
 
 DroneInferenceCampaignConfig tiny_drone_campaign(int threads) {
@@ -156,7 +254,7 @@ TEST(CampaignDeterminism, DroneInferenceSweepMatchesAcrossThreadCounts) {
   const EnvironmentSweepResult serial =
       run_environment_sweep(tiny_drone_campaign(1));
   const EnvironmentSweepResult parallel =
-      run_environment_sweep(tiny_drone_campaign(4));
+      run_environment_sweep(tiny_drone_campaign(parallel_threads()));
   ASSERT_EQ(serial.msf.size(), parallel.msf.size());
   for (std::size_t env = 0; env < serial.msf.size(); ++env)
     EXPECT_EQ(serial.msf[env], parallel.msf[env]);  // bit-identical MSF
@@ -179,7 +277,7 @@ TEST(CampaignDeterminism, DroneTrainingHeatmapIsByteIdentical) {
   config.threads = 1;
   const DroneTrainingCampaignResult serial =
       run_drone_training_campaign(DroneWorld::indoor_long(), config);
-  config.threads = 4;
+  config.threads = parallel_threads();
   const DroneTrainingCampaignResult parallel =
       run_drone_training_campaign(DroneWorld::indoor_long(), config);
 
@@ -200,7 +298,7 @@ TEST(CampaignDeterminism, GridInferenceCampaignMatchesAcrossThreadCounts) {
 
   config.threads = 1;
   const InferenceCampaignResult serial = run_inference_campaign(config);
-  config.threads = 4;
+  config.threads = parallel_threads();
   const InferenceCampaignResult parallel = run_inference_campaign(config);
 
   ASSERT_EQ(serial.success_by_mode.size(), parallel.success_by_mode.size());
@@ -218,7 +316,7 @@ TEST(CampaignDeterminism, TrainingHeatmapMatchesAcrossThreadCounts) {
 
   config.threads = 1;
   const HeatmapGrid serial = run_transient_training_heatmap(config);
-  config.threads = 4;
+  config.threads = parallel_threads();
   const HeatmapGrid parallel = run_transient_training_heatmap(config);
   EXPECT_EQ(serial.to_csv(9), parallel.to_csv(9));
 }
