@@ -7,12 +7,15 @@
 // paper's qualitative claim the numbers should exhibit.
 
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "campaign/streaming.h"
+#include "dist/dist_coordinator.h"
+#include "dist/work_queue.h"
 #include "util/env_config.h"
 #include "util/table.h"
 
@@ -55,6 +58,60 @@ inline CampaignStreamConfig stream_for(const BenchConfig& config,
     stream.resume = config.resume;
   }
   return stream;
+}
+
+/// Resolves this bench process's distributed-campaign role from the
+/// FTNAV_WORKERS / FTNAV_QUEUE_DIR / FTNAV_WORKER_ID knobs; call once
+/// before running campaigns and copy the result into each campaign
+/// config's `dist` field.
+///
+/// In the coordinator (FTNAV_WORKERS > 0) this call BLOCKS: it
+/// re-execs the bench binary (`argv0`) FTNAV_WORKERS times with
+/// FTNAV_WORKER_ID set — the workers inherit every other FTNAV_* knob
+/// from the environment — drains the shard queue, then returns the
+/// finalize-role config, under which the bench's campaigns merge the
+/// workers' partial checkpoints and complete without re-running
+/// trials. Worker processes get their worker-role config back
+/// immediately (and have json_dir cleared: the coordinator alone
+/// writes artifacts; benches should also skip printing tables when
+/// `config.is_dist_worker()`).
+inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
+  DistConfig dist;
+  if (config.worker_id >= 0) {
+    dist.worker_id = config.worker_id;
+    dist.queue_dir = config.queue_dir;
+    config.json_dir.clear();
+    config.progress_every = 0;  // keep worker stdout quiet
+    return dist;
+  }
+  if (config.workers <= 0) return dist;
+  if (config.queue_dir.empty()) {
+    config.queue_dir = make_scratch_queue_dir("ftnav_bench_queue");
+    // Remove the scratch queue when the bench exits cleanly (partials
+    // and merged checkpoints inside it are campaign-sized).
+    struct ScratchCleanup {
+      std::string dir;
+      ~ScratchCleanup() {
+        std::error_code ignored;
+        std::filesystem::remove_all(dir, ignored);
+      }
+    };
+    static const ScratchCleanup cleanup{config.queue_dir};
+  }
+  dist.workers = config.workers;
+  dist.queue_dir = config.queue_dir;
+  // To stderr: stdout must stay identical to a single-process run.
+  std::fprintf(stderr, "distributed: %d workers, queue=%s\n",
+               dist.workers, dist.queue_dir.c_str());
+  const DistCoordinator coordinator(dist);
+  coordinator.run([&](int worker) {
+    DistCoordinator::Command command;
+    command.argv = {argv0};
+    command.env = {"FTNAV_WORKER_ID=" + std::to_string(worker),
+                   "FTNAV_QUEUE_DIR=" + dist.queue_dir};
+    return command;
+  });
+  return dist;
 }
 
 /// Collects the tables a bench prints and, when FTNAV_JSON_DIR is set,

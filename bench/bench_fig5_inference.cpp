@@ -1,20 +1,29 @@
 // Fig. 5: the impact of transient and permanent faults on Grid World
 // inference for tabular and NN policies. Modes: Transient-M (memory,
 // whole episode), Transient-1 (read register, one step), stuck-at-0/1.
+//
+// Supports distributed runs: FTNAV_WORKERS=4 shards each campaign
+// across four worker processes (spawned copies of this binary) and
+// prints tables identical to a single-process run. See src/dist/.
 
 #include <cstdio>
 
 #include "bench_common.h"
 #include "experiments/grid_inference.h"
 
-int main() {
+int main(int, char** argv) {
   using namespace ftnav;
   using namespace ftnav::benchharness;
-  const BenchConfig config = bench_config_from_env();
-  print_banner("Figure 5",
-               "faults injected into the frozen policy store at inference "
-               "time: success rate vs BER per fault mode",
-               config);
+  BenchConfig config = bench_config_from_env();
+  // Coordinator: spawn FTNAV_WORKERS workers and drain the queue;
+  // workers: run leased shards silently and exit.
+  const DistConfig dist = bench_dist(argv[0], config);
+  const bool worker = config.is_dist_worker();
+  if (!worker)
+    print_banner("Figure 5",
+                 "faults injected into the frozen policy store at inference "
+                 "time: success rate vs BER per fault mode",
+                 config);
 
   const std::vector<double> bers = {0.0,   0.002, 0.004,
                                     0.006, 0.008, 0.010};
@@ -32,12 +41,15 @@ int main() {
     campaign.threads = config.threads;
     campaign.stream =
         stream_for(config, tabular ? "fig5a" : "fig5b");
+    campaign.dist = dist;
 
-    std::printf("--- Fig. 5%c: %s-based inference (%d fault draws per "
-                "point) ---\n",
-                tabular ? 'a' : 'b', to_string(kind).c_str(),
-                campaign.repeats);
+    if (!worker)
+      std::printf("--- Fig. 5%c: %s-based inference (%d fault draws per "
+                  "point) ---\n",
+                  tabular ? 'a' : 'b', to_string(kind).c_str(),
+                  campaign.repeats);
     const InferenceCampaignResult result = run_inference_campaign(campaign);
+    if (worker) continue;  // partial tallies; the coordinator reports
 
     Table table({"BER", "Transient-M", "Transient-1", "Stuck-at-0",
                  "Stuck-at-1"});
@@ -52,11 +64,12 @@ int main() {
     artifact.add(tabular ? "fig5a_tabular" : "fig5b_nn", table);
   }
 
-  print_shape_note(
-      "Transient-1 (single-step register upset) is nearly harmless -- a "
-      "wrong step gets remedied later; Transient-M and permanent faults "
-      "degrade success with BER; stuck-at-1 hits the NN policy much "
-      "harder than stuck-at-0, while the tabular policy treats them "
-      "similarly");
+  if (!worker)
+    print_shape_note(
+        "Transient-1 (single-step register upset) is nearly harmless -- a "
+        "wrong step gets remedied later; Transient-M and permanent faults "
+        "degrade success with BER; stuck-at-1 hits the NN policy much "
+        "harder than stuck-at-0, while the tabular policy treats them "
+        "similarly");
   return 0;
 }

@@ -7,6 +7,7 @@
 //       [--density low|middle|high] [--mitigate] [--seed <n>]
 //       [--threads <n>] [--progress <trials>]
 //       [--checkpoint <file>] [--resume] [--stop-after <shards>]
+//       [--workers <n>] [--queue-dir <dir>] [--json <file>]
 //
 // Long campaigns stream progress (--progress N prints a line at least
 // every N trials) and checkpoint to disk (--checkpoint FILE). A killed
@@ -15,29 +16,48 @@
 // the graceful-stop kill switch CI's kill-and-resume job uses: the
 // campaign checkpoints after N shards and exits with status 3.
 //
+// --workers N runs the campaign distributed (see src/dist/): the
+// coordinator re-execs this binary N times in worker mode, the
+// workers partition the shard stream through a filesystem work queue
+// under --queue-dir (a temp directory by default), and the
+// coordinator merges their partial checkpoints into --checkpoint.
+// Output — stdout, --json, and the merged checkpoint bytes — is
+// identical for every worker count, and identical to a plain
+// single-process run, even when workers are killed mid-campaign.
+// (Hidden worker-mode flags: --worker-id K --queue-dir D, plus the
+// --worker-fail-after N crash-test hook.)
+//
 // Example:
 //   ./build/examples/fault_campaign --policy nn --mode tm
-//       --ber 0.005 --repeats 200 --mitigate --threads 4
-//       --progress 50 --checkpoint /tmp/campaign.ckpt
+//       --ber 0.005 --repeats 200 --mitigate --workers 4
+//       --checkpoint /tmp/campaign.ckpt --json /tmp/campaign.json
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
+#include <filesystem>
 #include <string>
+#include <vector>
 
 #include "campaign/streaming.h"
+#include "dist/dist_coordinator.h"
+#include "dist/work_queue.h"
 #include "experiments/grid_inference.h"
 #include "util/stats.h"
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::fprintf(stderr,
+void print_usage(std::FILE* out, const char* argv0) {
+  std::fprintf(out,
                "usage: %s [--policy tabular|nn] [--mode tm|t1|sa0|sa1] "
                "[--ber f] [--repeats n] [--density low|middle|high] "
                "[--mitigate] [--seed n] [--threads n] [--progress n] "
-               "[--checkpoint file] [--resume] [--stop-after n]\n",
+               "[--checkpoint file] [--resume] [--stop-after n] "
+               "[--workers n] [--queue-dir dir] [--json file] [--help]\n",
                argv0);
+}
+
+[[noreturn]] void usage_error(const char* argv0) {
+  print_usage(stderr, argv0);
   std::exit(2);
 }
 
@@ -52,37 +72,46 @@ int main(int argc, char** argv) {
   config.repeats = 100;
   InferenceFaultMode mode = InferenceFaultMode::kTransientM;
   double ber = 0.005;
+  int workers = 0;
+  int worker_id = -1;
+  int worker_fail_after = 0;
+  std::string queue_dir;
+  std::string json_path;
+  bool progress = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
-      if (i + 1 >= argc) usage(argv[0]);
+      if (i + 1 >= argc) usage_error(argv[0]);
       return argv[++i];
     };
-    if (arg == "--policy") {
+    if (arg == "--help" || arg == "-h") {
+      print_usage(stdout, argv[0]);
+      return 0;
+    } else if (arg == "--policy") {
       const std::string v = next();
       if (v == "tabular") config.kind = GridPolicyKind::kTabular;
       else if (v == "nn") config.kind = GridPolicyKind::kNeuralNet;
-      else usage(argv[0]);
+      else usage_error(argv[0]);
     } else if (arg == "--mode") {
       const std::string v = next();
       if (v == "tm") mode = InferenceFaultMode::kTransientM;
       else if (v == "t1") mode = InferenceFaultMode::kTransient1;
       else if (v == "sa0") mode = InferenceFaultMode::kStuckAt0;
       else if (v == "sa1") mode = InferenceFaultMode::kStuckAt1;
-      else usage(argv[0]);
+      else usage_error(argv[0]);
     } else if (arg == "--ber") {
       ber = std::atof(next());
-      if (ber < 0.0 || ber > 1.0) usage(argv[0]);
+      if (ber < 0.0 || ber > 1.0) usage_error(argv[0]);
     } else if (arg == "--repeats") {
       config.repeats = std::atoi(next());
-      if (config.repeats <= 0) usage(argv[0]);
+      if (config.repeats <= 0) usage_error(argv[0]);
     } else if (arg == "--density") {
       const std::string v = next();
       if (v == "low") config.density = ObstacleDensity::kLow;
       else if (v == "middle") config.density = ObstacleDensity::kMiddle;
       else if (v == "high") config.density = ObstacleDensity::kHigh;
-      else usage(argv[0]);
+      else usage_error(argv[0]);
     } else if (arg == "--mitigate") {
       config.mitigated = true;
     } else if (arg == "--seed") {
@@ -91,25 +120,34 @@ int main(int argc, char** argv) {
       config.threads = std::atoi(next());
     } else if (arg == "--progress") {
       const int every = std::atoi(next());
-      if (every <= 0) usage(argv[0]);
+      if (every <= 0) usage_error(argv[0]);
+      progress = true;
       config.stream.progress_every_trials = static_cast<std::size_t>(every);
-      config.stream.on_progress = [](const StreamProgress& progress) {
-        std::printf("progress: %zu/%zu trials (%.1f%%), %zu/%zu shards\n",
-                    progress.trials_done, progress.trials_total,
-                    100.0 * progress.fraction(), progress.shards_done,
-                    progress.shards_total);
-        std::fflush(stdout);
-      };
     } else if (arg == "--checkpoint") {
       config.stream.checkpoint_path = next();
     } else if (arg == "--resume") {
       config.stream.resume = true;
     } else if (arg == "--stop-after") {
       const int shards = std::atoi(next());
-      if (shards <= 0) usage(argv[0]);
+      if (shards <= 0) usage_error(argv[0]);
       config.stream.stop_after_shards = static_cast<std::size_t>(shards);
+    } else if (arg == "--workers") {
+      workers = std::atoi(next());
+      if (workers <= 0) usage_error(argv[0]);
+    } else if (arg == "--queue-dir") {
+      queue_dir = next();
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--worker-id") {
+      worker_id = std::atoi(next());
+      if (worker_id < 0) usage_error(argv[0]);
+    } else if (arg == "--worker-fail-after") {
+      worker_fail_after = std::atoi(next());
+      if (worker_fail_after <= 0) usage_error(argv[0]);
     } else {
-      usage(argv[0]);
+      std::fprintf(stderr, "%s: unknown option '%s'\n", argv[0],
+                   arg.c_str());
+      usage_error(argv[0]);
     }
   }
   if (config.stream.stop_after_shards > 0 &&
@@ -121,8 +159,108 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return 2;
   }
+  if (worker_id >= 0 && queue_dir.empty()) {
+    std::fprintf(stderr, "--worker-id requires --queue-dir\n");
+    return 2;
+  }
+  if (workers > 0 && (config.stream.resume ||
+                      config.stream.stop_after_shards > 0)) {
+    std::fprintf(stderr, "--workers is incompatible with --resume and "
+                         "--stop-after\n");
+    return 2;
+  }
 
   config.bers = {ber};
+
+  // ---- worker mode: run leased shards into a partial checkpoint ----
+  // Silent on stdout (the coordinator's output is the campaign's
+  // output and must not interleave with worker chatter).
+  if (worker_id >= 0) {
+    config.dist.worker_id = worker_id;
+    config.dist.queue_dir = queue_dir;
+    config.dist.fail_after_shards = worker_fail_after;
+    config.stream = CampaignStreamConfig{};  // DistCampaign re-targets it
+    try {
+      (void)run_inference_campaign(config);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "worker %d: error: %s\n", worker_id,
+                   error.what());
+      return 1;
+    }
+    return 0;
+  }
+
+  // ---- coordinator mode: spawn workers, drain the queue, merge ----
+  bool scratch_queue = false;
+  if (workers > 0) {
+    if (queue_dir.empty()) {
+      try {
+        queue_dir = make_scratch_queue_dir("fault_campaign_queue");
+        scratch_queue = true;
+      } catch (const std::exception& error) {
+        std::fprintf(stderr, "error: %s\n", error.what());
+        return 1;
+      }
+    }
+    std::fprintf(stderr, "distributed: %d workers, queue=%s\n", workers,
+                 queue_dir.c_str());
+    config.dist.workers = workers;
+    config.dist.queue_dir = queue_dir;
+
+    DistCoordinator::Command worker_command;
+    worker_command.argv = {argv[0]};
+    const auto add = [&](const std::string& flag, const std::string& value) {
+      worker_command.argv.push_back(flag);
+      worker_command.argv.push_back(value);
+    };
+    add("--policy",
+        config.kind == GridPolicyKind::kTabular ? "tabular" : "nn");
+    add("--mode", mode == InferenceFaultMode::kTransientM   ? "tm"
+                  : mode == InferenceFaultMode::kTransient1 ? "t1"
+                  : mode == InferenceFaultMode::kStuckAt0   ? "sa0"
+                                                            : "sa1");
+    char buffer[64];
+    std::snprintf(buffer, sizeof buffer, "%.17g", ber);
+    add("--ber", buffer);
+    add("--repeats", std::to_string(config.repeats));
+    add("--density", config.density == ObstacleDensity::kLow      ? "low"
+                     : config.density == ObstacleDensity::kMiddle ? "middle"
+                                                                  : "high");
+    if (config.mitigated) worker_command.argv.push_back("--mitigate");
+    add("--seed", std::to_string(config.seed));
+    add("--threads", std::to_string(config.threads));
+    add("--queue-dir", queue_dir);
+    if (worker_fail_after > 0)
+      add("--worker-fail-after", std::to_string(worker_fail_after));
+
+    try {
+      const DistCoordinator coordinator(config.dist);
+      coordinator.run([&](int id) {
+        DistCoordinator::Command command = worker_command;
+        command.argv.push_back("--worker-id");
+        command.argv.push_back(std::to_string(id));
+        return command;
+      });
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "error: %s\n", error.what());
+      return 1;
+    }
+    // Fall through: the run below merges the partial checkpoints and
+    // finishes instantly with the workers' combined results.
+  }
+
+  if (progress) {
+    config.stream.on_progress = [](const StreamProgress& p) {
+      std::printf("progress: %zu/%zu trials (%.1f%%), %zu/%zu shards\n",
+                  p.trials_done, p.trials_total, 100.0 * p.fraction(),
+                  p.shards_done, p.shards_total);
+      std::fflush(stdout);
+    };
+  }
+
+  // No worker count here: stdout is byte-identical between a plain
+  // run and any --workers N run (the worker count is announced on
+  // stderr above).
   std::printf("campaign: policy=%s mode=%s ber=%.4f repeats=%d "
               "mitigated=%s seed=%llu threads=%d\n",
               to_string(config.kind).c_str(), to_string(mode).c_str(), ber,
@@ -153,5 +291,34 @@ int main(int argc, char** argv) {
   if (config.mitigated)
     std::printf("anomaly detections across campaign: %llu\n",
                 static_cast<unsigned long long>(result.detections));
+
+  if (!json_path.empty()) {
+    std::FILE* out = std::fopen(json_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\"policy\": \"%s\", \"mode\": \"%s\", "
+                      "\"ber\": %.17g, \"repeats\": %d,\n",
+                 to_string(config.kind).c_str(), to_string(mode).c_str(),
+                 ber, config.repeats);
+    std::fprintf(out, " \"success_by_mode\": [");
+    for (std::size_t m = 0; m < result.success_by_mode.size(); ++m) {
+      std::fprintf(out, "%s[", m ? ", " : "");
+      for (std::size_t b = 0; b < result.success_by_mode[m].size(); ++b)
+        std::fprintf(out, "%s%.17g", b ? ", " : "",
+                     result.success_by_mode[m][b]);
+      std::fprintf(out, "]");
+    }
+    std::fprintf(out, "],\n \"detections\": %llu}\n",
+                 static_cast<unsigned long long>(result.detections));
+    std::fclose(out);
+  }
+  // A scratch queue (no --queue-dir given) has served its purpose once
+  // the merged result is out; kept on failure paths for post-mortems.
+  if (scratch_queue) {
+    std::error_code ignored;
+    std::filesystem::remove_all(queue_dir, ignored);
+  }
   return 0;
 }

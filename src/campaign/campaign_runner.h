@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -159,6 +160,19 @@ class CampaignRunner {
           for (std::size_t i = 0; i < from.slice.size(); ++i)
             into.results[from.slice_begin + i] = from.slice[i];
         },
+        // Partial-checkpoint merge: a restored MapAccum carries the
+        // full-size results vector, so copy the trial ranges its
+        // bitmap owns (disjoint across partials, hence
+        // order-invariant).
+        [](Accum& into, Accum&& from,
+           const std::vector<std::uint8_t>& from_done,
+           const std::vector<CampaignShard>& shards) {
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            if (!from_done[s]) continue;
+            for (std::size_t t = shards[s].begin; t < shards[s].end; ++t)
+              into.results[t] = from.results[t];
+          }
+        },
         stream);
     return std::move(merged.results);
   }
@@ -226,7 +240,15 @@ class CampaignRunner {
         [&](Acc& acc, const CampaignShard&, std::size_t trial, Rng& rng) {
           accumulate(acc, trial, rng);
         },
-        std::forward<MergeFn>(merge), stream);
+        merge,
+        // Restored partial accumulators merge like any other partial:
+        // order-invariant adds where unclaimed cells contribute the
+        // make_acc() identity.
+        [&merge](Acc& into, Acc&& from, const std::vector<std::uint8_t>&,
+                 const std::vector<CampaignShard>&) {
+          merge(into, std::move(from));
+        },
+        stream);
   }
 
  private:
@@ -245,14 +267,19 @@ class CampaignRunner {
 
   /// Shared core of the streamed paths: thread-independent partition,
   /// optional checkpoint resume, per-shard accumulate -> commit into a
-  /// StreamingAggregator, periodic checkpoint saves, graceful stop.
-  /// `make_partial()` builds a fresh per-shard accumulator;
-  /// `accumulate(acc, shard, trial, rng)` fills it.
+  /// StreamingAggregator, periodic checkpoint saves, graceful stop,
+  /// and the distributed hooks (shard arbitration + partial-checkpoint
+  /// merge — see src/dist/). `make_partial()` builds a fresh per-shard
+  /// accumulator; `accumulate(acc, shard, trial, rng)` fills it;
+  /// `merge_restored(into, from, from_done, shards)` folds an
+  /// accumulator restored from another process's partial checkpoint
+  /// (full-state, not a per-shard slice) into the merged side.
   template <typename Acc, typename MakePartial, typename AccumulateFn,
-            typename MergeFn>
+            typename MergeFn, typename MergeRestoredFn>
   Acc run_streamed(std::string_view tag, std::size_t trial_count,
                    std::uint64_t seed, Acc initial, MakePartial&& make_partial,
                    AccumulateFn accumulate, MergeFn merge,
+                   MergeRestoredFn merge_restored,
                    const CampaignStreamConfig& stream) const {
     const std::vector<CampaignShard> shards =
         shard_trials(trial_count, stream_shard_count(trial_count));
@@ -260,9 +287,60 @@ class CampaignRunner {
         tag, seed, trial_count, shards.size());
     const bool checkpointing = !stream.checkpoint_path.empty();
 
+    // Coordinator finalize: fold the workers' partial checkpoints into
+    // one checkpoint at `checkpoint_path`, then resume from it. When
+    // the partials cover every shard this run does zero trials and the
+    // merged file is byte-identical to a single-process run's.
+    if (checkpointing && !stream.merge_partials.empty()) {
+      std::vector<CampaignCheckpoint::Loaded> partials;
+      for (const std::string& path : stream.merge_partials) {
+        std::optional<CampaignCheckpoint::Loaded> loaded;
+        try {
+          loaded = CampaignCheckpoint::load(path);
+        } catch (const std::runtime_error&) {
+          // Corrupt partial: skip it, exactly as lease reclaim treats
+          // it as "nothing committed" — its shards were (or will be)
+          // re-run, by another worker or by this finalize pass below.
+          continue;
+        }
+        if (!loaded) continue;  // worker that never claimed a shard
+        if (loaded->header.fingerprint != fingerprint)
+          throw std::runtime_error(
+              "campaign merge: partial checkpoint was written by a "
+              "different campaign configuration: " +
+              path);
+        partials.push_back(std::move(*loaded));
+      }
+      if (!partials.empty()) {
+        // One decode per partial, one encode for the union.
+        const auto merge_payload =
+            [&](const std::vector<CampaignCheckpoint::Loaded>& loaded) {
+              Acc merged_acc = initial;
+              {
+                std::istringstream in(loaded.front().payload);
+                CampaignStateCodec<Acc>::load(in, merged_acc);
+              }
+              for (std::size_t i = 1; i < loaded.size(); ++i) {
+                Acc partial_acc = initial;
+                std::istringstream in(loaded[i].payload);
+                CampaignStateCodec<Acc>::load(in, partial_acc);
+                merge_restored(merged_acc, std::move(partial_acc),
+                               loaded[i].shard_done, shards);
+              }
+              std::ostringstream out;
+              CampaignStateCodec<Acc>::save(out, merged_acc);
+              return out.str();
+            };
+        const CampaignCheckpoint::Loaded merged =
+            CampaignCheckpoint::merge(partials, merge_payload);
+        CampaignCheckpoint::save(stream.checkpoint_path, merged.header,
+                                 merged.shard_done, merged.payload);
+      }
+    }
+
     // Resume: load merged state + completed-shard bitmap.
     std::vector<std::uint8_t> restored(shards.size(), 0);
-    if (checkpointing && stream.resume) {
+    if (checkpointing && (stream.resume || !stream.merge_partials.empty())) {
       if (auto loaded = CampaignCheckpoint::load(stream.checkpoint_path)) {
         if (loaded->header.fingerprint != fingerprint)
           throw std::runtime_error(
@@ -286,6 +364,9 @@ class CampaignRunner {
       else
         pending.push_back(i);
     }
+
+    if (stream.arbiter != nullptr)
+      stream.arbiter->begin(shards.size(), restored);
 
     if (stream.on_progress && stream.progress_every_trials > 0) {
       aggregator.set_snapshot_callback(
@@ -323,16 +404,38 @@ class CampaignRunner {
       }
     });
 
-    run_shards_prepartitioned_indices(
-        pending, [&](std::size_t shard_index) {
-          const CampaignShard& shard = shards[shard_index];
-          Acc acc = make_partial();
-          for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
-            Rng rng = Rng::stream(seed, trial);
-            accumulate(acc, shard, trial, rng);
-          }
-          aggregator.commit_shard(shard_index, shard.size(), std::move(acc));
+    const auto run_one_shard = [&](std::size_t shard_index) {
+      // Distributed mode: run the shard only if this process wins the
+      // lease; another worker's shard is simply skipped here and lands
+      // in the merged result via its partial checkpoint.
+      if (stream.arbiter != nullptr && !stream.arbiter->claim(shard_index))
+        return;
+      const CampaignShard& shard = shards[shard_index];
+      Acc acc = make_partial();
+      for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+        Rng rng = Rng::stream(seed, trial);
+        accumulate(acc, shard, trial, rng);
+      }
+      aggregator.commit_shard(shard_index, shard.size(), std::move(acc));
+      if (stream.arbiter != nullptr) stream.arbiter->committed(shard_index);
+    };
+    run_shards_prepartitioned_indices(pending, run_one_shard);
+
+    // Distributed mode: keep draining reclaimed work (shards whose
+    // worker died mid-lease) until the arbiter reports the campaign
+    // globally complete.
+    if (stream.arbiter != nullptr) {
+      while (true) {
+        std::vector<std::size_t> wave =
+            stream.arbiter->next_wave(aggregator.shard_done());
+        if (wave.empty()) break;
+        std::erase_if(wave, [&](std::size_t shard_index) {
+          return aggregator.is_done(shard_index);
         });
+        if (!wave.empty())
+          run_shards_prepartitioned_indices(wave, run_one_shard);
+      }
+    }
     aggregator.finish();
     return aggregator.take();
   }

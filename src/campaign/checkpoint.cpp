@@ -2,6 +2,7 @@
 
 #include <bit>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -73,6 +74,18 @@ void CampaignCheckpoint::save(const std::string& path, const Header& header,
   if (shard_done.size() != header.shard_count)
     throw std::runtime_error("CampaignCheckpoint::save: bitmap size mismatch");
 
+  // The directory may not exist yet (FTNAV_CHECKPOINT_DIR pointing at a
+  // fresh scratch path); create it instead of failing the first save.
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec)
+      throw std::runtime_error("CampaignCheckpoint: cannot create " +
+                               parent.string() + ": " + ec.message());
+  }
+
   std::ostringstream body;
   io::write_bytes(body, kMagic, sizeof kMagic);
   io::write_u64(body, header.fingerprint);
@@ -135,6 +148,38 @@ std::optional<CampaignCheckpoint::Loaded> CampaignCheckpoint::load(
                              path);
   loaded.payload = io::read_string(body_in);
   return loaded;
+}
+
+CampaignCheckpoint::Loaded CampaignCheckpoint::merge(
+    const std::vector<Loaded>& partials, const PayloadMerge& merge_payload) {
+  if (partials.empty())
+    throw std::runtime_error("CampaignCheckpoint::merge: no partials");
+
+  Loaded merged = partials.front();
+  for (std::size_t i = 1; i < partials.size(); ++i) {
+    const Loaded& partial = partials[i];
+    if (partial.header.fingerprint != merged.header.fingerprint)
+      throw std::runtime_error(
+          "CampaignCheckpoint::merge: fingerprint mismatch (partials from "
+          "different campaign configurations)");
+    if (partial.header.trial_count != merged.header.trial_count ||
+        partial.header.shard_count != merged.header.shard_count ||
+        partial.shard_done.size() != merged.shard_done.size())
+      throw std::runtime_error(
+          "CampaignCheckpoint::merge: shard partition mismatch");
+    for (std::size_t shard = 0; shard < merged.shard_done.size(); ++shard) {
+      if (merged.shard_done[shard] && partial.shard_done[shard])
+        throw std::runtime_error(
+            "CampaignCheckpoint::merge: shard " + std::to_string(shard) +
+            " completed by two workers (bitmaps must be disjoint)");
+      merged.shard_done[shard] |= partial.shard_done[shard];
+    }
+    merged.header.trials_done += partial.header.trials_done;
+  }
+  // A single partial IS the merge; skipping the payload round-trip
+  // keeps its bytes verbatim.
+  if (partials.size() > 1) merged.payload = merge_payload(partials);
+  return merged;
 }
 
 }  // namespace ftnav

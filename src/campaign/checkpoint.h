@@ -24,6 +24,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -89,6 +90,28 @@ class CampaignCheckpoint {
   /// throws std::runtime_error when it exists but is truncated,
   /// corrupt, or fails the checksum.
   static std::optional<Loaded> load(const std::string& path);
+
+  /// Merges the payloads of validated partial checkpoints. Only the
+  /// campaign knows its accumulator encoding, so `merge` delegates:
+  /// the callback receives every partial at once (each one's
+  /// completed-shard bitmap tells slice-style accumulators which trial
+  /// ranges it owns) and returns the merged payload bytes — one
+  /// decode per partial and a single encode, instead of re-coding the
+  /// accumulated state per pair.
+  using PayloadMerge =
+      std::function<std::string(const std::vector<Loaded>& partials)>;
+
+  /// Folds per-process partial checkpoints into one checkpoint
+  /// equivalent to a single-process run over the union of their
+  /// shards: bitmaps are unioned, `trials_done` summed, and payloads
+  /// merged via `merge_payload`. Every partial must carry the same
+  /// fingerprint, trial count, and shard count, and the completed-shard
+  /// bitmaps must be pairwise disjoint (a shard that ran in two worker
+  /// processes would be double-counted, so overlap throws instead of
+  /// silently corrupting the merge). Throws std::runtime_error on any
+  /// mismatch or when `partials` is empty.
+  static Loaded merge(const std::vector<Loaded>& partials,
+                      const PayloadMerge& merge_payload);
 };
 
 }  // namespace ftnav

@@ -68,6 +68,43 @@ class CampaignInterrupted : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Multi-process shard arbitration (see src/dist/). A worker process
+/// in a distributed campaign installs an arbiter into its stream
+/// config; the streamed runner then executes only the shards the
+/// arbiter grants, and keeps asking for more waves (reclaimed work
+/// from dead workers) until the arbiter reports the campaign globally
+/// complete. The arbiter's callbacks run on campaign worker threads;
+/// implementations must be thread-safe where noted.
+class ShardArbiter {
+ public:
+  virtual ~ShardArbiter() = default;
+
+  /// Called once, before any claim, with the campaign's fixed shard
+  /// partition size and the shards this process already completed in a
+  /// previous life (restored from its own partial checkpoint).
+  virtual void begin(std::size_t shard_count,
+                     const std::vector<std::uint8_t>& restored) = 0;
+
+  /// Grants or refuses a shard. Called concurrently from campaign
+  /// worker threads; exactly one process may be granted each shard.
+  virtual bool claim(std::size_t shard) = 0;
+
+  /// Notifies that `shard` is merged into this process's accumulator
+  /// AND persisted in its partial checkpoint (the distributed layer
+  /// forces checkpoint_every_shards = 1, so the save happened inside
+  /// the commit). Called concurrently from campaign worker threads.
+  virtual void committed(std::size_t shard) = 0;
+
+  /// Called after the local wave drained: returns further shards that
+  /// became claimable (work reclaimed from a dead worker), blocking
+  /// until either new work appears or the campaign is globally
+  /// complete — then returns empty. `done_by_self` is this process's
+  /// completed-shard bitmap. Called from the campaign's calling thread
+  /// only.
+  virtual std::vector<std::size_t> next_wave(
+      const std::vector<std::uint8_t>& done_by_self) = 0;
+};
+
 /// Streaming/checkpoint knobs carried by experiment config structs.
 /// Default-constructed, it streams nothing and checkpoints nothing —
 /// the campaign behaves like a plain batch run.
@@ -94,9 +131,23 @@ struct CampaignStreamConfig {
   /// CampaignInterrupted. 0 runs to completion.
   std::size_t stop_after_shards = 0;
 
+  /// Distributed-worker shard arbitration (non-owning; see src/dist/
+  /// and ShardArbiter above). Null runs every pending shard locally.
+  ShardArbiter* arbiter = nullptr;
+
+  /// Coordinator finalize: per-process partial checkpoints to merge
+  /// (disjoint-bitmap union) into `checkpoint_path` before the resume
+  /// load. With every shard covered by the partials the run does zero
+  /// trials and the merged checkpoint is byte-identical to a
+  /// single-process run's; uncovered shards are simply executed
+  /// locally. Paths that do not exist (workers that claimed nothing)
+  /// are skipped.
+  std::vector<std::string> merge_partials;
+
   bool streaming_enabled() const noexcept {
     return (on_progress && progress_every_trials > 0) ||
-           !checkpoint_path.empty() || stop_after_shards > 0;
+           !checkpoint_path.empty() || stop_after_shards > 0 ||
+           arbiter != nullptr || !merge_partials.empty();
   }
 };
 

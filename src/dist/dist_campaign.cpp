@@ -1,0 +1,190 @@
+#include "dist/dist_campaign.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "dist/work_queue.h"
+#include "util/binary_io.h"
+
+namespace ftnav {
+namespace {
+
+/// ShardArbiter backed by a WorkQueue: claims are lease renames,
+/// completions release leases into done/, and next_wave spins on the
+/// queue (reclaiming expired leases) until the campaign is globally
+/// complete.
+class QueueShardArbiter : public ShardArbiter {
+ public:
+  QueueShardArbiter(WorkQueue& queue, const DistConfig& config)
+      : queue_(queue), config_(config) {}
+
+  void begin(std::size_t shard_count,
+             const std::vector<std::uint8_t>& restored) override {
+    shard_count_ = shard_count;
+    queue_.populate(shard_count, config_.worker_id);
+    // A previous life of this worker may have died between saving a
+    // shard into its partial and releasing the lease; the restored
+    // bitmap is the durable truth, so finish the release now.
+    std::size_t restored_count = 0;
+    for (std::size_t shard = 0; shard < restored.size(); ++shard) {
+      if (!restored[shard]) continue;
+      ++restored_count;
+      queue_.mark_done(shard, config_.worker_id);
+    }
+    done_by_self_.store(restored_count, std::memory_order_relaxed);
+  }
+
+  bool claim(std::size_t shard) override {
+    return queue_.try_claim(shard, config_.worker_id).has_value();
+  }
+
+  void committed(std::size_t shard) override {
+    const std::size_t total =
+        done_by_self_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Test hook: die in the claim->done crash window, after the shard
+    // is durable in our partial but before the lease is released.
+    if (config_.fail_after_shards > 0 &&
+        total == static_cast<std::size_t>(config_.fail_after_shards))
+      std::_Exit(9);
+    queue_.mark_done(shard, config_.worker_id);
+    WorkQueue::beat(config_.queue_dir, config_.worker_id);
+  }
+
+  std::vector<std::size_t> next_wave(
+      const std::vector<std::uint8_t>& done_by_self) override {
+    while (true) {
+      WorkQueue::beat(config_.queue_dir, config_.worker_id);
+      // Recover leases of workers that stopped heartbeating (our own
+      // leases are fresh, so -1 never reclaims from ourselves).
+      // expiry <= 0 disables expiry reclaim — matching the
+      // coordinator — rather than WorkQueue::reclaim's force mode.
+      if (config_.lease_expiry_seconds > 0.0)
+        queue_.reclaim(-1, config_.lease_expiry_seconds);
+      std::vector<std::size_t> wave = queue_.claimable();
+      std::erase_if(wave, [&](std::size_t shard) {
+        return shard < done_by_self.size() && done_by_self[shard] != 0;
+      });
+      if (!wave.empty()) return wave;
+      if (queue_.done_count() >= shard_count_) return {};
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(config_.poll_period_seconds));
+    }
+  }
+
+ private:
+  WorkQueue& queue_;
+  DistConfig config_;
+  std::size_t shard_count_ = 0;
+  std::atomic<std::size_t> done_by_self_{0};
+};
+
+}  // namespace
+
+std::string dist_queue_label(std::string_view tag) {
+  // Human-readable prefix (tag up to the config digest, slashes and
+  // other non-filename characters mapped to '-') ...
+  std::string prefix;
+  for (char ch : tag.substr(0, tag.find('#'))) {
+    const bool safe = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                      (ch >= '0' && ch <= '9') || ch == '.' || ch == '_' ||
+                      ch == '-';
+    prefix.push_back(safe ? ch : '-');
+    if (prefix.size() >= 48) break;
+  }
+  if (prefix.empty()) prefix = "campaign";
+  // ... plus a digest of the full tag so distinct campaigns can never
+  // share a queue.
+  char digest[17];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(
+                    io::fnv1a({tag.data(), tag.size()})));
+  return prefix + "-" + digest;
+}
+
+struct DistCampaign::Impl {
+  DistConfig config;
+  std::unique_ptr<WorkQueue> queue;
+  std::unique_ptr<QueueShardArbiter> arbiter;
+
+  // Heartbeat thread (worker role): keeps the lease fresh even while a
+  // single long shard is running.
+  std::thread heartbeat;
+  std::mutex mutex;
+  std::condition_variable stop_cv;
+  bool stopping = false;
+
+  ~Impl() {
+    if (heartbeat.joinable()) {
+      {
+        std::lock_guard<std::mutex> lock(mutex);
+        stopping = true;
+      }
+      stop_cv.notify_all();
+      heartbeat.join();
+    }
+  }
+};
+
+DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
+                           CampaignStreamConfig& stream) {
+  const DistConfig::Role role = dist.role();
+  if (role == DistConfig::Role::kOff) return;
+
+  impl_ = std::make_unique<Impl>();
+  impl_->config = dist;
+  // A worker must beat several times per expiry window or a live
+  // lease could be expiry-reclaimed mid-shard (bitmap overlap, merge
+  // refused); clamp the period instead of trusting the caller's pair.
+  if (impl_->config.lease_expiry_seconds > 0.0)
+    impl_->config.heartbeat_period_seconds =
+        std::min(impl_->config.heartbeat_period_seconds,
+                 impl_->config.lease_expiry_seconds / 4.0);
+  impl_->queue =
+      std::make_unique<WorkQueue>(dist.queue_dir, dist_queue_label(tag));
+
+  if (role == DistConfig::Role::kWorker) {
+    stream.checkpoint_path = impl_->queue->partial_path(dist.worker_id);
+    stream.resume = true;  // a respawned worker continues its partial
+    stream.checkpoint_every_shards = 1;  // durable before lease release
+    stream.stop_after_shards = 0;
+    stream.merge_partials.clear();
+    impl_->arbiter =
+        std::make_unique<QueueShardArbiter>(*impl_->queue, impl_->config);
+    stream.arbiter = impl_->arbiter.get();
+
+    Impl* impl = impl_.get();
+    WorkQueue::beat(dist.queue_dir, dist.worker_id);
+    impl_->heartbeat = std::thread([impl] {
+      std::unique_lock<std::mutex> lock(impl->mutex);
+      while (!impl->stop_cv.wait_for(
+          lock,
+          std::chrono::duration<double>(
+              impl->config.heartbeat_period_seconds),
+          [impl] { return impl->stopping; })) {
+        WorkQueue::beat(impl->config.queue_dir, impl->config.worker_id);
+      }
+    });
+    return;
+  }
+
+  // Finalize: merge the workers' partials into the final checkpoint
+  // (the caller's checkpoint_path when set, a queue-local file
+  // otherwise) and resume it — zero trials when the queue drained.
+  if (stream.checkpoint_path.empty())
+    stream.checkpoint_path = impl_->queue->root() + "/merged.ckpt";
+  stream.resume = true;
+  stream.merge_partials = impl_->queue->partial_paths();
+  stream.arbiter = nullptr;
+}
+
+DistCampaign::~DistCampaign() = default;
+
+}  // namespace ftnav

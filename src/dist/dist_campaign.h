@@ -1,0 +1,120 @@
+#pragma once
+// Distributed campaign wiring: the DistConfig knob experiment drivers
+// carry, and the per-campaign adapter that turns a CampaignStreamConfig
+// into a distributed-worker or coordinator-finalize run.
+//
+// A distributed campaign has three process roles:
+//
+//   off        — the default; campaigns run in-process exactly as
+//                before (DistCampaign is a no-op);
+//   worker     — one of N processes sharing a queue directory. The
+//                worker claims shards from the WorkQueue (atomic
+//                rename leases), runs only those, and persists them
+//                into its own partial CampaignCheckpoint after every
+//                shard. It exits the campaign only once every shard is
+//                globally done, picking up work reclaimed from dead
+//                workers along the way;
+//   finalize   — the coordinator after the queue drained. The
+//                campaign merges the workers' partial checkpoints
+//                (disjoint-bitmap union, byte-identical to a
+//                single-process checkpoint) and resumes from the
+//                merged file, which completes instantly with zero
+//                trials and yields the normal result struct.
+//
+// The roles compose with the existing machinery: a worker is just a
+// streamed campaign whose pending set is gated by a ShardArbiter and
+// whose checkpoint is its partial file; finalize is just
+// merge-then-resume. Results are therefore bit-identical to a
+// single-process run for any worker count, thread count, and worker
+// kill schedule.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "campaign/streaming.h"
+
+namespace ftnav {
+
+/// Distribution knob carried by experiment driver configs, mirroring
+/// the `threads` and `stream` knobs. Default-constructed it does
+/// nothing. Front-ends (fault_campaign --workers, FTNAV_WORKERS) fill
+/// it in; drivers pass it to a DistCampaign next to each streamed
+/// campaign call.
+struct DistConfig {
+  /// Worker processes the coordinator spawned (front-end side). On the
+  /// driver side any value >= 1 together with a queue_dir means "the
+  /// queue has been drained; merge and finalize".
+  int workers = 0;
+  /// This process's worker id (0-based); < 0 in the coordinator.
+  int worker_id = -1;
+  /// Directory shared by the coordinator and every worker.
+  std::string queue_dir;
+
+  /// A lease whose worker heartbeat is older than this is considered
+  /// abandoned and may be reclaimed; <= 0 disables expiry-based
+  /// reclaim everywhere (dead workers are then recovered only by the
+  /// coordinator's waitpid path). Expiry-based reclaim assumes the
+  /// worker is truly dead — see work_queue.h for the caveat. The
+  /// coordinator additionally reclaims immediately on waitpid.
+  double lease_expiry_seconds = 60.0;
+  /// Clamped to lease_expiry_seconds / 4 so a live worker always
+  /// beats several times per expiry window.
+  double heartbeat_period_seconds = 2.0;
+  /// Worker poll cadence while waiting for stragglers/reclaims.
+  double poll_period_seconds = 0.05;
+  /// Crashed workers are respawned (same id, resuming their partial)
+  /// at most this many times each before the coordinator gives up.
+  int max_respawns = 2;
+
+  /// Test hook: this worker calls _exit(9) right after committing its
+  /// `fail_after_shards`-th shard — before marking the lease done, so
+  /// the kill lands in the claim->done crash window the reclaim logic
+  /// must cover. A respawned worker restores >= that many shards from
+  /// its partial and never re-fires. 0 disables.
+  int fail_after_shards = 0;
+
+  enum class Role { kOff, kWorker, kFinalize };
+  Role role() const noexcept {
+    if (queue_dir.empty()) return Role::kOff;
+    if (worker_id >= 0) return Role::kWorker;
+    if (workers >= 1) return Role::kFinalize;
+    return Role::kOff;
+  }
+};
+
+/// Queue subdirectory name for a campaign stream tag: a filesystem-
+/// safe prefix plus an FNV-1a digest of the full tag, so distinct
+/// campaigns in one driver run (baseline vs mitigated arms, transient
+/// vs permanent grids) get distinct queues deterministically in every
+/// process.
+std::string dist_queue_label(std::string_view tag);
+
+/// Applies a DistConfig to one streamed campaign, scoped RAII-style
+/// around the map_streamed / map_reduce_streamed call:
+///
+///   CampaignStreamConfig stream = config.stream;
+///   DistCampaign dist(config.dist, stream_tag, stream);
+///   auto result = runner.map_reduce_streamed(stream_tag, ..., stream);
+///
+/// Worker role: redirects the checkpoint to the worker's partial file
+/// (checkpoint_every_shards = 1 so every committed shard is durable
+/// before its lease is released), resumes it, installs the WorkQueue-
+/// backed ShardArbiter, and runs a heartbeat thread for the scope's
+/// lifetime. Finalize role: lists the partial checkpoints to merge and
+/// resumes the merged file. Off: leaves `stream` untouched.
+class DistCampaign {
+ public:
+  DistCampaign(const DistConfig& dist, std::string_view tag,
+               CampaignStreamConfig& stream);
+  ~DistCampaign();
+
+  DistCampaign(const DistCampaign&) = delete;
+  DistCampaign& operator=(const DistCampaign&) = delete;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ftnav

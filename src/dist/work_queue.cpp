@@ -1,0 +1,236 @@
+#include "dist/work_queue.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <random>
+#include <stdexcept>
+#include <utility>
+
+#include "campaign/checkpoint.h"
+
+namespace ftnav {
+namespace fs = std::filesystem;
+namespace {
+
+std::string shard_name(std::size_t shard) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "shard-%05zu", shard);
+  return buffer;
+}
+
+std::string lease_name(std::size_t shard, int worker_id) {
+  return shard_name(shard) + ".worker-" + std::to_string(worker_id);
+}
+
+/// Parses "shard-NNNNN" (todo/done entries) or
+/// "shard-NNNNN.worker-K" (claimed entries); returns false for
+/// markers like ".populated".
+bool parse_entry(const std::string& name, std::size_t& shard,
+                 int& worker_id) {
+  unsigned long long parsed_shard = 0;
+  int parsed_worker = -1;
+  if (std::sscanf(name.c_str(), "shard-%llu.worker-%d", &parsed_shard,
+                  &parsed_worker) >= 1) {
+    shard = static_cast<std::size_t>(parsed_shard);
+    worker_id = parsed_worker;
+    return true;
+  }
+  return false;
+}
+
+void touch(const fs::path& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << '\n';
+}
+
+}  // namespace
+
+WorkQueue::WorkQueue(std::string queue_dir, std::string label)
+    : queue_dir_(std::move(queue_dir)),
+      root_(queue_dir_ + "/" + std::move(label)) {}
+
+void WorkQueue::populate(std::size_t shard_count, int worker_id) {
+  std::error_code ec;
+  fs::create_directories(root_ + "/claimed", ec);
+  fs::create_directories(root_ + "/done", ec);
+  fs::create_directories(root_ + "/partials", ec);
+  const fs::path todo = root_ + "/todo";
+  if (fs::exists(todo)) return;
+
+  // Build the full todo set privately, then rename it into place —
+  // exactly one populater wins (todo/ always holds `.populated`, so
+  // the losing rename hits a non-empty target and fails).
+  const fs::path staging =
+      root_ + "/todo.staging.worker-" + std::to_string(worker_id);
+  fs::remove_all(staging, ec);
+  fs::create_directories(staging);
+  touch(staging / ".populated");
+  for (std::size_t shard = 0; shard < shard_count; ++shard)
+    touch(staging / shard_name(shard));
+  fs::rename(staging, todo, ec);
+  if (ec) {
+    fs::remove_all(staging, ec);
+    if (!fs::exists(todo))
+      throw std::runtime_error("WorkQueue: cannot populate " + root_);
+  }
+}
+
+std::optional<ShardLease> WorkQueue::try_claim(std::size_t shard,
+                                               int worker_id) {
+  std::error_code ec;
+  fs::rename(root_ + "/todo/" + shard_name(shard),
+             root_ + "/claimed/" + lease_name(shard, worker_id), ec);
+  if (ec) return std::nullopt;  // someone else won (or already done)
+  return ShardLease{shard, worker_id};
+}
+
+bool WorkQueue::mark_done(const ShardLease& lease) {
+  return mark_done(lease.shard, lease.worker_id);
+}
+
+bool WorkQueue::mark_done(std::size_t shard, int worker_id) {
+  std::error_code ec;
+  fs::rename(root_ + "/claimed/" + lease_name(shard, worker_id),
+             root_ + "/done/" + shard_name(shard), ec);
+  return !ec;
+}
+
+std::vector<std::size_t> WorkQueue::claimable() const {
+  std::vector<std::size_t> shards;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ + "/todo", ec)) {
+    std::size_t shard = 0;
+    int worker_id = -1;
+    if (parse_entry(entry.path().filename().string(), shard, worker_id))
+      shards.push_back(shard);
+  }
+  return shards;
+}
+
+std::size_t WorkQueue::done_count() const {
+  std::size_t count = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ + "/done", ec)) {
+    std::size_t shard = 0;
+    int worker_id = -1;
+    if (parse_entry(entry.path().filename().string(), shard, worker_id))
+      ++count;
+  }
+  return count;
+}
+
+std::string WorkQueue::partial_path(int worker_id) const {
+  return root_ + "/partials/worker-" + std::to_string(worker_id) + ".ckpt";
+}
+
+std::vector<std::string> WorkQueue::partial_paths() const {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       fs::directory_iterator(root_ + "/partials", ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("worker-", 0) == 0 && name.size() > 5 &&
+        name.substr(name.size() - 5) == ".ckpt")
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+void WorkQueue::beat(const std::string& queue_dir, int worker_id) {
+  std::error_code ec;
+  fs::create_directories(queue_dir + "/hb", ec);
+  touch(queue_dir + "/hb/worker-" + std::to_string(worker_id));
+}
+
+double WorkQueue::heartbeat_age(const std::string& queue_dir,
+                                int worker_id) {
+  std::error_code ec;
+  const auto written = fs::last_write_time(
+      queue_dir + "/hb/worker-" + std::to_string(worker_id), ec);
+  if (ec) return std::numeric_limits<double>::infinity();
+  const auto age = fs::file_time_type::clock::now() - written;
+  return std::chrono::duration<double>(age).count();
+}
+
+std::size_t WorkQueue::reclaim(int worker_id, double expiry_seconds) {
+  // Partial-checkpoint bitmaps per owner, loaded at most once; a
+  // missing or unreadable partial counts as "nothing committed".
+  std::map<int, std::vector<std::uint8_t>> bitmaps;
+  const auto committed_bitmap =
+      [&](int owner) -> const std::vector<std::uint8_t>& {
+    auto found = bitmaps.find(owner);
+    if (found == bitmaps.end()) {
+      std::vector<std::uint8_t> bitmap;
+      try {
+        if (auto loaded = CampaignCheckpoint::load(partial_path(owner)))
+          bitmap = std::move(loaded->shard_done);
+      } catch (const std::exception&) {
+        // Corrupt partial: treat as absent; the shard re-runs and the
+        // merge skips the unreadable file the same way.
+      }
+      found = bitmaps.emplace(owner, std::move(bitmap)).first;
+    }
+    return found->second;
+  };
+
+  std::size_t recovered = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(root_ + "/claimed", ec)) {
+    std::size_t shard = 0;
+    int owner = -1;
+    if (!parse_entry(entry.path().filename().string(), shard, owner) ||
+        owner < 0)
+      continue;
+    if (worker_id >= 0 && owner != worker_id) continue;
+    if (expiry_seconds > 0.0 &&
+        heartbeat_age(queue_dir_, owner) < expiry_seconds)
+      continue;
+
+    const std::vector<std::uint8_t>& bitmap = committed_bitmap(owner);
+    const bool survived = shard < bitmap.size() && bitmap[shard] != 0;
+    std::error_code rename_ec;
+    fs::rename(entry.path(),
+               survived ? root_ + "/done/" + shard_name(shard)
+                        : root_ + "/todo/" + shard_name(shard),
+               rename_ec);
+    if (!rename_ec) ++recovered;
+  }
+  return recovered;
+}
+
+std::size_t reclaim_queue_leases(const std::string& queue_dir, int worker_id,
+                                 double expiry_seconds) {
+  std::size_t recovered = 0;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(queue_dir, ec)) {
+    if (!entry.is_directory()) continue;
+    std::error_code probe;
+    if (!fs::exists(entry.path() / "claimed", probe)) continue;
+    WorkQueue queue(queue_dir, entry.path().filename().string());
+    recovered += queue.reclaim(worker_id, expiry_seconds);
+  }
+  return recovered;
+}
+
+std::string make_scratch_queue_dir(const std::string& prefix) {
+  std::random_device entropy;
+  const fs::path base = fs::temp_directory_path();
+  for (int attempt = 0; attempt < 16; ++attempt) {
+    const fs::path dir = base / (prefix + "." + std::to_string(entropy()));
+    std::error_code ec;
+    // create_directory (not -ies): false when the path already exists,
+    // so a stale queue is never reused.
+    if (fs::create_directory(dir, ec) && !ec) return dir.string();
+  }
+  throw std::runtime_error(
+      "make_scratch_queue_dir: cannot create a scratch directory under " +
+      base.string());
+}
+
+}  // namespace ftnav

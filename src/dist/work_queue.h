@@ -1,0 +1,135 @@
+#pragma once
+// Filesystem-backed shard work queue for distributed campaigns.
+//
+// One queue per streamed campaign, rooted at
+// `<queue_dir>/<label>/`, shared by every worker process (one host or
+// many hosts mounting the same directory). The queue is nothing but
+// directories and atomic renames — no server, no locks:
+//
+//   todo/shard-00042              claimable shard (empty marker file)
+//   todo/.populated               keeps todo/ non-empty forever (see
+//                                 populate) and marks init complete
+//   claimed/shard-00042.worker-3  lease: shard 42 is running in worker 3
+//   done/shard-00042              shard 42 is merged AND durably saved
+//                                 in some worker's partial checkpoint
+//   partials/worker-3.ckpt        worker 3's partial CampaignCheckpoint
+//
+// plus one heartbeat file per worker process at `<queue_dir>/hb/`
+// (heartbeats are per worker, not per campaign — a worker runs every
+// campaign of a multi-grid driver against the same queue_dir).
+//
+// Lease protocol. A shard moves strictly forward:
+//
+//   claim:    rename(todo/shard-N, claimed/shard-N.worker-K)
+//             — atomic; exactly one renamer wins, losers get ENOENT;
+//   commit:   the worker merges the shard and saves its partial
+//             checkpoint (atomic tmp+rename, bitmap bit N set);
+//   done:     rename(claimed/shard-N.worker-K, done/shard-N).
+//
+// Reclaim. When worker K dies between claim and done, its lease is
+// recovered by whoever notices (the coordinator on waitpid, or a
+// starving worker on heartbeat expiry): load K's partial checkpoint —
+// if bit N is set the work survived (the crash hit the claim->done
+// window), so the lease renames to done/; otherwise it renames back
+// to todo/ and another worker re-runs the shard. Either way the
+// per-worker bitmaps stay disjoint, which CampaignCheckpoint::merge
+// enforces. Caveat: expiry-based reclaim assumes a stale heartbeat
+// means a *dead* worker; a merely wedged worker that later commits the
+// reclaimed shard produces a bitmap overlap, which the merge then
+// refuses loudly instead of double-counting.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ftnav {
+
+/// A successfully claimed shard: proof of the rename from todo/ into
+/// claimed/. Pass it back to WorkQueue::mark_done after the shard is
+/// committed and durably checkpointed.
+struct ShardLease {
+  std::size_t shard = 0;
+  int worker_id = -1;
+};
+
+class WorkQueue {
+ public:
+  /// Does not touch the filesystem until populate/claim.
+  WorkQueue(std::string queue_dir, std::string label);
+
+  const std::string& root() const noexcept { return root_; }
+
+  /// One-time queue initialization, safe to call from every worker:
+  /// builds the todo set in a private staging directory and renames it
+  /// into place. The rename is atomic and fails when todo/ already
+  /// exists (it always contains `.populated`, so it is never an empty
+  /// directory rename() would happily replace) — exactly one caller
+  /// populates, the rest return immediately.
+  void populate(std::size_t shard_count, int worker_id);
+
+  /// Attempts to lease `shard` for `worker_id` via atomic rename.
+  /// Thread- and process-safe; exactly one claimer ever wins a shard.
+  std::optional<ShardLease> try_claim(std::size_t shard, int worker_id);
+
+  /// Moves a committed-and-checkpointed lease to done/. Tolerates the
+  /// lease having been reclaimed already (returns false).
+  bool mark_done(const ShardLease& lease);
+
+  /// Marks `shard` done directly from a recovered lease or a restored
+  /// partial checkpoint (no ShardLease in hand).
+  bool mark_done(std::size_t shard, int worker_id);
+
+  /// Shards currently claimable (todo/ listing). Unordered.
+  std::vector<std::size_t> claimable() const;
+
+  std::size_t done_count() const;
+
+  /// This worker's partial checkpoint file.
+  std::string partial_path(int worker_id) const;
+
+  /// Every partial checkpoint present, sorted by path — the
+  /// coordinator merges these after the queue drains.
+  std::vector<std::string> partial_paths() const;
+
+  // ---- heartbeats (per worker process, shared across campaigns) ----
+
+  /// Touches `<queue_dir>/hb/worker-K`.
+  static void beat(const std::string& queue_dir, int worker_id);
+
+  /// Seconds since worker K's last heartbeat; +infinity when the
+  /// worker never beat at all.
+  static double heartbeat_age(const std::string& queue_dir, int worker_id);
+
+  // ---- lease recovery ----
+
+  /// Recovers leases held by dead workers: every lease whose owner is
+  /// `worker_id` (any owner when -1) and whose heartbeat is older than
+  /// `expiry_seconds` (any age when expiry_seconds <= 0) moves to
+  /// done/ when the owner's partial checkpoint already records the
+  /// shard, back to todo/ otherwise. Returns the number of leases
+  /// recovered. Concurrent reclaimers race harmlessly — renames are
+  /// atomic and losers skip.
+  std::size_t reclaim(int worker_id, double expiry_seconds);
+
+ private:
+  std::string queue_dir_;
+  std::string root_;  // queue_dir/label
+};
+
+/// Reclaims leases for `worker_id` across every campaign queue under
+/// `queue_dir` (the coordinator calls this on worker death without
+/// knowing which campaigns the driver runs). Returns leases recovered.
+std::size_t reclaim_queue_leases(const std::string& queue_dir, int worker_id,
+                                 double expiry_seconds);
+
+/// Creates a fresh "<prefix>.<random>" scratch queue directory under
+/// the system temp dir via exclusive create (a collision with an
+/// existing directory — and its stale done/ and partial state — is
+/// retried, never silently reused). Front-ends use this when the
+/// operator gave no --queue-dir / FTNAV_QUEUE_DIR. Throws
+/// std::runtime_error when no directory can be created.
+std::string make_scratch_queue_dir(const std::string& prefix);
+
+}  // namespace ftnav

@@ -74,10 +74,12 @@ std::vector<std::vector<double>> sweep_msf_grid(
     ArmFn&& arm) {
   const std::size_t ber_count = config.bers.size();
   const CampaignRunner runner(config.threads);
+  const std::string stream_tag = inference_stream_tag(
+      "drone-sweep/" + std::to_string(tag), config, &world);
+  CampaignStreamConfig stream = config.stream;
+  DistCampaign dist(config.dist, stream_tag, stream);
   const std::vector<double> cells = runner.map_streamed(
-      inference_stream_tag("drone-sweep/" + std::to_string(tag), config,
-                           &world),
-      row_count * ber_count, config.seed ^ tag,
+      stream_tag, row_count * ber_count, config.seed ^ tag,
       [&](std::size_t trial, Rng& trial_rng) {
         const std::size_t row = trial / ber_count;
         const double ber = config.bers[trial % ber_count];
@@ -90,7 +92,7 @@ std::vector<std::vector<double>> sweep_msf_grid(
               arm(row, ber, e, r);
             });
       },
-      config.stream);
+      stream);
   std::vector<std::vector<double>> grid;
   grid.reserve(row_count);
   for (std::size_t row = 0; row < row_count; ++row)
@@ -189,27 +191,36 @@ DroneTrainingCampaignResult run_drone_training_campaign(
   // Transient (injection point, BER) grid: one fine-tune run per cell,
   // accumulated into per-shard heatmaps. Cells are disjoint, so the
   // streamed completion-order merge reassembles the same grid.
-  result.transient = runner.map_reduce_streamed(
-      "drone-training/transient" + tag_suffix, rows * cols,
-      config.seed ^ 0x7a,
-      [&] { return HeatmapGrid(row_labels, col_labels); },
-      [&](HeatmapGrid& acc, std::size_t trial, Rng& rng) {
-        const std::size_t r = trial / cols;
-        const std::size_t c = trial % cols;
-        const int step =
-            static_cast<int>(config.injection_points[r] * steps_budget);
-        acc.set(r, c,
-                run_fine_tune(config.bers[c], step, std::nullopt, 0.0, rng));
-      },
-      [](HeatmapGrid& into, HeatmapGrid&& from) { into.merge(from); },
-      with_checkpoint_suffix(config.stream, "transient"));
+  const std::string transient_tag = "drone-training/transient" + tag_suffix;
+  CampaignStreamConfig transient_stream =
+      with_checkpoint_suffix(config.stream, "transient");
+  {
+    DistCampaign dist(config.dist, transient_tag, transient_stream);
+    result.transient = runner.map_reduce_streamed(
+        transient_tag, rows * cols, config.seed ^ 0x7a,
+        [&] { return HeatmapGrid(row_labels, col_labels); },
+        [&](HeatmapGrid& acc, std::size_t trial, Rng& rng) {
+          const std::size_t r = trial / cols;
+          const std::size_t c = trial % cols;
+          const int step =
+              static_cast<int>(config.injection_points[r] * steps_budget);
+          acc.set(r, c,
+                  run_fine_tune(config.bers[c], step, std::nullopt, 0.0,
+                                rng));
+        },
+        [](HeatmapGrid& into, HeatmapGrid&& from) { into.merge(from); },
+        transient_stream);
+  }
 
   // Fault-free reference plus the two stuck-at rows, as a flat trial
   // list: trial 0 is fault-free, then stuck-at-0 per BER, stuck-at-1
   // per BER.
+  const std::string flat_tag = "drone-training/flat" + tag_suffix;
+  CampaignStreamConfig flat_stream =
+      with_checkpoint_suffix(config.stream, "flat");
+  DistCampaign flat_dist(config.dist, flat_tag, flat_stream);
   const std::vector<double> flat = runner.map_streamed(
-      "drone-training/flat" + tag_suffix, 1 + 2 * cols,
-      config.seed ^ 0x7a5a,
+      flat_tag, 1 + 2 * cols, config.seed ^ 0x7a5a,
       [&](std::size_t trial, Rng& rng) {
         if (trial == 0)
           return run_fine_tune(std::nullopt, 0, std::nullopt, 0.0, rng);
@@ -219,7 +230,7 @@ DroneTrainingCampaignResult run_drone_training_campaign(
         const double ber = config.bers[index % cols];
         return run_fine_tune(std::nullopt, 0, type, ber, rng);
       },
-      with_checkpoint_suffix(config.stream, "flat"));
+      flat_stream);
   result.fault_free_msf = flat[0];
   result.stuck_at_0.assign(flat.begin() + 1,
                            flat.begin() + 1 + static_cast<std::ptrdiff_t>(cols));
@@ -253,9 +264,12 @@ EnvironmentSweepResult run_environment_sweep(
   // share one fixed stream (per environment) so every row reports the
   // same baseline rollouts.
   const std::size_t ber_count = config.bers.size();
+  const std::string stream_tag =
+      inference_stream_tag("drone-env-sweep", config, nullptr);
+  CampaignStreamConfig stream = config.stream;
+  DistCampaign dist(config.dist, stream_tag, stream);
   const std::vector<double> cells = runner.map_streamed(
-      inference_stream_tag("drone-env-sweep", config, nullptr),
-      worlds.size() * ber_count, config.seed ^ 0x7b,
+      stream_tag, worlds.size() * ber_count, config.seed ^ 0x7b,
       [&](std::size_t trial, Rng& trial_rng) {
         const std::size_t env = trial / ber_count;
         const double ber = config.bers[trial % ber_count];
@@ -271,7 +285,7 @@ EnvironmentSweepResult run_environment_sweep(
               arm_weight_transient(ber, e, r);
             });
       },
-      config.stream);
+      stream);
   for (std::size_t env = 0; env < worlds.size(); ++env)
     result.msf.emplace_back(
         cells.begin() + static_cast<std::ptrdiff_t>(env * ber_count),
@@ -390,9 +404,12 @@ DroneMitigationResult run_drone_mitigation_comparison(
   };
   const std::size_t ber_count = config.bers.size();
   const CampaignRunner runner(config.threads);
+  const std::string stream_tag =
+      inference_stream_tag("drone-mitigation", config, &world);
+  CampaignStreamConfig stream = config.stream;
+  DistCampaign dist(config.dist, stream_tag, stream);
   const std::vector<Cell> cells = runner.map_streamed(
-      inference_stream_tag("drone-mitigation", config, &world),
-      2 * ber_count, config.seed ^ 0x7f,
+      stream_tag, 2 * ber_count, config.seed ^ 0x7f,
       [&](std::size_t trial, Rng& trial_rng) {
         const bool mitigated = trial >= ber_count;
         const double ber = config.bers[trial % ber_count];
@@ -412,7 +429,7 @@ DroneMitigationResult run_drone_mitigation_comparison(
           cell.detections = engine.weight_detector()->detections();
         return cell;
       },
-      config.stream);
+      stream);
   for (std::size_t i = 0; i < ber_count; ++i) {
     result.baseline_msf.push_back(cells[i].msf);
     result.mitigated_msf.push_back(cells[ber_count + i].msf);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "campaign/streaming.h"
+#include "dist/dist_campaign.h"
 #include "experiments/drone_policy.h"
 #include "util/table.h"
 
@@ -31,6 +32,9 @@ struct DroneTrainingCampaignConfig {
   /// the stuck-at sweep checkpoint to "<path>.transient" and
   /// "<path>.flat"; policy training re-runs on resume.
   CampaignStreamConfig stream;
+  /// Multi-process sharding (see src/dist/); each grid gets its own
+  /// work queue derived from its campaign tag.
+  DistConfig dist;
 };
 
 struct DroneTrainingCampaignResult {
@@ -63,6 +67,8 @@ struct DroneInferenceCampaignConfig {
   /// Streaming progress + checkpoint/resume for the trial grid
   /// (policy training is not checkpointed and re-runs on resume).
   CampaignStreamConfig stream;
+  /// Multi-process sharding (see src/dist/).
+  DistConfig dist;
 };
 
 /// Fig. 7b: MSF vs BER (transient weight faults) per environment.

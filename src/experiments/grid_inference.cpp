@@ -279,6 +279,10 @@ InferenceCampaignResult run_inference_campaign(
           .add(config.detector_margin)
           .add(config.bers)
           .hex();
+  // Multi-process sharding: a worker runs only its leased shards into
+  // a partial checkpoint; the coordinator merges partials and resumes.
+  CampaignStreamConfig stream = config.stream;
+  DistCampaign dist(config.dist, stream_tag, stream);
   InferenceAccum totals(cell_count);
 
   if (config.kind == GridPolicyKind::kTabular) {
@@ -307,7 +311,7 @@ InferenceCampaignResult run_inference_campaign(
             ++acc.successes[cell];
           acc.detections[cell] += detector.detections();
         },
-        merge_accums, config.stream);
+        merge_accums, stream);
   } else {
     // --- NN path (through the quantized inference engine) --------------
     // Snapshot the trained network once: MlpQAgent::network() commits
@@ -333,7 +337,7 @@ InferenceCampaignResult run_inference_campaign(
           if (config.mitigated && engine.weight_detector() != nullptr)
             acc.detections[cell] += engine.weight_detector()->detections();
         },
-        merge_accums, config.stream);
+        merge_accums, stream);
   }
 
   for (std::size_t mode = 0; mode < 4; ++mode) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "campaign/streaming.h"
+#include "dist/dist_campaign.h"
 #include "experiments/grid_training.h"
 
 namespace ftnav {
@@ -43,6 +44,9 @@ struct InferenceCampaignConfig {
   /// Streaming progress + checkpoint/resume for the trial grid
   /// (policy training is not checkpointed and re-runs on resume).
   CampaignStreamConfig stream;
+  /// Multi-process sharding (see src/dist/); policy training re-runs
+  /// per worker, the trial grid is partitioned via the work queue.
+  DistConfig dist;
 };
 
 struct InferenceCampaignResult {

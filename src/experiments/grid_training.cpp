@@ -169,6 +169,9 @@ HeatmapGrid run_transient_training_heatmap(
           .add(config.bers)
           .add(config.injection_episodes)
           .hex();
+  CampaignStreamConfig stream =
+      with_checkpoint_suffix(config.stream, "transient");
+  DistCampaign dist(config.dist, stream_tag, stream);
   const std::vector<int> successes = runner.map_reduce_streamed(
       stream_tag, cell_count * repeats, config.seed,
       [&] { return std::vector<int>(cell_count, 0); },
@@ -188,7 +191,7 @@ HeatmapGrid run_transient_training_heatmap(
       [](std::vector<int>& into, std::vector<int>&& from) {
         for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
       },
-      with_checkpoint_suffix(config.stream, "transient"));
+      stream);
   for (std::size_t cell = 0; cell < cell_count; ++cell)
     grid.set(cell / cols, cell % cols,
              100.0 * static_cast<double>(successes[cell]) /
@@ -216,6 +219,9 @@ PermanentTrainingSweep run_permanent_training_sweep(
           .add(config.repeats)
           .add(config.bers)
           .hex();
+  CampaignStreamConfig stream =
+      with_checkpoint_suffix(config.stream, "permanent");
+  DistCampaign dist(config.dist, stream_tag, stream);
   const std::vector<int> successes = runner.map_reduce_streamed(
       stream_tag, 2 * ber_count * repeats, config.seed ^ 0x9e37,
       [&] { return std::vector<int>(2 * ber_count, 0); },
@@ -236,7 +242,7 @@ PermanentTrainingSweep run_permanent_training_sweep(
       [](std::vector<int>& into, std::vector<int>&& from) {
         for (std::size_t i = 0; i < into.size(); ++i) into[i] += from[i];
       },
-      with_checkpoint_suffix(config.stream, "permanent"));
+      stream);
   for (std::size_t cell = 0; cell < 2 * ber_count; ++cell) {
     const double pct = 100.0 * static_cast<double>(successes[cell]) /
                        static_cast<double>(config.repeats);

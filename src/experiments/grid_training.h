@@ -15,6 +15,7 @@
 
 #include "campaign/streaming.h"
 #include "core/exploration.h"
+#include "dist/dist_campaign.h"
 #include "core/fault_model.h"
 #include "envs/gridworld.h"
 #include "util/histogram.h"
@@ -90,6 +91,9 @@ struct TrainingHeatmapConfig {
   /// the permanent sweep checkpoint to "<path>.transient" and
   /// "<path>.permanent" respectively.
   CampaignStreamConfig stream;
+  /// Multi-process sharding (see src/dist/); each grid gets its own
+  /// work queue derived from its campaign tag.
+  DistConfig dist;
 };
 
 /// Success rate (%) per (BER, injection episode) cell under transient

@@ -29,6 +29,9 @@ BenchConfig bench_config_from_env() {
   config.checkpoint_dir = env_string("FTNAV_CHECKPOINT_DIR", "");
   config.resume = env_int("FTNAV_RESUME", 0) != 0;
   config.json_dir = env_string("FTNAV_JSON_DIR", "");
+  config.workers = static_cast<int>(env_int("FTNAV_WORKERS", 0));
+  config.queue_dir = env_string("FTNAV_QUEUE_DIR", "");
+  config.worker_id = static_cast<int>(env_int("FTNAV_WORKER_ID", -1));
   return config;
 }
 
@@ -51,9 +54,13 @@ std::string describe(const BenchConfig& config) {
     out << " checkpoints=" << config.checkpoint_dir
         << (config.resume ? " (resume)" : "");
   if (!config.json_dir.empty()) out << " json=" << config.json_dir;
+  // FTNAV_WORKERS is deliberately absent here: only benches that wire
+  // bench_dist() honor it, and those announce the distributed run on
+  // stderr themselves — the banner must never claim a distributed run
+  // a bench did not perform.
   out << "  [override with FTNAV_SEED / FTNAV_REPEATS / FTNAV_FULL=1 / "
          "FTNAV_THREADS / FTNAV_PROGRESS / FTNAV_CHECKPOINT_DIR / "
-         "FTNAV_RESUME=1 / FTNAV_JSON_DIR]";
+         "FTNAV_RESUME=1 / FTNAV_JSON_DIR / FTNAV_WORKERS]";
   return out.str();
 }
 

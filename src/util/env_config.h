@@ -13,6 +13,17 @@
 //                         FTNAV_CHECKPOINT_DIR instead of restarting
 //   FTNAV_JSON_DIR        also write each table as JSON into this
 //                         directory (CI uploads these as artifacts)
+//   FTNAV_WORKERS         distributed campaign worker processes; the
+//                         bench re-execs itself that many times in
+//                         worker mode and merges their partial
+//                         checkpoints (results identical to a
+//                         single-process run; see src/dist/). Honored
+//                         by benches that call bench_dist() — see
+//                         bench/bench_common.h — and ignored elsewhere
+//   FTNAV_QUEUE_DIR       work-queue directory for FTNAV_WORKERS
+//                         (default: a fresh temp directory)
+//   FTNAV_WORKER_ID       set by the coordinator in worker processes;
+//                         not meant to be set by hand
 //
 // Benches print the resolved configuration so results are reproducible.
 
@@ -30,9 +41,16 @@ struct BenchConfig {
   std::string checkpoint_dir;  // campaign checkpoints land here; "" = off
   bool resume = false;         // resume from existing checkpoints
   std::string json_dir;        // JSON table artifacts land here; "" = off
+  int workers = 0;             // distributed worker processes; 0 = off
+  std::string queue_dir;       // shared work-queue directory
+  int worker_id = -1;          // >= 0 marks a spawned worker process
 
   /// Repeat count to use given the bench's fast-mode default.
   int resolve_repeats(int fast_default, int full_default) const;
+
+  /// True in a bench process the coordinator spawned in worker mode
+  /// (benches skip result printing there; the coordinator prints).
+  bool is_dist_worker() const { return worker_id >= 0; }
 };
 
 /// Reads the FTNAV_* knobs above from the environment.
