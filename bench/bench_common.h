@@ -15,6 +15,7 @@
 
 #include "campaign/streaming.h"
 #include "dist/dist_coordinator.h"
+#include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
 #include "util/env_config.h"
 #include "util/table.h"
@@ -77,15 +78,23 @@ inline CampaignStreamConfig stream_for(const BenchConfig& config,
 /// `config.is_dist_worker()`).
 inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
   DistConfig dist;
+  if (config.lease_batch >= 1) dist.lease_batch = config.lease_batch;
   if (config.worker_id >= 0) {
     dist.worker_id = config.worker_id;
     dist.queue_dir = config.queue_dir;
+    dist.queue_addr = config.queue_addr;
     config.json_dir.clear();
     config.progress_every = 0;  // keep worker stdout quiet
     return dist;
   }
   if (config.workers <= 0) return dist;
-  if (config.queue_dir.empty()) {
+  if (!config.queue_addr.empty()) {
+    // TCP transport: host the work server in this process for the
+    // whole bench run (the finalize merges drain it at the end).
+    static TcpWorkServer server(config.queue_addr);
+    server.start();
+    config.queue_addr = server.address();  // resolve a port-0 bind
+  } else if (config.queue_dir.empty()) {
     config.queue_dir = make_scratch_queue_dir("ftnav_bench_queue");
     // Remove the scratch queue when the bench exits cleanly (partials
     // and merged checkpoints inside it are campaign-sized).
@@ -99,16 +108,22 @@ inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
     static const ScratchCleanup cleanup{config.queue_dir};
   }
   dist.workers = config.workers;
-  dist.queue_dir = config.queue_dir;
+  dist.queue_addr = config.queue_addr;
+  dist.queue_dir = config.queue_addr.empty() ? config.queue_dir
+                                             : std::string();
   // To stderr: stdout must stay identical to a single-process run.
-  std::fprintf(stderr, "distributed: %d workers, queue=%s\n",
-               dist.workers, dist.queue_dir.c_str());
+  std::fprintf(stderr, "distributed: %d workers, queue=%s\n", dist.workers,
+               (dist.queue_addr.empty() ? dist.queue_dir : dist.queue_addr)
+                   .c_str());
   const DistCoordinator coordinator(dist);
   coordinator.run([&](int worker) {
     DistCoordinator::Command command;
     command.argv = {argv0};
-    command.env = {"FTNAV_WORKER_ID=" + std::to_string(worker),
-                   "FTNAV_QUEUE_DIR=" + dist.queue_dir};
+    command.env = {"FTNAV_WORKER_ID=" + std::to_string(worker)};
+    if (dist.queue_addr.empty())
+      command.env.push_back("FTNAV_QUEUE_DIR=" + dist.queue_dir);
+    else
+      command.env.push_back("FTNAV_QUEUE_ADDR=" + dist.queue_addr);
     return command;
   });
   return dist;

@@ -7,7 +7,9 @@
 //       [--density low|middle|high] [--mitigate] [--seed <n>]
 //       [--threads <n>] [--progress <trials>]
 //       [--checkpoint <file>] [--resume] [--stop-after <shards>]
-//       [--workers <n>] [--queue-dir <dir>] [--json <file>]
+//       [--workers <n>] [--queue-dir <dir>] [--queue-addr <host:port>]
+//       [--lease-expiry <seconds>] [--poll-period <seconds>]
+//       [--lease-batch <n>] [--json <file>]
 //
 // Long campaigns stream progress (--progress N prints a line at least
 // every N trials) and checkpoint to disk (--checkpoint FILE). A killed
@@ -18,13 +20,18 @@
 //
 // --workers N runs the campaign distributed (see src/dist/): the
 // coordinator re-execs this binary N times in worker mode, the
-// workers partition the shard stream through a filesystem work queue
-// under --queue-dir (a temp directory by default), and the
-// coordinator merges their partial checkpoints into --checkpoint.
-// Output — stdout, --json, and the merged checkpoint bytes — is
-// identical for every worker count, and identical to a plain
-// single-process run, even when workers are killed mid-campaign.
-// (Hidden worker-mode flags: --worker-id K --queue-dir D, plus the
+// workers partition the shard stream through a shared work queue, and
+// the coordinator merges their partial checkpoints into --checkpoint.
+// The queue transport is either a filesystem directory (--queue-dir,
+// a temp directory by default) or a TCP work server (--queue-addr
+// host:port — the coordinator spawns the server in-process; bind port
+// 0 to let the kernel pick). --lease-expiry, --poll-period, and
+// --lease-batch tune the lease protocol (see DistConfig); all of them
+// preserve the determinism contract. Output — stdout, --json, and the
+// merged checkpoint bytes — is identical for every worker count,
+// transport, and batch size, and identical to a plain single-process
+// run, even when workers are killed mid-campaign. (Hidden worker-mode
+// flags: --worker-id K plus --queue-dir/--queue-addr, and the
 // --worker-fail-after N crash-test hook.)
 //
 // Example:
@@ -32,14 +39,17 @@
 //       --ber 0.005 --repeats 200 --mitigate --workers 4
 //       --checkpoint /tmp/campaign.ckpt --json /tmp/campaign.json
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "campaign/streaming.h"
 #include "dist/dist_coordinator.h"
+#include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
 #include "experiments/grid_inference.h"
 #include "util/stats.h"
@@ -52,13 +62,47 @@ void print_usage(std::FILE* out, const char* argv0) {
                "[--ber f] [--repeats n] [--density low|middle|high] "
                "[--mitigate] [--seed n] [--threads n] [--progress n] "
                "[--checkpoint file] [--resume] [--stop-after n] "
-               "[--workers n] [--queue-dir dir] [--json file] [--help]\n",
+               "[--workers n] [--queue-dir dir] [--queue-addr host:port] "
+               "[--lease-expiry sec] [--poll-period sec] [--lease-batch n] "
+               "[--json file] [--help]\n",
                argv0);
 }
 
 [[noreturn]] void usage_error(const char* argv0) {
   print_usage(stderr, argv0);
   std::exit(2);
+}
+
+/// Strict numeric flag parsing: the whole token must parse to a
+/// finite value, so typos like "--lease-expiry 30s" and degenerate
+/// inputs like "inf"/"nan"/"1e999" are rejected (exit 2) instead of
+/// being silently accepted the way atof would.
+double parse_double_or_die(const char* argv0, const char* text) {
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || !std::isfinite(value))
+    usage_error(argv0);
+  return value;
+}
+
+long parse_long_or_die(const char* argv0, const char* text) {
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') usage_error(argv0);
+  return value;
+}
+
+/// "host:port" with a numeric port in 0..65535 (0 lets the kernel
+/// pick); anything else is a usage error (exit 2), not a later
+/// runtime failure.
+std::string parse_addr_or_die(const char* argv0, const char* text) {
+  const std::string addr = text;
+  const std::size_t colon = addr.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= addr.size())
+    usage_error(argv0);
+  const long port = parse_long_or_die(argv0, addr.c_str() + colon + 1);
+  if (port < 0 || port > 65535) usage_error(argv0);
+  return addr;
 }
 
 }  // namespace
@@ -76,6 +120,10 @@ int main(int argc, char** argv) {
   int worker_id = -1;
   int worker_fail_after = 0;
   std::string queue_dir;
+  std::string queue_addr;
+  double lease_expiry = -1.0;  // < 0 = keep the DistConfig default
+  double poll_period = 0.0;    // <= 0 = keep the DistConfig default
+  int lease_batch = 0;         // <= 0 = keep the DistConfig default
   std::string json_path;
   bool progress = false;
 
@@ -136,6 +184,19 @@ int main(int argc, char** argv) {
       if (workers <= 0) usage_error(argv[0]);
     } else if (arg == "--queue-dir") {
       queue_dir = next();
+    } else if (arg == "--queue-addr") {
+      queue_addr = parse_addr_or_die(argv[0], next());
+    } else if (arg == "--lease-expiry") {
+      // 0 disables expiry-based reclaim (waitpid reclaim still runs).
+      lease_expiry = parse_double_or_die(argv[0], next());
+      if (lease_expiry < 0.0) usage_error(argv[0]);
+    } else if (arg == "--poll-period") {
+      poll_period = parse_double_or_die(argv[0], next());
+      if (poll_period <= 0.0) usage_error(argv[0]);
+    } else if (arg == "--lease-batch") {
+      const long batch = parse_long_or_die(argv[0], next());
+      if (batch < 1 || batch > 1 << 20) usage_error(argv[0]);
+      lease_batch = static_cast<int>(batch);
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--worker-id") {
@@ -159,8 +220,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return 2;
   }
-  if (worker_id >= 0 && queue_dir.empty()) {
-    std::fprintf(stderr, "--worker-id requires --queue-dir\n");
+  if (worker_id >= 0 && queue_dir.empty() && queue_addr.empty()) {
+    std::fprintf(stderr,
+                 "--worker-id requires --queue-dir or --queue-addr\n");
     return 2;
   }
   if (workers > 0 && (config.stream.resume ||
@@ -172,13 +234,22 @@ int main(int argc, char** argv) {
 
   config.bers = {ber};
 
+  // The lease-protocol knobs apply identically in every role.
+  const auto apply_lease_knobs = [&](ftnav::DistConfig& dist) {
+    if (lease_expiry >= 0.0) dist.lease_expiry_seconds = lease_expiry;
+    if (poll_period > 0.0) dist.poll_period_seconds = poll_period;
+    if (lease_batch >= 1) dist.lease_batch = lease_batch;
+  };
+
   // ---- worker mode: run leased shards into a partial checkpoint ----
   // Silent on stdout (the coordinator's output is the campaign's
   // output and must not interleave with worker chatter).
   if (worker_id >= 0) {
     config.dist.worker_id = worker_id;
     config.dist.queue_dir = queue_dir;
+    config.dist.queue_addr = queue_addr;
     config.dist.fail_after_shards = worker_fail_after;
+    apply_lease_knobs(config.dist);
     config.stream = CampaignStreamConfig{};  // DistCampaign re-targets it
     try {
       (void)run_inference_campaign(config);
@@ -192,20 +263,38 @@ int main(int argc, char** argv) {
 
   // ---- coordinator mode: spawn workers, drain the queue, merge ----
   bool scratch_queue = false;
+  // TCP transport: the coordinator hosts the work server in-process
+  // (kept alive through the finalize merge below).
+  std::unique_ptr<TcpWorkServer> server;
   if (workers > 0) {
-    if (queue_dir.empty()) {
+    if (!queue_addr.empty()) {
       try {
-        queue_dir = make_scratch_queue_dir("fault_campaign_queue");
-        scratch_queue = true;
+        server = std::make_unique<TcpWorkServer>(queue_addr);
+        server->start();
+        queue_addr = server->address();  // resolve a port-0 bind
       } catch (const std::exception& error) {
         std::fprintf(stderr, "error: %s\n", error.what());
         return 1;
       }
+      std::fprintf(stderr, "distributed: %d workers, queue-addr=%s\n",
+                   workers, queue_addr.c_str());
+    } else {
+      if (queue_dir.empty()) {
+        try {
+          queue_dir = make_scratch_queue_dir("fault_campaign_queue");
+          scratch_queue = true;
+        } catch (const std::exception& error) {
+          std::fprintf(stderr, "error: %s\n", error.what());
+          return 1;
+        }
+      }
+      std::fprintf(stderr, "distributed: %d workers, queue=%s\n", workers,
+                   queue_dir.c_str());
     }
-    std::fprintf(stderr, "distributed: %d workers, queue=%s\n", workers,
-                 queue_dir.c_str());
     config.dist.workers = workers;
-    config.dist.queue_dir = queue_dir;
+    config.dist.queue_dir = queue_addr.empty() ? queue_dir : std::string();
+    config.dist.queue_addr = queue_addr;
+    apply_lease_knobs(config.dist);
 
     DistCoordinator::Command worker_command;
     worker_command.argv = {argv[0]};
@@ -229,7 +318,21 @@ int main(int argc, char** argv) {
     if (config.mitigated) worker_command.argv.push_back("--mitigate");
     add("--seed", std::to_string(config.seed));
     add("--threads", std::to_string(config.threads));
-    add("--queue-dir", queue_dir);
+    if (queue_addr.empty())
+      add("--queue-dir", queue_dir);
+    else
+      add("--queue-addr", queue_addr);
+    if (lease_expiry >= 0.0) {
+      char expiry[32];
+      std::snprintf(expiry, sizeof expiry, "%.17g", lease_expiry);
+      add("--lease-expiry", expiry);
+    }
+    if (poll_period > 0.0) {
+      char period[32];
+      std::snprintf(period, sizeof period, "%.17g", poll_period);
+      add("--poll-period", period);
+    }
+    if (lease_batch >= 1) add("--lease-batch", std::to_string(lease_batch));
     if (worker_fail_after > 0)
       add("--worker-fail-after", std::to_string(worker_fail_after));
 

@@ -120,7 +120,11 @@ std::optional<CampaignCheckpoint::Loaded> CampaignCheckpoint::load(
 
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string bytes = buffer.str();
+  return load_bytes(buffer.str(), path);
+}
+
+CampaignCheckpoint::Loaded CampaignCheckpoint::load_bytes(
+    const std::string& bytes, const std::string& path) {
   if (bytes.size() < sizeof kMagic + 8)
     throw std::runtime_error("CampaignCheckpoint: truncated file: " + path);
 

@@ -91,6 +91,14 @@ class CampaignCheckpoint {
   /// corrupt, or fails the checksum.
   static std::optional<Loaded> load(const std::string& path);
 
+  /// Parses checkpoint `bytes` already in memory (`path` labels error
+  /// messages only). Same validation as load(); callers that must
+  /// treat a byte buffer and its parsed bitmap as one consistent
+  /// snapshot (the TCP transport's partial publication) parse the
+  /// exact bytes they ship instead of re-reading the file.
+  static Loaded load_bytes(const std::string& bytes,
+                           const std::string& path);
+
   /// Merges the payloads of validated partial checkpoints. Only the
   /// campaign knows its accumulator encoding, so `merge` delegates:
   /// the callback receives every partial at once (each one's

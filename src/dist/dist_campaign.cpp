@@ -2,88 +2,137 @@
 
 #include <algorithm>
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <vector>
 
-#include "dist/work_queue.h"
+#include "dist/shard_transport.h"
 #include "util/binary_io.h"
+#include "util/clock.h"
 
 namespace ftnav {
 namespace {
 
-/// ShardArbiter backed by a WorkQueue: claims are lease renames,
-/// completions release leases into done/, and next_wave spins on the
-/// queue (reclaiming expired leases) until the campaign is globally
-/// complete.
-class QueueShardArbiter : public ShardArbiter {
+/// The lease protocol, written once against ShardTransport: claims are
+/// exclusive leases (optionally batched — extra leases park in a local
+/// granted set until the runner asks for those shards), commits
+/// publish the partial before releasing the lease, and next_wave polls
+/// the queue with bounded exponential backoff (reclaiming expired
+/// leases) until the campaign is globally complete.
+class TransportShardArbiter : public ShardArbiter {
  public:
-  QueueShardArbiter(WorkQueue& queue, const DistConfig& config)
-      : queue_(queue), config_(config) {}
+  TransportShardArbiter(ShardTransport& transport, const DistConfig& config)
+      : transport_(transport),
+        config_(config),
+        batch_(static_cast<std::size_t>(std::max(1, config.lease_batch))) {}
 
   void begin(std::size_t shard_count,
              const std::vector<std::uint8_t>& restored) override {
     shard_count_ = shard_count;
-    queue_.populate(shard_count, config_.worker_id);
+    transport_.populate(shard_count);
     // A previous life of this worker may have died between saving a
     // shard into its partial and releasing the lease; the restored
     // bitmap is the durable truth, so finish the release now.
-    std::size_t restored_count = 0;
-    for (std::size_t shard = 0; shard < restored.size(); ++shard) {
-      if (!restored[shard]) continue;
-      ++restored_count;
-      queue_.mark_done(shard, config_.worker_id);
-    }
-    done_by_self_.store(restored_count, std::memory_order_relaxed);
+    std::vector<std::size_t> restored_shards;
+    for (std::size_t shard = 0; shard < restored.size(); ++shard)
+      if (restored[shard]) restored_shards.push_back(shard);
+    if (!restored_shards.empty()) transport_.mark_done(restored_shards);
+    done_by_self_.store(restored_shards.size(), std::memory_order_relaxed);
   }
 
   bool claim(std::size_t shard) override {
-    return queue_.try_claim(shard, config_.worker_id).has_value();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (granted_.erase(shard) > 0) return true;  // batched lease in hand
+    }
+    const std::vector<std::size_t> leased = transport_.claim(shard, batch_);
+    bool won = false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (std::size_t granted : leased) {
+      if (granted == shard)
+        won = true;
+      else
+        granted_.insert(granted);  // surfaces again via claim or next_wave
+    }
+    return won;
   }
 
   void committed(std::size_t shard) override {
+    // One commit publication at a time: the partial a mark_done refers
+    // to must already be published, and publications must reach the
+    // transport in bitmap order (see ShardTransport::publish_partial).
+    std::lock_guard<std::mutex> lock(commit_mutex_);
+    transport_.publish_partial();
     const std::size_t total =
         done_by_self_.fetch_add(1, std::memory_order_relaxed) + 1;
-    // Test hook: die in the claim->done crash window, after the shard
-    // is durable in our partial but before the lease is released.
+    // Test hook: die in the publish->done crash window, after the
+    // shard is durable in our published partial but before the lease
+    // is released.
     if (config_.fail_after_shards > 0 &&
         total == static_cast<std::size_t>(config_.fail_after_shards))
       std::_Exit(9);
-    queue_.mark_done(shard, config_.worker_id);
-    WorkQueue::beat(config_.queue_dir, config_.worker_id);
+    transport_.mark_done({shard});
+    transport_.heartbeat();
   }
 
   std::vector<std::size_t> next_wave(
       const std::vector<std::uint8_t>& done_by_self) override {
+    timeutil::PollBackoff backoff(config_.poll_period_seconds);
     while (true) {
-      WorkQueue::beat(config_.queue_dir, config_.worker_id);
+      transport_.heartbeat();
       // Recover leases of workers that stopped heartbeating (our own
-      // leases are fresh, so -1 never reclaims from ourselves).
+      // heartbeat is fresh, so we never reclaim from ourselves).
       // expiry <= 0 disables expiry reclaim — matching the
-      // coordinator — rather than WorkQueue::reclaim's force mode.
-      if (config_.lease_expiry_seconds > 0.0)
-        queue_.reclaim(-1, config_.lease_expiry_seconds);
-      std::vector<std::size_t> wave = queue_.claimable();
-      std::erase_if(wave, [&](std::size_t shard) {
-        return shard < done_by_self.size() && done_by_self[shard] != 0;
-      });
-      if (!wave.empty()) return wave;
-      if (queue_.done_count() >= shard_count_) return {};
-      std::this_thread::sleep_for(
-          std::chrono::duration<double>(config_.poll_period_seconds));
+      // coordinator — rather than forcing it.
+      transport_.reclaim_expired(config_.lease_expiry_seconds);
+      ShardWave wave = transport_.wave(batch_);
+
+      std::vector<std::size_t> result;
+      std::vector<std::size_t> already_done;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (std::size_t shard : wave.leased) granted_.insert(shard);
+        // A lease for a shard this process already holds durably (a
+        // transport state divergence after a crash) would never be
+        // consumed by the runner — release it instead of re-offering
+        // it forever. (Its payload is covered: done_by_self bits come
+        // from published/restored partials only.)
+        for (auto it = granted_.begin(); it != granted_.end();) {
+          if (*it < done_by_self.size() && done_by_self[*it] != 0) {
+            already_done.push_back(*it);
+            it = granted_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        // Leases parked from earlier batched claims must run before
+        // this worker may finish, so every wave re-offers them.
+        result.assign(granted_.begin(), granted_.end());
+      }
+      if (!already_done.empty()) transport_.mark_done(already_done);
+      for (std::size_t shard : wave.candidates)
+        if (shard >= done_by_self.size() || done_by_self[shard] == 0)
+          result.push_back(shard);
+      if (!result.empty()) return result;
+      if (wave.campaign_done) return {};
+      backoff.wait();
     }
   }
 
  private:
-  WorkQueue& queue_;
+  ShardTransport& transport_;
   DistConfig config_;
+  std::size_t batch_;
   std::size_t shard_count_ = 0;
   std::atomic<std::size_t> done_by_self_{0};
+  std::mutex mutex_;                 // guards granted_
+  std::set<std::size_t> granted_;    // leased but not yet run here
+  std::mutex commit_mutex_;          // serializes publish->done pairs
 };
 
 }  // namespace
@@ -111,8 +160,8 @@ std::string dist_queue_label(std::string_view tag) {
 
 struct DistCampaign::Impl {
   DistConfig config;
-  std::unique_ptr<WorkQueue> queue;
-  std::unique_ptr<QueueShardArbiter> arbiter;
+  std::unique_ptr<ShardTransport> transport;
+  std::unique_ptr<TransportShardArbiter> arbiter;
 
   // Heartbeat thread (worker role): keeps the lease fresh even while a
   // single long shard is running.
@@ -147,21 +196,25 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
     impl_->config.heartbeat_period_seconds =
         std::min(impl_->config.heartbeat_period_seconds,
                  impl_->config.lease_expiry_seconds / 4.0);
-  impl_->queue =
-      std::make_unique<WorkQueue>(dist.queue_dir, dist_queue_label(tag));
+  impl_->transport = make_shard_transport(impl_->config, tag);
 
   if (role == DistConfig::Role::kWorker) {
-    stream.checkpoint_path = impl_->queue->partial_path(dist.worker_id);
-    stream.resume = true;  // a respawned worker continues its partial
+    stream.checkpoint_path = impl_->transport->partial_path();
+    // A respawned worker continues from the durable copy of its own
+    // partial (for the TCP transport that is the server's copy — the
+    // one reclaim decisions were made against, not whatever a crashed
+    // previous life left on local disk).
+    impl_->transport->restore_partial();
+    stream.resume = true;
     stream.checkpoint_every_shards = 1;  // durable before lease release
     stream.stop_after_shards = 0;
     stream.merge_partials.clear();
-    impl_->arbiter =
-        std::make_unique<QueueShardArbiter>(*impl_->queue, impl_->config);
+    impl_->arbiter = std::make_unique<TransportShardArbiter>(
+        *impl_->transport, impl_->config);
     stream.arbiter = impl_->arbiter.get();
 
     Impl* impl = impl_.get();
-    WorkQueue::beat(dist.queue_dir, dist.worker_id);
+    impl_->transport->heartbeat();
     impl_->heartbeat = std::thread([impl] {
       std::unique_lock<std::mutex> lock(impl->mutex);
       while (!impl->stop_cv.wait_for(
@@ -169,19 +222,27 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
           std::chrono::duration<double>(
               impl->config.heartbeat_period_seconds),
           [impl] { return impl->stopping; })) {
-        WorkQueue::beat(impl->config.queue_dir, impl->config.worker_id);
+        try {
+          impl->transport->heartbeat();
+        } catch (const std::exception&) {
+          // Transport gone (e.g. the TCP server died). Stop beating
+          // and let the campaign's own next transport call surface
+          // the error on a catchable path — an exception escaping
+          // this thread would std::terminate the worker.
+          return;
+        }
       }
     });
     return;
   }
 
   // Finalize: merge the workers' partials into the final checkpoint
-  // (the caller's checkpoint_path when set, a queue-local file
+  // (the caller's checkpoint_path when set, a transport-local file
   // otherwise) and resume it — zero trials when the queue drained.
   if (stream.checkpoint_path.empty())
-    stream.checkpoint_path = impl_->queue->root() + "/merged.ckpt";
+    stream.checkpoint_path = impl_->transport->merged_checkpoint_path();
   stream.resume = true;
-  stream.merge_partials = impl_->queue->partial_paths();
+  stream.merge_partials = impl_->transport->collect_partials();
   stream.arbiter = nullptr;
 }
 

@@ -27,6 +27,12 @@
 // merge-then-resume. Results are therefore bit-identical to a
 // single-process run for any worker count, thread count, and worker
 // kill schedule.
+//
+// The lease protocol itself is written once, against the
+// ShardTransport interface (shard_transport.h): `queue_dir` selects
+// the shared-directory FsTransport, `queue_addr` the TCP work-server
+// TcpTransport — same roles, same byte-identical results, for any
+// transport and any `lease_batch`.
 
 #include <memory>
 #include <string>
@@ -48,8 +54,22 @@ struct DistConfig {
   int workers = 0;
   /// This process's worker id (0-based); < 0 in the coordinator.
   int worker_id = -1;
-  /// Directory shared by the coordinator and every worker.
+  /// Directory shared by the coordinator and every worker (filesystem
+  /// transport). Ignored when `queue_addr` is set.
   std::string queue_dir;
+  /// "host:port" of a TCP work server (tcp_transport.h). Non-empty
+  /// selects the TCP transport: workers need no shared filesystem,
+  /// only a route to the server. Front-ends fill it from
+  /// `--queue-addr` / FTNAV_QUEUE_ADDR; the coordinator spawns an
+  /// in-process server for single-host runs.
+  std::string queue_addr;
+
+  /// Shards leased per claim round-trip (worker-pull batching). The
+  /// default 1 claims shard-by-shard exactly as before; larger values
+  /// amortize the per-claim cost (a rename pair, or a TCP round-trip)
+  /// across several short shards. Any value yields byte-identical
+  /// merged results — batching only changes which worker runs what.
+  int lease_batch = 1;
 
   /// A lease whose worker heartbeat is older than this is considered
   /// abandoned and may be reclaimed; <= 0 disables expiry-based
@@ -61,8 +81,11 @@ struct DistConfig {
   /// Clamped to lease_expiry_seconds / 4 so a live worker always
   /// beats several times per expiry window.
   double heartbeat_period_seconds = 2.0;
-  /// Worker poll cadence while waiting for stragglers/reclaims.
-  double poll_period_seconds = 0.05;
+  /// Cap of the poll backoff while waiting for stragglers/reclaims:
+  /// an idle worker (or coordinator) polls fast at first, then backs
+  /// off exponentially to one wakeup per this many seconds (see
+  /// util/clock.h PollBackoff).
+  double poll_period_seconds = 0.5;
   /// Crashed workers are respawned (same id, resuming their partial)
   /// at most this many times each before the coordinator gives up.
   int max_respawns = 2;
@@ -76,11 +99,14 @@ struct DistConfig {
 
   enum class Role { kOff, kWorker, kFinalize };
   Role role() const noexcept {
-    if (queue_dir.empty()) return Role::kOff;
+    if (queue_dir.empty() && queue_addr.empty()) return Role::kOff;
     if (worker_id >= 0) return Role::kWorker;
     if (workers >= 1) return Role::kFinalize;
     return Role::kOff;
   }
+
+  /// True when the TCP work-server transport is selected.
+  bool uses_tcp() const noexcept { return !queue_addr.empty(); }
 };
 
 /// Queue subdirectory name for a campaign stream tag: a filesystem-
@@ -99,10 +125,12 @@ std::string dist_queue_label(std::string_view tag);
 ///
 /// Worker role: redirects the checkpoint to the worker's partial file
 /// (checkpoint_every_shards = 1 so every committed shard is durable
-/// before its lease is released), resumes it, installs the WorkQueue-
-/// backed ShardArbiter, and runs a heartbeat thread for the scope's
-/// lifetime. Finalize role: lists the partial checkpoints to merge and
-/// resumes the merged file. Off: leaves `stream` untouched.
+/// before its lease is released), restores and resumes it, installs a
+/// ShardTransport-backed arbiter (filesystem queue or TCP work server,
+/// per the DistConfig endpoint), and runs a heartbeat thread for the
+/// scope's lifetime. Finalize role: collects the partial checkpoints
+/// to merge and resumes the merged file. Off: leaves `stream`
+/// untouched.
 class DistCampaign {
  public:
   DistCampaign(const DistConfig& dist, std::string_view tag,

@@ -5,11 +5,11 @@
 #include <filesystem>
 #include <stdexcept>
 #include <string_view>
-#include <thread>
 #include <utility>
 #include <vector>
 
-#include "dist/work_queue.h"
+#include "dist/shard_transport.h"
+#include "util/clock.h"
 
 #if !defined(_WIN32)
 #include <signal.h>
@@ -108,9 +108,11 @@ void DistCoordinator::run(
     const std::function<Command(int)>& command_for) const {
   if (config_.workers < 1)
     throw std::runtime_error("DistCoordinator: workers must be >= 1");
-  if (config_.queue_dir.empty())
-    throw std::runtime_error("DistCoordinator: queue_dir must be set");
-  std::filesystem::create_directories(config_.queue_dir);
+  if (config_.queue_dir.empty() && config_.queue_addr.empty())
+    throw std::runtime_error(
+        "DistCoordinator: queue_dir or queue_addr must be set");
+  if (!config_.uses_tcp())
+    std::filesystem::create_directories(config_.queue_dir);
 
   struct WorkerSlot {
     pid_t pid = -1;
@@ -131,8 +133,10 @@ void DistCoordinator::run(
   };
 
   auto last_expiry_scan = std::chrono::steady_clock::now();
+  timeutil::PollBackoff backoff(config_.poll_period_seconds);
   while (true) {
     bool all_finished = true;
+    bool reaped_any = false;
     for (int id = 0; id < config_.workers; ++id) {
       WorkerSlot& slot = slots[static_cast<std::size_t>(id)];
       if (slot.finished) continue;
@@ -141,6 +145,7 @@ void DistCoordinator::run(
       int status = 0;
       const pid_t reaped = ::waitpid(slot.pid, &status, WNOHANG);
       if (reaped != slot.pid) continue;
+      reaped_any = true;
       if (WIFEXITED(status) && WEXITSTATUS(status) == 0) {
         slot.finished = true;
         continue;
@@ -148,7 +153,7 @@ void DistCoordinator::run(
       // The worker died. Its committed shards are safe in its partial
       // checkpoint; free its leases and respawn it under the same id
       // so the replacement resumes that partial.
-      reclaim_queue_leases(config_.queue_dir, id, 0.0);
+      reclaim_transport_leases(config_, id, 0.0);
       if (slot.respawns >= config_.max_respawns) {
         kill_all();
         throw std::runtime_error(
@@ -162,17 +167,18 @@ void DistCoordinator::run(
     if (all_finished) break;
 
     // Cover workers the coordinator cannot waitpid (other hosts
-    // sharing the queue directory): reclaim on heartbeat expiry.
-    const auto now = std::chrono::steady_clock::now();
+    // sharing the queue endpoint): reclaim on heartbeat expiry.
     if (config_.lease_expiry_seconds > 0.0 &&
-        std::chrono::duration<double>(now - last_expiry_scan).count() >
+        timeutil::steady_seconds_since(last_expiry_scan) >
             config_.lease_expiry_seconds) {
-      reclaim_queue_leases(config_.queue_dir, -1,
-                           config_.lease_expiry_seconds);
-      last_expiry_scan = now;
+      reclaim_transport_leases(config_, -1, config_.lease_expiry_seconds);
+      last_expiry_scan = std::chrono::steady_clock::now();
     }
-    std::this_thread::sleep_for(
-        std::chrono::duration<double>(config_.poll_period_seconds));
+    // Exponential backoff up to poll_period_seconds: a worker exit
+    // resets it so respawn chains stay responsive, while a long quiet
+    // stretch costs one wakeup per poll period instead of a spin.
+    if (reaped_any) backoff.reset();
+    backoff.wait();
   }
 }
 

@@ -1,0 +1,65 @@
+#include "dist/fs_transport.h"
+
+#include <algorithm>
+
+namespace ftnav {
+
+FsTransport::FsTransport(const DistConfig& config, std::string_view tag)
+    : queue_dir_(config.queue_dir),
+      worker_id_(config.worker_id),
+      queue_(config.queue_dir, dist_queue_label(tag)) {}
+
+void FsTransport::populate(std::size_t shard_count) {
+  shard_count_ = shard_count;
+  queue_.populate(shard_count, worker_id_);
+}
+
+std::vector<std::size_t> FsTransport::claim(std::size_t hint,
+                                            std::size_t max_batch) {
+  std::vector<std::size_t> leased;
+  if (queue_.try_claim(hint, worker_id_)) leased.push_back(hint);
+  if (max_batch <= 1 || leased.empty()) return leased;
+  // Batch mode: top the lease up from the current todo snapshot. The
+  // renames race with other claimers as usual — losers just skip.
+  std::vector<std::size_t> todo = queue_.claimable();
+  std::sort(todo.begin(), todo.end());
+  for (std::size_t shard : todo) {
+    if (leased.size() >= max_batch) break;
+    if (shard == hint) continue;
+    if (queue_.try_claim(shard, worker_id_)) leased.push_back(shard);
+  }
+  return leased;
+}
+
+void FsTransport::mark_done(const std::vector<std::size_t>& shards) {
+  for (std::size_t shard : shards) queue_.mark_done(shard, worker_id_);
+}
+
+std::string FsTransport::partial_path() const {
+  return queue_.partial_path(worker_id_);
+}
+
+void FsTransport::heartbeat() { WorkQueue::beat(queue_dir_, worker_id_); }
+
+void FsTransport::reclaim_expired(double expiry_seconds) {
+  if (expiry_seconds > 0.0) queue_.reclaim(-1, expiry_seconds);
+}
+
+ShardWave FsTransport::wave(std::size_t max_batch) {
+  (void)max_batch;  // candidates are free here; claim() does the leasing
+  ShardWave wave;
+  wave.candidates = queue_.claimable();
+  if (wave.candidates.empty())
+    wave.campaign_done = queue_.done_count() >= shard_count_;
+  return wave;
+}
+
+std::vector<std::string> FsTransport::collect_partials() {
+  return queue_.partial_paths();
+}
+
+std::string FsTransport::merged_checkpoint_path() const {
+  return queue_.root() + "/merged.ckpt";
+}
+
+}  // namespace ftnav

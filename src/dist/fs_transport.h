@@ -1,0 +1,42 @@
+#pragma once
+// Filesystem ShardTransport: the original shared-directory WorkQueue
+// (work_queue.h) behind the transport interface. Leases are atomic
+// renames, heartbeats are touched files, partials live in the queue
+// directory — so the durable-partial invariant holds for free: the
+// streamed campaign checkpoints straight into the shared partials
+// directory and publish_partial() has nothing left to do.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "dist/shard_transport.h"
+#include "dist/work_queue.h"
+
+namespace ftnav {
+
+class FsTransport : public ShardTransport {
+ public:
+  FsTransport(const DistConfig& config, std::string_view tag);
+
+  void populate(std::size_t shard_count) override;
+  std::vector<std::size_t> claim(std::size_t hint,
+                                 std::size_t max_batch) override;
+  void mark_done(const std::vector<std::size_t>& shards) override;
+  std::string partial_path() const override;
+  void restore_partial() override {}  // the partial is already shared
+  void publish_partial() override {}  // ditto
+  void heartbeat() override;
+  void reclaim_expired(double expiry_seconds) override;
+  ShardWave wave(std::size_t max_batch) override;
+  std::vector<std::string> collect_partials() override;
+  std::string merged_checkpoint_path() const override;
+
+ private:
+  std::string queue_dir_;
+  int worker_id_;
+  WorkQueue queue_;
+  std::size_t shard_count_ = 0;
+};
+
+}  // namespace ftnav

@@ -1,0 +1,32 @@
+#include "dist/shard_transport.h"
+
+#include <stdexcept>
+
+#include "dist/fs_transport.h"
+#include "dist/tcp_transport.h"
+#include "dist/work_queue.h"
+
+namespace ftnav {
+
+std::unique_ptr<ShardTransport> make_shard_transport(
+    const DistConfig& config, std::string_view tag) {
+  if (config.uses_tcp()) return std::make_unique<TcpTransport>(config, tag);
+  if (!config.queue_dir.empty())
+    return std::make_unique<FsTransport>(config, tag);
+  throw std::runtime_error(
+      "make_shard_transport: DistConfig names no endpoint (set queue_dir "
+      "or queue_addr)");
+}
+
+std::size_t reclaim_transport_leases(const DistConfig& config,
+                                     int worker_id, double expiry_seconds) {
+  // Few connect retries: the server is expected up (it outlives the
+  // coordinator loop calling this); if it is gone, fail fast so the
+  // coordinator reports the real error instead of stalling.
+  if (config.uses_tcp())
+    return TcpQueueClient(config.queue_addr, /*connect_attempts=*/4)
+        .reclaim(worker_id, expiry_seconds);
+  return reclaim_queue_leases(config.queue_dir, worker_id, expiry_seconds);
+}
+
+}  // namespace ftnav

@@ -1,0 +1,146 @@
+#pragma once
+// ShardTransport: the distributed lease protocol, abstracted over its
+// medium.
+//
+// The dist layer expresses the claim -> commit -> done protocol —
+// heartbeats, expiry reclaim, partial-checkpoint recovery, batched
+// leases — exactly once: dist_campaign.cpp's transport-backed
+// ShardArbiter and the DistCoordinator talk only to this interface.
+// Everything medium-specific lives behind it:
+//
+//   FsTransport   (fs_transport.h)  — the original shared-directory
+//                 WorkQueue: atomic renames are leases, heartbeat
+//                 files, partials in the queue directory. Requires a
+//                 filesystem every participant can mount.
+//   TcpTransport  (tcp_transport.h) — a single-threaded poll() work
+//                 server plus a framed-RPC client; cluster nodes join
+//                 with nothing but a route to host:port.
+//
+// Invariants every implementation must keep (they are what makes the
+// merged checkpoint byte-identical to a single-process run for any
+// transport, worker count, batch size, and kill schedule):
+//
+//   - exactly-once leases: a shard is leased to at most one worker at
+//     a time, across threads, processes, and hosts;
+//   - the partial checkpoint is the durable truth: publish_partial()
+//     makes this worker's partial (completed-shard bitmap + payload)
+//     visible to reclaim *before* mark_done() releases the lease, so
+//     a worker dying in the publish->done window is recovered to
+//     done (the work survived) and one dying before publish is
+//     recovered to todo (the shard re-runs) — never the reverse;
+//   - batching never weakens either: every shard claim() or wave()
+//     reports as leased is a real exclusive lease, and leases this
+//     worker has not consumed yet surface again through wave().
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/dist_campaign.h"
+
+namespace ftnav {
+
+/// One poll of the queue from a worker's drain loop.
+struct ShardWave {
+  /// Shards now leased to this worker (claim() returns true for them
+  /// without another round-trip). The TCP transport fills this — a
+  /// wave is a batched claim.
+  std::vector<std::size_t> leased;
+  /// Shards that looked claimable but are not leased yet; the caller
+  /// must still win them through claim(). The filesystem transport
+  /// fills this — its todo listing is a snapshot, not a grant.
+  std::vector<std::size_t> candidates;
+  /// Every shard of the campaign is globally done; an empty wave with
+  /// this flag set ends the worker's drain loop.
+  bool campaign_done = false;
+};
+
+/// One campaign's view of the shared work queue, bound to this
+/// process's worker id. Constructed per streamed campaign via
+/// make_shard_transport(); the finalize role uses only
+/// collect_partials() / merged_checkpoint_path().
+class ShardTransport {
+ public:
+  virtual ~ShardTransport() = default;
+
+  /// One-time campaign init, idempotent and safe to call from every
+  /// worker: after it returns, `shard_count` shards exist (minus any
+  /// already claimed or done by earlier lives of the campaign).
+  virtual void populate(std::size_t shard_count) = 0;
+
+  /// Leases up to `max_batch` shards for this worker, preferring
+  /// `hint` when it is claimable. Returns only shards actually leased
+  /// (possibly empty; possibly extras beyond the hint when
+  /// max_batch > 1). Never blocks on queue emptiness. Thread-safe.
+  virtual std::vector<std::size_t> claim(std::size_t hint,
+                                         std::size_t max_batch) = 0;
+
+  /// Releases leases this worker holds into done. Call only after
+  /// publish_partial() made the shards durable (see the header
+  /// comment); shards already done or leased elsewhere are skipped.
+  /// Thread-safe.
+  virtual void mark_done(const std::vector<std::size_t>& shards) = 0;
+
+  /// Local file this worker's partial checkpoint lives in while the
+  /// campaign runs (the streamed campaign checkpoints there after
+  /// every shard).
+  virtual std::string partial_path() const = 0;
+
+  /// Brings the durable copy of this worker's partial into
+  /// partial_path(). Filesystem: the file already *is* the durable
+  /// copy (no-op). TCP: downloads the server's copy, replacing any
+  /// stale local file a crashed previous life left behind — the
+  /// server copy is what reclaim decisions were made against.
+  virtual void restore_partial() = 0;
+
+  /// Publishes partial_path() to the reclaim authority. Filesystem:
+  /// no-op (the partial already sits in the shared queue directory).
+  /// TCP: uploads bitmap + bytes to the server. Thread-safe, but the
+  /// caller must not reorder a mark_done() before the publish that
+  /// covers it (the dist arbiter serializes commit publication).
+  virtual void publish_partial() = 0;
+
+  /// Heartbeat for this worker process (shared across campaigns).
+  /// Thread-safe.
+  virtual void heartbeat() = 0;
+
+  /// Recovers leases of workers whose heartbeat is older than
+  /// `expiry_seconds` (a worker that never beat counts as infinitely
+  /// old): each lease moves to done when the owner's published
+  /// partial records the shard, back to todo otherwise. Thread-safe.
+  virtual void reclaim_expired(double expiry_seconds) = 0;
+
+  /// Polls for this worker's next wave of work, leasing up to
+  /// `max_batch` shards where the transport supports it. Never
+  /// blocks; the caller owns the backoff loop.
+  virtual ShardWave wave(std::size_t max_batch) = 0;
+
+  /// Finalize: local paths of every worker's partial checkpoint,
+  /// sorted (TCP drains the server's stored partials into scratch
+  /// files first). Workers that never claimed a shard may be absent.
+  virtual std::vector<std::string> collect_partials() = 0;
+
+  /// Default location for the finalize-role merged checkpoint when
+  /// the caller did not name one.
+  virtual std::string merged_checkpoint_path() const = 0;
+};
+
+/// Builds the transport `config` selects — queue_addr -> TcpTransport,
+/// else queue_dir -> FsTransport — scoped to the campaign `tag`.
+/// Throws std::runtime_error when the endpoint is unreachable or the
+/// config names no endpoint at all.
+std::unique_ptr<ShardTransport> make_shard_transport(
+    const DistConfig& config, std::string_view tag);
+
+/// Coordinator-side reclaim across every campaign of the endpoint:
+/// recovers leases owned by `worker_id` (any owner when -1) whose
+/// heartbeat is older than `expiry_seconds` (<= 0 forces, for the
+/// waitpid path where the owner is known dead). Returns the number of
+/// leases recovered.
+std::size_t reclaim_transport_leases(const DistConfig& config,
+                                     int worker_id, double expiry_seconds);
+
+}  // namespace ftnav

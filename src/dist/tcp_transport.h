@@ -1,0 +1,162 @@
+#pragma once
+// TCP ShardTransport: a small work server plus a framed-RPC client,
+// so cluster nodes WITHOUT a shared filesystem can join a campaign.
+//
+// The server (TcpWorkServer) is a single-threaded poll() loop holding
+// the authoritative queue state in memory: per campaign label the
+// todo/claimed/done state of every shard, plus each worker's last
+// *published* partial checkpoint (bitmap + raw bytes) and heartbeat
+// time. It serves length-prefixed binary frames (util/binary_io
+// encoding) implementing the same lease protocol as the filesystem
+// queue:
+//
+//   populate   create the campaign's shard set (idempotent)
+//   claim      lease up to B shards in one round-trip (batched pull)
+//   done       release committed leases into done
+//   heartbeat  refresh a worker's liveness
+//   upload     publish a worker's partial checkpoint (the durable
+//              truth reclaim consults — uploaded BEFORE done, so the
+//              upload->done crash window recovers exactly like the
+//              filesystem queue's save->rename window)
+//   fetch      download a worker's published partial (respawn resume)
+//   drain      download every partial (coordinator finalize merge)
+//   reclaim    recover leases of dead/expired workers
+//
+// A client that vanishes mid-conversation (crash, kill, network cut)
+// just leaves leases assigned to its worker id; the poll loop drops
+// the connection and the leases are recovered by the coordinator
+// (waitpid -> forced reclaim) or by any worker's expiry reclaim —
+// shards are never lost and never double-counted, because the reclaim
+// decision consults the worker's last published bitmap.
+//
+// The client (TcpTransport) keeps one connection per campaign and
+// serializes request/response pairs under a mutex (campaign worker
+// threads and the heartbeat thread share it). Workers keep their
+// partial checkpoint in a process-local scratch directory; the server
+// copy, refreshed on every publish, is the durable one.
+//
+// POSIX-only, like DistCoordinator; construction throws on Windows.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "dist/shard_transport.h"
+
+namespace ftnav {
+
+/// The work server. start() binds, listens, and runs the poll loop on
+/// a background thread; stop() (or destruction) shuts it down. Bind
+/// to port 0 to let the kernel pick — address() reports the resolved
+/// endpoint to hand to workers.
+class TcpWorkServer {
+ public:
+  /// `bind_addr` is "host:port"; host may be empty for 0.0.0.0.
+  explicit TcpWorkServer(std::string bind_addr);
+  ~TcpWorkServer();
+
+  TcpWorkServer(const TcpWorkServer&) = delete;
+  TcpWorkServer& operator=(const TcpWorkServer&) = delete;
+
+  /// Throws std::runtime_error when the address cannot be bound.
+  void start();
+  void stop();
+
+  /// Resolved "host:port" (real port when bound to 0). Valid after
+  /// start().
+  std::string address() const;
+  int port() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Client-side RPC handle, usable standalone (the coordinator's
+/// reclaim path) or through TcpTransport. Thread-safe; each call is
+/// one request/response round-trip. Throws std::runtime_error on
+/// connection failure or a server-reported error.
+class TcpQueueClient {
+ public:
+  /// Connects immediately, retrying up to `connect_attempts` times
+  /// with short backoff — the default absorbs a worker racing the
+  /// coordinator's server startup; callers probing a server that may
+  /// be genuinely gone (the coordinator's reclaim path) pass a small
+  /// count to fail fast.
+  explicit TcpQueueClient(const std::string& addr,
+                          int connect_attempts = 24);
+  ~TcpQueueClient();
+
+  TcpQueueClient(const TcpQueueClient&) = delete;
+  TcpQueueClient& operator=(const TcpQueueClient&) = delete;
+
+  void populate(const std::string& label, std::size_t shard_count);
+
+  struct ClaimReply {
+    std::vector<std::size_t> leased;
+    bool campaign_done = false;
+  };
+  /// `hint` of kNoHint asks for any shards.
+  static constexpr std::size_t kNoHint = ~static_cast<std::size_t>(0);
+  ClaimReply claim(const std::string& label, int worker_id,
+                   std::size_t hint, std::size_t max_batch);
+
+  /// Returns the number of leases actually released.
+  std::size_t done(const std::string& label, int worker_id,
+                   const std::vector<std::size_t>& shards);
+
+  void heartbeat(int worker_id);
+
+  void upload_partial(const std::string& label, int worker_id,
+                      const std::vector<std::uint8_t>& shard_bitmap,
+                      const std::string& bytes);
+
+  /// Empty result when the worker never published a partial.
+  std::string fetch_partial(const std::string& label, int worker_id);
+
+  struct Partial {
+    int worker_id = -1;
+    std::string bytes;
+  };
+  /// Every published partial for the campaign, sorted by worker id.
+  std::vector<Partial> drain_partials(const std::string& label);
+
+  std::size_t reclaim(int worker_id, double expiry_seconds);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// ShardTransport over a TcpQueueClient. Partials live in a fresh
+/// process-local scratch directory (removed on destruction); the
+/// server's stored copies are the durable truth.
+class TcpTransport : public ShardTransport {
+ public:
+  TcpTransport(const DistConfig& config, std::string_view tag);
+  ~TcpTransport() override;
+
+  void populate(std::size_t shard_count) override;
+  std::vector<std::size_t> claim(std::size_t hint,
+                                 std::size_t max_batch) override;
+  void mark_done(const std::vector<std::size_t>& shards) override;
+  std::string partial_path() const override;
+  void restore_partial() override;
+  void publish_partial() override;
+  void heartbeat() override;
+  void reclaim_expired(double expiry_seconds) override;
+  ShardWave wave(std::size_t max_batch) override;
+  std::vector<std::string> collect_partials() override;
+  std::string merged_checkpoint_path() const override;
+
+ private:
+  std::string label_;
+  int worker_id_;
+  std::string scratch_dir_;
+  TcpQueueClient client_;
+};
+
+}  // namespace ftnav

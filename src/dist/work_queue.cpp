@@ -1,7 +1,6 @@
 #include "dist/work_queue.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -12,6 +11,7 @@
 #include <utility>
 
 #include "campaign/checkpoint.h"
+#include "util/clock.h"
 
 namespace ftnav {
 namespace fs = std::filesystem;
@@ -154,8 +154,7 @@ double WorkQueue::heartbeat_age(const std::string& queue_dir,
   const auto written = fs::last_write_time(
       queue_dir + "/hb/worker-" + std::to_string(worker_id), ec);
   if (ec) return std::numeric_limits<double>::infinity();
-  const auto age = fs::file_time_type::clock::now() - written;
-  return std::chrono::duration<double>(age).count();
+  return timeutil::to_seconds(fs::file_time_type::clock::now() - written);
 }
 
 std::size_t WorkQueue::reclaim(int worker_id, double expiry_seconds) {

@@ -1,0 +1,59 @@
+#pragma once
+// Shared seconds math for the dist layer's heartbeat/expiry/poll
+// logic. Every duration knob in DistConfig is a double in seconds;
+// these helpers keep the <chrono> conversions in one place instead of
+// sprinkling duration<double> casts through both transports.
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ftnav::timeutil {
+
+/// Any <chrono> duration as fractional seconds.
+template <typename Rep, typename Period>
+double to_seconds(std::chrono::duration<Rep, Period> duration) {
+  return std::chrono::duration<double>(duration).count();
+}
+
+/// Seconds elapsed on the steady clock since `since`.
+inline double steady_seconds_since(
+    std::chrono::steady_clock::time_point since) {
+  return to_seconds(std::chrono::steady_clock::now() - since);
+}
+
+inline void sleep_seconds(double seconds) {
+  if (seconds > 0.0)
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
+/// Bounded exponential backoff for queue-poll loops: the first wait is
+/// a millisecond (a worker that went idle an instant before new work
+/// appeared reacts immediately), each empty poll doubles it, and the
+/// wait settles at `cap_seconds` — so a near-empty queue costs a
+/// handful of fast polls and then one wakeup per cap period, instead
+/// of a fixed-cadence spin. reset() after productive work restores the
+/// fast initial cadence.
+class PollBackoff {
+ public:
+  explicit PollBackoff(double cap_seconds)
+      : cap_(std::max(cap_seconds, kInitialSeconds)), next_(kInitialSeconds) {}
+
+  /// The wait to use now; doubles the next one (up to the cap).
+  double next_seconds() {
+    const double current = next_;
+    next_ = std::min(next_ * 2.0, cap_);
+    return current;
+  }
+
+  void wait() { sleep_seconds(next_seconds()); }
+
+  void reset() { next_ = kInitialSeconds; }
+
+ private:
+  static constexpr double kInitialSeconds = 1e-3;
+  double cap_;
+  double next_;
+};
+
+}  // namespace ftnav::timeutil

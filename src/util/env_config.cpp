@@ -31,6 +31,8 @@ BenchConfig bench_config_from_env() {
   config.json_dir = env_string("FTNAV_JSON_DIR", "");
   config.workers = static_cast<int>(env_int("FTNAV_WORKERS", 0));
   config.queue_dir = env_string("FTNAV_QUEUE_DIR", "");
+  config.queue_addr = env_string("FTNAV_QUEUE_ADDR", "");
+  config.lease_batch = static_cast<int>(env_int("FTNAV_LEASE_BATCH", 0));
   config.worker_id = static_cast<int>(env_int("FTNAV_WORKER_ID", -1));
   return config;
 }

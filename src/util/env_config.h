@@ -22,6 +22,12 @@
 //                         bench/bench_common.h — and ignored elsewhere
 //   FTNAV_QUEUE_DIR       work-queue directory for FTNAV_WORKERS
 //                         (default: a fresh temp directory)
+//   FTNAV_QUEUE_ADDR      host:port of the TCP work-server transport
+//                         instead of a shared queue directory; the
+//                         coordinator spawns the server in-process
+//                         (port 0 picks a free port)
+//   FTNAV_LEASE_BATCH     shards leased per claim round-trip (>= 1;
+//                         results identical for every value)
 //   FTNAV_WORKER_ID       set by the coordinator in worker processes;
 //                         not meant to be set by hand
 //
@@ -43,6 +49,8 @@ struct BenchConfig {
   std::string json_dir;        // JSON table artifacts land here; "" = off
   int workers = 0;             // distributed worker processes; 0 = off
   std::string queue_dir;       // shared work-queue directory
+  std::string queue_addr;      // TCP work-server host:port; "" = filesystem
+  int lease_batch = 0;         // shards per claim round-trip; 0 = default
   int worker_id = -1;          // >= 0 marks a spawned worker process
 
   /// Repeat count to use given the bench's fast-mode default.

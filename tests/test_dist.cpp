@@ -100,6 +100,43 @@ TEST(WorkQueueTest, ReclaimConsultsTheDeadWorkersPartial) {
             claimable.end());
 }
 
+TEST(WorkQueueTest, ExpiryReclaimTreatsMissingHeartbeatAsDead) {
+  ScratchDir scratch("queue_no_heartbeat");
+  WorkQueue queue(scratch.path, "campaign");
+  queue.populate(4, 0);
+  // Worker 5 claimed a shard but never wrote a heartbeat file at all
+  // (crashed before its first beat): its age is +infinity, so even a
+  // generous expiry must treat it as dead. With no partial checkpoint
+  // either, the lease lands in todo/ — never in done/.
+  ASSERT_TRUE(queue.try_claim(1, 5).has_value());
+  EXPECT_EQ(queue.reclaim(-1, 3600.0), 1u);
+  EXPECT_EQ(queue.done_count(), 0u);
+  const std::vector<std::size_t> claimable = queue.claimable();
+  EXPECT_EQ(claimable.size(), 4u);
+  EXPECT_NE(std::find(claimable.begin(), claimable.end(), 1u),
+            claimable.end());
+}
+
+TEST(WorkQueueTest, ReclaimWithCorruptPartialReturnsLeaseToTodo) {
+  ScratchDir scratch("queue_corrupt_partial");
+  WorkQueue queue(scratch.path, "campaign");
+  queue.populate(4, 0);
+  ASSERT_TRUE(queue.try_claim(2, 0).has_value());
+  // The dead worker's partial exists but is garbage (torn write,
+  // disk corruption): reclaim must treat it as "nothing committed"
+  // and re-run the shard, not trust it into done/.
+  {
+    std::ofstream out(queue.partial_path(0), std::ios::binary);
+    out << "this is not a campaign checkpoint";
+  }
+  EXPECT_EQ(queue.reclaim(0, 0.0), 1u);
+  EXPECT_EQ(queue.done_count(), 0u);
+  const std::vector<std::size_t> claimable = queue.claimable();
+  EXPECT_EQ(claimable.size(), 4u);
+  EXPECT_NE(std::find(claimable.begin(), claimable.end(), 2u),
+            claimable.end());
+}
+
 TEST(WorkQueueTest, FreshHeartbeatBlocksExpiryReclaim) {
   ScratchDir scratch("queue_heartbeat");
   WorkQueue queue(scratch.path, "campaign");
