@@ -55,27 +55,14 @@ int main() {
   print_banner("Ablation", "mitigation design choices and redundancy "
                "baselines", config);
 
-  // ---- A: anomaly-detector margin sweep ---------------------------------
+  // ---- A: anomaly-detector margin sweep (registry scenario) -------------
   {
     std::printf("--- A. detector margin sweep (NN Grid World, "
                 "Transient-M weight faults @ BER 0.8%%) ---\n");
-    Table table({"margin", "success % (mitigated)"});
-    for (double margin : {0.0, 0.05, 0.10, 0.25, 0.50}) {
-      InferenceCampaignConfig campaign;
-      campaign.kind = GridPolicyKind::kNeuralNet;
-      campaign.train_episodes = 1000;
-      campaign.bers = {0.008};
-      campaign.repeats = config.resolve_repeats(40, 300);
-      campaign.seed = config.seed;
-      campaign.threads = config.threads;
-      campaign.mitigated = true;
-      campaign.detector_margin = margin;
-      const InferenceCampaignResult result =
-          run_inference_campaign(campaign);
-      table.add_row({format_double(margin * 100.0, 0) + "%",
-                     format_double(result.success_by_mode[0][0], 0)});
-    }
-    std::printf("%s\n", table.render().c_str());
+    run_scenario(
+        "ablation-detector-margin", "ablation-a", config, DistConfig{},
+        {{"repeats", std::to_string(config.resolve_repeats(40, 300))},
+         {"seed", std::to_string(config.seed)}});
     print_shape_note(
         "tiny margins flag healthy values near the range edge; huge "
         "margins let corrupted values through -- the paper's 10% sits "

@@ -7,6 +7,7 @@
 // paper's qualitative claim the numbers should exhibit.
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -17,6 +18,7 @@
 #include "dist/dist_coordinator.h"
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
+#include "scenario/scenario.h"
 #include "util/env_config.h"
 #include "util/table.h"
 
@@ -25,6 +27,10 @@ namespace ftnav::benchharness {
 inline void print_banner(const std::string& artifact,
                          const std::string& description,
                          const BenchConfig& config) {
+  // Typo'd FTNAV_* vars are diagnosed on stderr before any results
+  // (workers skip the banner, so the warning prints once per bench).
+  warn_unknown_ftnav_vars(
+      ScenarioRegistry::instance().known_param_env_names());
   std::printf("==============================================================\n");
   std::printf("%s — %s\n", artifact.c_str(), description.c_str());
   std::printf("%s\n", describe(config).c_str());
@@ -129,6 +135,63 @@ inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
   return dist;
 }
 
+/// Runs registry scenario `name` under the bench harness: a bench is a
+/// scenario name plus parameter `overrides`, not bespoke wiring. The
+/// overrides apply at CLI precedence (they encode the bench's resolved
+/// FTNAV_REPEATS/FTNAV_SEED/FTNAV_FULL choices), on top of FTNAV_<PARAM>
+/// environment values, on top of the scenario's declared defaults.
+/// Streaming knobs come from stream_for(config, label) — pass each
+/// campaign in a bench its own label — and `dist` from bench_dist (or
+/// a default DistConfig for benches that do not shard). Prints the
+/// scenario report unless this process is a distributed worker;
+/// returns the result for artifact export.
+inline ScenarioResult run_scenario(
+    const std::string& name, const std::string& label,
+    const BenchConfig& config, const DistConfig& dist,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  const ScenarioSpec* spec = ScenarioRegistry::instance().find(name);
+  if (spec == nullptr)
+    throw std::runtime_error("unknown scenario: " + name);
+  ParamSet params = spec->make_params();
+  try {
+    for (const ParamSpec& param : spec->params) {
+      const std::string env = ParamSet::env_name(param.name);
+      // Harness knobs that share a name with a scenario parameter
+      // (FTNAV_REPEATS, FTNAV_SEED, ...) keep their harness semantics
+      // (0 = "use the bench default") — bench_config_from_env resolved
+      // them already and they arrive via `overrides`; applying them
+      // here as scenario values would reject e.g. FTNAV_REPEATS=0.
+      bool harness_knob = false;
+      for (const EnvKnob& knob : declared_env_knobs())
+        if (env == knob.name) {
+          harness_knob = true;
+          break;
+        }
+      if (harness_knob) continue;
+      const char* raw = std::getenv(env.c_str());
+      if (raw != nullptr && *raw != '\0')
+        params.set(param.name, raw, ParamSource::kEnv);
+    }
+    for (const auto& [key, value] : overrides)
+      params.set(key, value, ParamSource::kCli);
+  } catch (const ParamError& error) {
+    // A malformed FTNAV_<PARAM> value is a diagnosed exit, not an
+    // uncaught abort mid-banner.
+    std::fprintf(stderr, "error: %s\n", error.what());
+    std::exit(2);
+  }
+  ScenarioContext context;
+  context.threads = config.threads;
+  context.stream = stream_for(config, label);
+  context.dist = dist;
+  ScenarioResult result = spec->factory(params)->run(context);
+  if (!config.is_dist_worker()) {
+    std::printf("%s\n", result.text.c_str());
+    std::fflush(stdout);
+  }
+  return result;
+}
+
 /// Collects the tables a bench prints and, when FTNAV_JSON_DIR is set,
 /// writes them to "<dir>/<artifact>.json" on destruction (CI uploads
 /// these as workflow artifacts on Release runs).
@@ -143,6 +206,11 @@ class JsonArtifact {
   void add(const std::string& name, const HeatmapGrid& grid,
            int precision = 6) {
     entries_.emplace_back(name, grid.to_json(precision));
+  }
+  /// Appends every artifact of a scenario result as "<prefix>_<name>".
+  void add(const std::string& prefix, const ScenarioResult& result) {
+    for (const auto& [name, fragment] : result.artifacts)
+      entries_.emplace_back(prefix + "_" + name, fragment);
   }
 
   ~JsonArtifact() {

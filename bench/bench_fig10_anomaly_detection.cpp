@@ -1,12 +1,12 @@
 // Fig. 10: effectiveness of range-based anomaly detection (§5.2) on
 // inference -- Grid World success rate and drone flight distance, with
-// and without the mitigation, under transient weight faults.
+// and without the mitigation, under transient weight faults — the
+// registry's `grid-inference-mitigation` and `drone-mitigation`
+// scenarios.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
-#include "experiments/grid_inference.h"
 
 int main() {
   using namespace ftnav;
@@ -17,77 +17,30 @@ int main() {
                "mitigated",
                config);
 
-  // --- Fig. 10a: Grid World (NN policy, weight faults) -------------------
-  {
-    InferenceCampaignConfig campaign;
-    campaign.kind = GridPolicyKind::kNeuralNet;
-    campaign.train_episodes = config.full_scale ? 1500 : 1000;
-    campaign.bers = {0.0, 0.001, 0.002, 0.003, 0.004, 0.005,
-                     0.006, 0.007, 0.008, 0.009, 0.010};
-    campaign.repeats = config.resolve_repeats(60, 1000);
-    campaign.seed = config.seed;
-    campaign.threads = config.threads;
+  JsonArtifact artifact(config, "fig10");
 
-    std::printf("--- Fig. 10a: Grid World success rate (%%), %d draws per "
-                "point ---\n", campaign.repeats);
-    const MitigationComparison comparison =
-        run_inference_mitigation_comparison(campaign);
-    Table table({"BER", "no mitigation", "mitigation"});
-    double base_avg = 0.0, mitig_avg = 0.0;
-    int counted = 0;
-    for (std::size_t b = 0; b < comparison.bers.size(); ++b) {
-      table.add_row({format_double(comparison.bers[b] * 100.0, 1) + "%",
-                     format_double(comparison.baseline_success[b], 0),
-                     format_double(comparison.mitigated_success[b], 0)});
-      if (comparison.bers[b] >= 0.004) {  // the high-BER regime
-        base_avg += comparison.baseline_success[b];
-        mitig_avg += comparison.mitigated_success[b];
-        ++counted;
-      }
-    }
-    std::printf("%s", table.render().c_str());
-    if (counted > 0 && base_avg > 0.0) {
-      std::printf("high-BER success improvement: %.2fx (paper: ~2x)\n\n",
-                  mitig_avg / base_avg);
-    }
-  }
+  std::printf("--- Fig. 10a: Grid World success rate (%%), %d draws per "
+              "point ---\n",
+              config.resolve_repeats(60, 1000));
+  artifact.add(
+      "fig10a",
+      run_scenario(
+          "grid-inference-mitigation", "fig10a", config, DistConfig{},
+          {{"train-episodes",
+            std::to_string(config.full_scale ? 1500 : 1000)},
+           {"repeats", std::to_string(config.resolve_repeats(60, 1000))},
+           {"seed", std::to_string(config.seed)}}));
 
-  // --- Fig. 10b: drone navigation (weight faults) ------------------------
-  {
-    DroneInferenceCampaignConfig campaign;
-    campaign.policy.seed = config.seed;
-    campaign.bers = drone_bers(config.full_scale);
-    campaign.repeats = config.resolve_repeats(15, 100);
-    campaign.seed = config.seed;
-    campaign.threads = config.threads;
-
-    std::printf("--- Fig. 10b: drone flight distance (m), %d draws per "
-                "point ---\n", campaign.repeats);
-    const DroneWorld world = DroneWorld::indoor_long();
-    const DroneMitigationResult result =
-        run_drone_mitigation_comparison(world, campaign);
-    Table table({"BER", "no mitigation", "mitigation"});
-    double base_avg = 0.0, mitig_avg = 0.0;
-    int counted = 0;
-    for (std::size_t b = 0; b < result.bers.size(); ++b) {
-      table.add_row({format_double(result.bers[b], 5),
-                     format_double(result.baseline_msf[b], 0),
-                     format_double(result.mitigated_msf[b], 0)});
-      if (result.bers[b] >= 1e-3) {
-        base_avg += result.baseline_msf[b];
-        mitig_avg += result.mitigated_msf[b];
-        ++counted;
-      }
-    }
-    std::printf("%s", table.render().c_str());
-    std::printf("detector: %llu anomalies filtered\n",
-                static_cast<unsigned long long>(result.detections));
-    if (counted > 0 && base_avg > 0.0) {
-      std::printf("high-BER flight-quality improvement: +%.0f%% "
-                  "(paper: +39%%)\n\n",
-                  (mitig_avg / base_avg - 1.0) * 100.0);
-    }
-  }
+  std::printf("--- Fig. 10b: drone flight distance (m), %d draws per "
+              "point ---\n",
+              config.resolve_repeats(15, 100));
+  artifact.add(
+      "fig10b",
+      run_scenario(
+          "drone-mitigation", "fig10b", config, DistConfig{},
+          {{"bers", param_join(drone_bers(config.full_scale))},
+           {"repeats", std::to_string(config.resolve_repeats(15, 100))},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "range checking on sign+integer bits catches the destructive "

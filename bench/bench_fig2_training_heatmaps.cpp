@@ -1,11 +1,12 @@
 // Fig. 2: the impact of transient and permanent faults on Grid World
 // training (tabular and NN policies), plus the trained-value histograms
-// and 0/1-bit statistics of Fig. 2b/2d.
+// and 0/1-bit statistics of Fig. 2b/2d — the registry's
+// `grid-training-transient`, `grid-training-permanent`, and
+// `grid-value-histogram` scenarios per policy kind.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_training.h"
 
 int main() {
   using namespace ftnav;
@@ -19,55 +20,43 @@ int main() {
   const int episodes = 1000;  // paper scale; NN needs the full budget
 
   JsonArtifact artifact(config, "fig2");
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
-    const bool tabular = kind == GridPolicyKind::kTabular;
-    TrainingHeatmapConfig heatmap_config;
-    heatmap_config.kind = kind;
-    heatmap_config.episodes = episodes;
-    heatmap_config.bers = grid_training_bers(config.full_scale);
-    heatmap_config.injection_episodes =
-        grid_injection_episodes(episodes, config.full_scale);
-    heatmap_config.repeats =
+  for (const bool tabular : {true, false}) {
+    const char* policy = tabular ? "tabular" : "nn";
+    const int repeats =
         config.resolve_repeats(tabular ? 10 : 3, tabular ? 100 : 20);
-    heatmap_config.seed = config.seed;
-    heatmap_config.threads = config.threads;
-    heatmap_config.stream =
-        stream_for(config, tabular ? "fig2a" : "fig2c");
+    const std::vector<std::pair<std::string, std::string>> grid_overrides = {
+        {"policy", policy},
+        {"episodes", std::to_string(episodes)},
+        {"bers", param_join(grid_training_bers(config.full_scale))},
+        {"injection-episodes",
+         param_join(grid_injection_episodes(episodes, config.full_scale))},
+        {"repeats", std::to_string(repeats)},
+        {"seed", std::to_string(config.seed)}};
 
     std::printf("--- Fig. 2%c (%s): transient faults, success rate (%%) by "
                 "(BER, injection episode), %d repeats/cell ---\n",
-                tabular ? 'a' : 'c', to_string(kind).c_str(),
-                heatmap_config.repeats);
-    const HeatmapGrid transient =
-        run_transient_training_heatmap(heatmap_config);
-    std::printf("%s\n", transient.render(0).c_str());
-    artifact.add(tabular ? "fig2a_transient" : "fig2c_transient", transient);
+                tabular ? 'a' : 'c', policy, repeats);
+    artifact.add(tabular ? "fig2a" : "fig2c",
+                 run_scenario("grid-training-transient",
+                              tabular ? "fig2a" : "fig2c", config,
+                              DistConfig{}, grid_overrides));
 
     std::printf("--- Fig. 2%c (%s): permanent faults from episode 0, "
                 "success rate (%%) by BER ---\n",
-                tabular ? 'a' : 'c', to_string(kind).c_str());
-    const PermanentTrainingSweep sweep =
-        run_permanent_training_sweep(heatmap_config);
-    Table table({"BER", "stuck-at-0 success%", "stuck-at-1 success%"});
-    for (std::size_t i = 0; i < sweep.bers.size(); ++i) {
-      table.add_row({format_double(sweep.bers[i] * 100.0, 1) + "%",
-                     format_double(sweep.stuck_at_0_success[i], 0),
-                     format_double(sweep.stuck_at_1_success[i], 0)});
-    }
-    std::printf("%s\n", table.render().c_str());
+                tabular ? 'a' : 'c', policy);
+    artifact.add(tabular ? "fig2a_perm" : "fig2c_perm",
+                 run_scenario("grid-training-permanent",
+                              tabular ? "fig2a-perm" : "fig2c-perm", config,
+                              DistConfig{}, grid_overrides));
 
-    std::printf("--- Fig. 2%c (%s): trained value histogram & bit stats ---\n",
-                tabular ? 'b' : 'd', to_string(kind).c_str());
-    const ValueHistogramResult hist = trained_value_histogram(
-        kind, ObstacleDensity::kMiddle, episodes, config.seed);
-    std::printf("%s", hist.histogram.render(40).c_str());
-    std::printf("max value: %.4f   min value: %.4f\n", hist.max_value,
-                hist.min_value);
-    std::printf("'0' bits: %.2f%%   '1' bits: %.2f%%   ratio: %.2fx\n\n",
-                hist.bits.zero_fraction() * 100.0,
-                hist.bits.one_fraction() * 100.0,
-                hist.bits.zero_to_one_ratio());
+    std::printf("--- Fig. 2%c (%s): trained value histogram & bit stats "
+                "---\n",
+                tabular ? 'b' : 'd', policy);
+    (void)run_scenario("grid-value-histogram", tabular ? "fig2b" : "fig2d",
+                       config, DistConfig{},
+                       {{"policy", policy},
+                        {"episodes", std::to_string(episodes)},
+                        {"seed", std::to_string(config.seed)}});
   }
 
   print_shape_note(

@@ -1,34 +1,10 @@
 // Fig. 3: example cumulative-return traces during Grid World training
-// under transient and permanent faults, for both policy kinds.
+// under transient and permanent faults, for both policy kinds — the
+// registry's `grid-reward-curves` scenario per policy kind.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_training.h"
-
-namespace {
-
-/// Downsampled sparkline of a return trace (paper plots the full curve;
-/// a terminal gets one sample per bucket plus a min/max summary).
-void print_curve(const ftnav::RewardCurve& curve, int buckets = 25) {
-  std::printf("%-28s", curve.label.c_str());
-  const std::size_t n = curve.returns.size();
-  for (int b = 0; b < buckets; ++b) {
-    const std::size_t index =
-        std::min(n - 1, n * static_cast<std::size_t>(b) / buckets);
-    const double r = curve.returns[index];
-    // Map [-1, 1] to glyphs.
-    const char glyph = r > 0.66 ? '#' : r > 0.33 ? '+' : r > -0.33 ? '.'
-                       : r > -0.66 ? '-' : '_';
-    std::printf("%c", glyph);
-  }
-  double final_avg = 0.0;
-  const std::size_t tail = std::min<std::size_t>(20, n);
-  for (std::size_t i = n - tail; i < n; ++i) final_avg += curve.returns[i];
-  std::printf("  final=%.2f\n", final_avg / static_cast<double>(tail));
-}
-
-}  // namespace
 
 int main() {
   using namespace ftnav;
@@ -40,15 +16,17 @@ int main() {
                config);
 
   const int episodes = 1000;  // paper scale; NN needs the full budget
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
+  JsonArtifact artifact(config, "fig3");
+  for (const bool tabular : {true, false}) {
     std::printf("--- Fig. 3%c: %s-based approach (%d episodes) ---\n",
-                kind == GridPolicyKind::kTabular ? 'a' : 'b',
-                to_string(kind).c_str(), episodes);
-    for (const RewardCurve& curve :
-         run_reward_curves(kind, episodes, config.seed))
-      print_curve(curve);
-    std::printf("\n");
+                tabular ? 'a' : 'b', tabular ? "tabular" : "NN", episodes);
+    artifact.add(tabular ? "fig3a" : "fig3b",
+                 run_scenario("grid-reward-curves",
+                              tabular ? "fig3a" : "fig3b", config,
+                              DistConfig{},
+                              {{"policy", tabular ? "tabular" : "nn"},
+                               {"episodes", std::to_string(episodes)},
+                               {"seed", std::to_string(config.seed)}}));
   }
 
   print_shape_note(

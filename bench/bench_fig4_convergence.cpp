@@ -1,11 +1,12 @@
 // Fig. 4: (a)(c) episodes needed to re-converge after a transient fault
 // late in training; (b)(d) success after extra training under permanent
-// faults injected at two different points.
+// faults injected at two different points — the registry's
+// `grid-convergence-transient` and `grid-convergence-permanent`
+// scenarios per policy kind.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_training.h"
 
 int main() {
   using namespace ftnav;
@@ -17,56 +18,50 @@ int main() {
                config);
 
   const bool full = config.full_scale;
-  const std::vector<double> bers = grid_training_bers(full);
+  const std::string bers = param_join(grid_training_bers(full));
 
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
-    const bool tabular = kind == GridPolicyKind::kTabular;
+  JsonArtifact artifact(config, "fig4");
+  for (const bool tabular : {true, false}) {
+    const char* policy = tabular ? "tabular" : "nn";
     const int repeats = config.resolve_repeats(tabular ? 10 : 2, 50);
     // The paper injects at episode 900 of a ~1000-episode learning
     // phase; we inject at ~90% of each policy's nominal convergence
     // time and report the paper's metric: TOTAL episodes until the
     // policy is (re-)converged.
     const int fault_episode = tabular ? 220 : 600;
-    const int max_extra = full ? 2000 : 1000;
 
     std::printf("--- Fig. 4%c (%s): total episodes to converge with a "
                 "transient fault at episode %d (%d repeats) ---\n",
-                tabular ? 'a' : 'c', to_string(kind).c_str(), fault_episode,
-                repeats);
-    const TransientConvergenceResult transient = run_transient_convergence(
-        kind, bers, fault_episode, max_extra, repeats, config.seed,
-        config.threads);
-    Table table({"BER", "total episodes to converge", "never-converged %"});
-    for (std::size_t i = 0; i < bers.size(); ++i) {
-      table.add_row({format_double(bers[i] * 100.0, 1) + "%",
-                     format_double(
-                         fault_episode +
-                             transient.mean_episodes_to_converge[i], 0),
-                     format_double(transient.failure_fraction[i] * 100.0, 0)});
-    }
-    std::printf("%s\n", table.render().c_str());
+                tabular ? 'a' : 'c', policy, fault_episode, repeats);
+    artifact.add(
+        tabular ? "fig4a" : "fig4c",
+        run_scenario("grid-convergence-transient",
+                     tabular ? "fig4a" : "fig4c", config, DistConfig{},
+                     {{"policy", policy},
+                      {"bers", bers},
+                      {"fault-episode", std::to_string(fault_episode)},
+                      {"max-extra-episodes",
+                       std::to_string(full ? 2000 : 1000)},
+                      {"repeats", std::to_string(repeats)},
+                      {"seed", std::to_string(config.seed)}}));
 
     const int early = full ? 1000 : 400;
     const int late = full ? 2000 : 800;
     const int extra = full ? 1000 : 500;
     std::printf("--- Fig. 4%c (%s): success%% after +%d episodes under "
                 "permanent faults injected at EI=%d / EI=%d ---\n",
-                tabular ? 'b' : 'd', to_string(kind).c_str(), extra, early,
-                late);
-    const PermanentConvergenceResult permanent = run_permanent_convergence(
-        kind, bers, early, late, extra, repeats, config.seed,
-        config.threads);
-    Table ptable({"BER", "SA0 (early)", "SA0 (late)", "SA1 (early)",
-                  "SA1 (late)"});
-    for (std::size_t i = 0; i < bers.size(); ++i) {
-      ptable.add_row({format_double(bers[i] * 100.0, 1) + "%",
-                      format_double(permanent.sa0_early[i], 0),
-                      format_double(permanent.sa0_late[i], 0),
-                      format_double(permanent.sa1_early[i], 0),
-                      format_double(permanent.sa1_late[i], 0)});
-    }
-    std::printf("%s\n", ptable.render().c_str());
+                tabular ? 'b' : 'd', policy, extra, early, late);
+    artifact.add(
+        tabular ? "fig4b" : "fig4d",
+        run_scenario("grid-convergence-permanent",
+                     tabular ? "fig4b" : "fig4d", config, DistConfig{},
+                     {{"policy", policy},
+                      {"bers", bers},
+                      {"early-episode", std::to_string(early)},
+                      {"late-episode", std::to_string(late)},
+                      {"extra-episodes", std::to_string(extra)},
+                      {"repeats", std::to_string(repeats)},
+                      {"seed", std::to_string(config.seed)}}));
   }
 
   print_shape_note(

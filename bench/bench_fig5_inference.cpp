@@ -1,6 +1,6 @@
 // Fig. 5: the impact of transient and permanent faults on Grid World
-// inference for tabular and NN policies. Modes: Transient-M (memory,
-// whole episode), Transient-1 (read register, one step), stuck-at-0/1.
+// inference for tabular and NN policies — the registry's
+// `grid-inference` scenario run once per policy kind.
 //
 // Supports distributed runs: FTNAV_WORKERS=4 shards each campaign
 // across four worker processes (spawned copies of this binary) and
@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_inference.h"
 
 int main(int, char** argv) {
   using namespace ftnav;
@@ -29,39 +28,21 @@ int main(int, char** argv) {
                                     0.006, 0.008, 0.010};
 
   JsonArtifact artifact(config, "fig5");
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
-    const bool tabular = kind == GridPolicyKind::kTabular;
-    InferenceCampaignConfig campaign;
-    campaign.kind = kind;
-    campaign.train_episodes = config.full_scale ? 1500 : 1000;
-    campaign.bers = bers;
-    campaign.repeats = config.resolve_repeats(tabular ? 200 : 60, 1000);
-    campaign.seed = config.seed;
-    campaign.threads = config.threads;
-    campaign.stream =
-        stream_for(config, tabular ? "fig5a" : "fig5b");
-    campaign.dist = dist;
-
+  for (const bool tabular : {true, false}) {
+    const int repeats = config.resolve_repeats(tabular ? 200 : 60, 1000);
     if (!worker)
       std::printf("--- Fig. 5%c: %s-based inference (%d fault draws per "
                   "point) ---\n",
-                  tabular ? 'a' : 'b', to_string(kind).c_str(),
-                  campaign.repeats);
-    const InferenceCampaignResult result = run_inference_campaign(campaign);
-    if (worker) continue;  // partial tallies; the coordinator reports
-
-    Table table({"BER", "Transient-M", "Transient-1", "Stuck-at-0",
-                 "Stuck-at-1"});
-    for (std::size_t b = 0; b < bers.size(); ++b) {
-      table.add_row({format_double(bers[b] * 100.0, 1) + "%",
-                     format_double(result.success_by_mode[0][b], 0),
-                     format_double(result.success_by_mode[1][b], 0),
-                     format_double(result.success_by_mode[2][b], 0),
-                     format_double(result.success_by_mode[3][b], 0)});
-    }
-    std::printf("%s\n", table.render().c_str());
-    artifact.add(tabular ? "fig5a_tabular" : "fig5b_nn", table);
+                  tabular ? 'a' : 'b', tabular ? "tabular" : "NN", repeats);
+    const ScenarioResult result = run_scenario(
+        "grid-inference", tabular ? "fig5a" : "fig5b", config, dist,
+        {{"policy", tabular ? "tabular" : "nn"},
+         {"train-episodes",
+          std::to_string(config.full_scale ? 1500 : 1000)},
+         {"bers", param_join(bers)},
+         {"repeats", std::to_string(repeats)},
+         {"seed", std::to_string(config.seed)}});
+    if (!worker) artifact.add(tabular ? "fig5a" : "fig5b", result);
   }
 
   if (!worker)

@@ -1,11 +1,11 @@
 // Fig. 7a: faults injected during the drone policy's online fine-tuning
 // (last two layers, transfer learning): MSF vs (BER, injection step) for
-// transient faults plus stuck-at rows.
+// transient faults plus stuck-at rows — the registry's `drone-training`
+// scenario.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
 
 int main() {
   using namespace ftnav;
@@ -16,38 +16,22 @@ int main() {
                "(m) after training",
                config);
 
-  DroneTrainingCampaignConfig campaign;
-  campaign.policy.seed = config.seed;
-  campaign.policy.imitation_episodes = config.full_scale ? 12 : 8;
-  campaign.policy.ddqn_episodes = config.full_scale ? 3 : 1;
-  campaign.bers = {1e-4, 1e-3, 1e-2, 1e-1};
-  campaign.injection_points = {0.0, 0.33, 0.66};
-  campaign.fine_tune_episodes = config.full_scale ? 4 : 2;
-  campaign.eval_repeats = config.resolve_repeats(3, 10);
-  campaign.seed = config.seed;
-  campaign.threads = config.threads;
-  campaign.stream = stream_for(config, "fig7a");
-
-  const DroneWorld world = DroneWorld::indoor_long();
-  const DroneTrainingCampaignResult result =
-      run_drone_training_campaign(world, campaign);
-
-  std::printf("fault-free fine-tuned MSF: %.1f m\n\n", result.fault_free_msf);
-  std::printf("transient faults: MSF (m) by (injection step, BER)\n%s\n",
-              result.transient.render(0).c_str());
-
-  Table table({"BER", "stuck-at-0 MSF (m)", "stuck-at-1 MSF (m)"});
-  for (std::size_t i = 0; i < result.bers.size(); ++i) {
-    table.add_row({format_double(result.bers[i], 5),
-                   format_double(result.stuck_at_0[i], 0),
-                   format_double(result.stuck_at_1[i], 0)});
-  }
-  std::printf("permanent faults throughout fine-tuning:\n%s\n",
-              table.render().c_str());
-
   JsonArtifact artifact(config, "fig7a");
-  artifact.add("transient_msf", result.transient);
-  artifact.add("permanent_msf", table);
+  artifact.add(
+      "fig7a",
+      run_scenario(
+          "drone-training", "fig7a", config, DistConfig{},
+          {{"bers",
+            param_join(std::vector<double>{1e-4, 1e-3, 1e-2, 1e-1})},
+           {"injection-points",
+            param_join(std::vector<double>{0.0, 0.33, 0.66})},
+           {"fine-tune-episodes",
+            std::to_string(config.full_scale ? 4 : 2)},
+           {"eval-repeats", std::to_string(config.resolve_repeats(3, 10))},
+           {"imitation-episodes",
+            std::to_string(config.full_scale ? 12 : 8)},
+           {"ddqn-episodes", std::to_string(config.full_scale ? 3 : 1)},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "flight quality degrades with higher BER and later injection "

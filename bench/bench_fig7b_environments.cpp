@@ -1,10 +1,10 @@
 // Fig. 7b: drone inference resilience across environments -- MSF vs BER
-// for transient weight faults in indoor-long and indoor-vanleer.
+// for transient weight faults in indoor-long and indoor-vanleer — the
+// registry's `drone-environments` scenario.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
 
 int main() {
   using namespace ftnav;
@@ -14,29 +14,14 @@ int main() {
                "MSF vs BER under transient weight faults, per environment",
                config);
 
-  DroneInferenceCampaignConfig campaign;
-  campaign.policy.seed = config.seed;
-  campaign.bers = drone_bers(config.full_scale);
-  campaign.repeats = config.resolve_repeats(15, 100);
-  campaign.seed = config.seed;
-  campaign.threads = config.threads;
-  campaign.stream = stream_for(config, "fig7b");
-
-  const EnvironmentSweepResult result = run_environment_sweep(campaign);
-
-  std::vector<std::string> headers = {"BER"};
-  for (const auto& env : result.environments) headers.push_back(env + " MSF (m)");
-  Table table(headers);
-  for (std::size_t b = 0; b < result.bers.size(); ++b) {
-    std::vector<std::string> row = {format_double(result.bers[b], 5)};
-    for (std::size_t e = 0; e < result.environments.size(); ++e)
-      row.push_back(format_double(result.msf[e][b], 0));
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
-
   JsonArtifact artifact(config, "fig7b");
-  artifact.add("msf_by_environment", table);
+  artifact.add(
+      "fig7b",
+      run_scenario(
+          "drone-environments", "fig7b", config, DistConfig{},
+          {{"bers", param_join(drone_bers(config.full_scale))},
+           {"repeats", std::to_string(config.resolve_repeats(15, 100))},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "both environments show the same trend: flight quality degrades "

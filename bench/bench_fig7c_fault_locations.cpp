@@ -1,11 +1,11 @@
 // Fig. 7c: fault-location sensitivity of drone inference -- MSF vs BER
 // with faults in the input buffer, weight buffer (transient), and
-// activation buffer (transient and permanent).
+// activation buffer (transient and permanent) — the registry's
+// `drone-fault-locations` scenario.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
 
 int main() {
   using namespace ftnav;
@@ -14,24 +14,14 @@ int main() {
   print_banner("Figure 7c",
                "MSF vs BER by fault location (indoor-long)", config);
 
-  DroneInferenceCampaignConfig campaign;
-  campaign.policy.seed = config.seed;
-  campaign.bers = drone_bers(config.full_scale);
-  campaign.repeats = config.resolve_repeats(15, 100);
-  campaign.seed = config.seed;
-  campaign.threads = config.threads;
-
-  const DroneWorld world = DroneWorld::indoor_long();
-  const LocationSweepResult result = run_location_sweep(world, campaign);
-
-  Table table({"BER", "Input", "Weight", "Act (T)", "Act (P)"});
-  for (std::size_t b = 0; b < result.bers.size(); ++b) {
-    std::vector<std::string> row = {format_double(result.bers[b], 5)};
-    for (std::size_t l = 0; l < result.msf.size(); ++l)
-      row.push_back(format_double(result.msf[l][b], 0));
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
+  JsonArtifact artifact(config, "fig7c");
+  artifact.add(
+      "fig7c",
+      run_scenario(
+          "drone-fault-locations", "fig7c", config, DistConfig{},
+          {{"bers", param_join(drone_bers(config.full_scale))},
+           {"repeats", std::to_string(config.resolve_repeats(15, 100))},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "input-buffer faults are the most benign (single-frame, redundant "

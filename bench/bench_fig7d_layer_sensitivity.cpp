@@ -1,10 +1,10 @@
 // Fig. 7d: per-layer weight-fault sensitivity of the C3F2 policy --
-// MSF vs BER with bit-flips confined to one layer at a time.
+// MSF vs BER with bit-flips confined to one layer at a time — the
+// registry's `drone-layers` scenario.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
 
 int main() {
   using namespace ftnav;
@@ -14,26 +14,14 @@ int main() {
                "MSF vs BER by targeted layer (Conv1..FC2, indoor-long)",
                config);
 
-  DroneInferenceCampaignConfig campaign;
-  campaign.policy.seed = config.seed;
-  campaign.bers = drone_bers(config.full_scale);
-  campaign.repeats = config.resolve_repeats(15, 100);
-  campaign.seed = config.seed;
-  campaign.threads = config.threads;
-
-  const DroneWorld world = DroneWorld::indoor_long();
-  const LayerSweepResult result = run_layer_sweep(world, campaign);
-
-  std::vector<std::string> headers = {"BER"};
-  for (const auto& layer : result.layers) headers.push_back(layer);
-  Table table(headers);
-  for (std::size_t b = 0; b < result.bers.size(); ++b) {
-    std::vector<std::string> row = {format_double(result.bers[b], 5)};
-    for (std::size_t l = 0; l < result.msf.size(); ++l)
-      row.push_back(format_double(result.msf[l][b], 0));
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
+  JsonArtifact artifact(config, "fig7d");
+  artifact.add(
+      "fig7d",
+      run_scenario(
+          "drone-layers", "fig7d", config, DistConfig{},
+          {{"bers", param_join(drone_bers(config.full_scale))},
+           {"repeats", std::to_string(config.resolve_repeats(15, 100))},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "early conv layers (followed by pooling/ReLU masking) tolerate "

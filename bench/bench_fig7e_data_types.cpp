@@ -1,10 +1,10 @@
 // Fig. 7e: fixed-point data-type sensitivity -- MSF vs BER for
-// Q(1,4,11), Q(1,7,8) and Q(1,10,5) weight encodings.
+// Q(1,4,11), Q(1,7,8) and Q(1,10,5) weight encodings — the registry's
+// `drone-data-types` scenario.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/drone_campaigns.h"
 
 int main() {
   using namespace ftnav;
@@ -15,26 +15,14 @@ int main() {
                "indoor-long)",
                config);
 
-  DroneInferenceCampaignConfig campaign;
-  campaign.policy.seed = config.seed;
-  campaign.bers = drone_bers(config.full_scale);
-  campaign.repeats = config.resolve_repeats(15, 100);
-  campaign.seed = config.seed;
-  campaign.threads = config.threads;
-
-  const DroneWorld world = DroneWorld::indoor_long();
-  const DataTypeSweepResult result = run_data_type_sweep(world, campaign);
-
-  std::vector<std::string> headers = {"BER"};
-  for (const auto& format : result.formats) headers.push_back(format);
-  Table table(headers);
-  for (std::size_t b = 0; b < result.bers.size(); ++b) {
-    std::vector<std::string> row = {format_double(result.bers[b], 5)};
-    for (std::size_t f = 0; f < result.msf.size(); ++f)
-      row.push_back(format_double(result.msf[f][b], 0));
-    table.add_row(std::move(row));
-  }
-  std::printf("%s\n", table.render().c_str());
+  JsonArtifact artifact(config, "fig7e");
+  artifact.add(
+      "fig7e",
+      run_scenario(
+          "drone-data-types", "fig7e", config, DistConfig{},
+          {{"bers", param_join(drone_bers(config.full_scale))},
+           {"repeats", std::to_string(config.resolve_repeats(15, 100))},
+           {"seed", std::to_string(config.seed)}}));
 
   print_shape_note(
       "Q(1,4,11) -- the narrowest range that still captures the weights "

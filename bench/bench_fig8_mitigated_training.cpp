@@ -1,11 +1,12 @@
 // Fig. 8: the adaptive exploration-rate adjustment scheme (§5.1) applied
 // to the Fig. 2 training campaigns -- heatmaps with mitigation enabled,
-// side by side with the unmitigated baseline.
+// next to the unmitigated baseline — the registry's
+// `grid-training-transient` / `grid-training-permanent` scenarios with
+// the `mitigate` parameter toggled.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_training.h"
 
 int main() {
   using namespace ftnav;
@@ -18,55 +19,53 @@ int main() {
 
   const int episodes = 1000;  // paper scale; NN needs the full budget
 
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
-    const bool tabular = kind == GridPolicyKind::kTabular;
-    TrainingHeatmapConfig heatmap_config;
-    heatmap_config.kind = kind;
-    heatmap_config.episodes = episodes;
-    heatmap_config.bers = grid_training_bers(config.full_scale);
-    heatmap_config.injection_episodes =
+  JsonArtifact artifact(config, "fig8");
+  for (const bool tabular : {true, false}) {
+    const char* policy = tabular ? "tabular" : "nn";
+    std::vector<double> bers = grid_training_bers(config.full_scale);
+    std::vector<int> injections =
         grid_injection_episodes(episodes, config.full_scale);
     // The NN arm runs 4 heatmaps (baseline+mitigated, transient+permanent)
     // with per-episode evaluation; keep fast-mode cells affordable.
     if (!tabular && !config.full_scale) {
-      heatmap_config.bers = {0.001, 0.005, 0.010};
-      heatmap_config.injection_episodes = {0, episodes / 2, episodes - 1};
+      bers = {0.001, 0.005, 0.010};
+      injections = {0, episodes / 2, episodes - 1};
     }
-    heatmap_config.repeats =
+    const int repeats =
         config.resolve_repeats(tabular ? 10 : 2, tabular ? 100 : 20);
-    heatmap_config.seed = config.seed;
-    heatmap_config.threads = config.threads;
+    const auto overrides =
+        [&](bool mitigated) -> std::vector<std::pair<std::string,
+                                                     std::string>> {
+      return {{"policy", policy},
+              {"episodes", std::to_string(episodes)},
+              {"bers", param_join(bers)},
+              {"injection-episodes", param_join(injections)},
+              {"repeats", std::to_string(repeats)},
+              {"mitigate", mitigated ? "true" : "false"},
+              {"seed", std::to_string(config.seed)}};
+    };
 
-    for (bool mitigated : {false, true}) {
-      heatmap_config.mitigated = mitigated;
+    for (const bool mitigated : {false, true}) {
+      const std::string arm = mitigated ? "mitig" : "base";
       std::printf("--- Fig. 8%c (%s) %s: transient faults, success rate "
                   "(%%) ---\n",
-                  tabular ? 'a' : 'b', to_string(kind).c_str(),
+                  tabular ? 'a' : 'b', policy,
                   mitigated ? "WITH mitigation" : "baseline");
-      std::printf("%s\n",
-                  run_transient_training_heatmap(heatmap_config)
-                      .render(0)
-                      .c_str());
-    }
+      artifact.add(
+          std::string(tabular ? "fig8a" : "fig8b") + "_" + arm,
+          run_scenario("grid-training-transient",
+                       std::string(tabular ? "fig8a" : "fig8b") + "-" + arm,
+                       config, DistConfig{}, overrides(mitigated)));
 
-    heatmap_config.mitigated = true;
-    const PermanentTrainingSweep sweep =
-        run_permanent_training_sweep(heatmap_config);
-    heatmap_config.mitigated = false;
-    const PermanentTrainingSweep base =
-        run_permanent_training_sweep(heatmap_config);
-    Table table({"BER", "SA0 base", "SA0 mitig", "SA1 base", "SA1 mitig"});
-    for (std::size_t i = 0; i < sweep.bers.size(); ++i) {
-      table.add_row({format_double(sweep.bers[i] * 100.0, 1) + "%",
-                     format_double(base.stuck_at_0_success[i], 0),
-                     format_double(sweep.stuck_at_0_success[i], 0),
-                     format_double(base.stuck_at_1_success[i], 0),
-                     format_double(sweep.stuck_at_1_success[i], 0)});
+      std::printf("--- permanent faults, %s (%s) ---\n",
+                  mitigated ? "WITH mitigation" : "baseline", policy);
+      artifact.add(
+          std::string(tabular ? "fig8a" : "fig8b") + "_perm_" + arm,
+          run_scenario(
+              "grid-training-permanent",
+              std::string(tabular ? "fig8a" : "fig8b") + "-perm-" + arm,
+              config, DistConfig{}, overrides(mitigated)));
     }
-    std::printf("--- permanent faults, success%% baseline vs mitigated "
-                "(%s) ---\n%s\n",
-                to_string(kind).c_str(), table.render().c_str());
   }
 
   print_shape_note(

@@ -1,11 +1,11 @@
 // Fig. 9: the correlation between bit error rate, the controller's
 // adjusted exploration ratio, episodes to steady exploitation, and
-// transient recovery speed.
+// transient recovery speed — the registry's `grid-exploration-study`
+// scenario per policy kind.
 
 #include <cstdio>
 
 #include "bench_common.h"
-#include "experiments/grid_training.h"
 
 int main() {
   using namespace ftnav;
@@ -17,29 +17,22 @@ int main() {
                config);
 
   const int episodes = 1000;  // paper scale; NN needs the full budget
-  const std::vector<double> bers = grid_training_bers(config.full_scale);
+  const std::string bers = param_join(grid_training_bers(config.full_scale));
 
-  for (GridPolicyKind kind :
-       {GridPolicyKind::kTabular, GridPolicyKind::kNeuralNet}) {
-    const bool tabular = kind == GridPolicyKind::kTabular;
+  JsonArtifact artifact(config, "fig9");
+  for (const bool tabular : {true, false}) {
     const int repeats = config.resolve_repeats(tabular ? 8 : 2, 30);
     std::printf("--- Fig. 9%c: %s-based approach (%d repeats) ---\n",
-                tabular ? 'a' : 'b', to_string(kind).c_str(), repeats);
-
-    Table table({"fault", "BER", "peak exploration %",
-                 "episodes to steady", "recovery episodes"});
-    for (const ExplorationStudyRow& row :
-         run_exploration_study(kind, bers, episodes, repeats, config.seed,
-                               config.threads)) {
-      table.add_row({to_string(row.type),
-                     format_double(row.ber * 100.0, 1) + "%",
-                     format_double(row.mean_peak_exploration, 0),
-                     format_double(row.mean_episodes_to_steady, 0),
-                     row.mean_recovery_episodes >= 0.0
-                         ? format_double(row.mean_recovery_episodes, 0)
-                         : std::string("-")});
-    }
-    std::printf("%s\n", table.render().c_str());
+                tabular ? 'a' : 'b', tabular ? "tabular" : "NN", repeats);
+    artifact.add(tabular ? "fig9a" : "fig9b",
+                 run_scenario("grid-exploration-study",
+                              tabular ? "fig9a" : "fig9b", config,
+                              DistConfig{},
+                              {{"policy", tabular ? "tabular" : "nn"},
+                               {"bers", bers},
+                               {"episodes", std::to_string(episodes)},
+                               {"repeats", std::to_string(repeats)},
+                               {"seed", std::to_string(config.seed)}}));
   }
 
   print_shape_note(

@@ -1,15 +1,21 @@
-// fault_campaign: a small command-line front-end for the fault
-// injection tool-chain -- configure a Grid World inference campaign
-// without writing any code.
+// fault_campaign: the generic command-line front-end for the scenario
+// registry -- every fault-injection campaign in the repo, addressable
+// by name, without writing any code.
 //
-//   ./build/examples/fault_campaign [--policy tabular|nn]
-//       [--mode tm|t1|sa0|sa1] [--ber <fraction>] [--repeats <n>]
-//       [--density low|middle|high] [--mitigate] [--seed <n>]
+//   fault_campaign list [--names]
+//   fault_campaign describe <name> | --all [--markdown]
+//   fault_campaign run <name> [--param k=v ...] [--config file.json]
 //       [--threads <n>] [--progress <trials>]
 //       [--checkpoint <file>] [--resume] [--stop-after <shards>]
 //       [--workers <n>] [--queue-dir <dir>] [--queue-addr <host:port>]
 //       [--lease-expiry <seconds>] [--poll-period <seconds>]
 //       [--lease-batch <n>] [--json <file>]
+//
+// Scenario parameters come from three sources with fixed precedence
+// --param > FTNAV_<PARAM> environment variables > --config JSON >
+// declared defaults; unknown keys and malformed values exit 2 (see
+// src/scenario/param_set.h). The remaining flags are execution-context
+// knobs shared by every scenario; none of them affects result bytes.
 //
 // Long campaigns stream progress (--progress N prints a line at least
 // every N trials) and checkpoint to disk (--checkpoint FILE). A killed
@@ -19,53 +25,69 @@
 // campaign checkpoints after N shards and exits with status 3.
 //
 // --workers N runs the campaign distributed (see src/dist/): the
-// coordinator re-execs this binary N times in worker mode, the
-// workers partition the shard stream through a shared work queue, and
-// the coordinator merges their partial checkpoints into --checkpoint.
-// The queue transport is either a filesystem directory (--queue-dir,
-// a temp directory by default) or a TCP work server (--queue-addr
-// host:port — the coordinator spawns the server in-process; bind port
-// 0 to let the kernel pick). --lease-expiry, --poll-period, and
-// --lease-batch tune the lease protocol (see DistConfig); all of them
-// preserve the determinism contract. Output — stdout, --json, and the
-// merged checkpoint bytes — is identical for every worker count,
+// coordinator re-execs this binary N times in worker mode (`run <name>`
+// plus the full canonical parameter set), the workers partition the
+// shard stream through a shared work queue, and the coordinator merges
+// their partial checkpoints into --checkpoint. The queue transport is
+// either a filesystem directory (--queue-dir, a temp directory by
+// default) or a TCP work server (--queue-addr host:port -- the
+// coordinator spawns the server in-process; bind port 0 to let the
+// kernel pick). --lease-expiry, --poll-period, and --lease-batch tune
+// the lease protocol (see DistConfig). Output -- stdout, --json, and
+// the merged checkpoint bytes -- is identical for every worker count,
 // transport, and batch size, and identical to a plain single-process
 // run, even when workers are killed mid-campaign. (Hidden worker-mode
 // flags: --worker-id K plus --queue-dir/--queue-addr, and the
 // --worker-fail-after N crash-test hook.)
 //
 // Example:
-//   ./build/examples/fault_campaign --policy nn --mode tm
-//       --ber 0.005 --repeats 200 --mitigate --workers 4
+//   ./build/examples/fault_campaign run grid-inference
+//       --param policy=nn --param bers=0.005 --param repeats=200
+//       --param mitigate=true --workers 4
 //       --checkpoint /tmp/campaign.ckpt --json /tmp/campaign.json
 
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "campaign/streaming.h"
 #include "dist/dist_coordinator.h"
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
-#include "experiments/grid_inference.h"
-#include "util/stats.h"
+#include "scenario/scenario.h"
+#include "util/env_config.h"
 
 namespace {
 
+using namespace ftnav;
+
 void print_usage(std::FILE* out, const char* argv0) {
-  std::fprintf(out,
-               "usage: %s [--policy tabular|nn] [--mode tm|t1|sa0|sa1] "
-               "[--ber f] [--repeats n] [--density low|middle|high] "
-               "[--mitigate] [--seed n] [--threads n] [--progress n] "
-               "[--checkpoint file] [--resume] [--stop-after n] "
-               "[--workers n] [--queue-dir dir] [--queue-addr host:port] "
-               "[--lease-expiry sec] [--poll-period sec] [--lease-batch n] "
-               "[--json file] [--help]\n",
-               argv0);
+  std::fprintf(
+      out,
+      "usage: %s <command> ...\n"
+      "  list [--names]             registered scenarios (sorted)\n"
+      "  describe <name> | --all [--markdown]\n"
+      "                             parameter schema and documentation\n"
+      "  run <name> [options]       run a scenario\n"
+      "run options:\n"
+      "  --param k=v      scenario parameter (repeatable; see describe)\n"
+      "  --config file    JSON parameter file {\"k\": value, ...}\n"
+      "  --threads n      campaign worker threads (0 = all cores)\n"
+      "  --progress n     print progress at least every n trials\n"
+      "  --checkpoint f   checkpoint file for kill/resume\n"
+      "  --resume         resume from --checkpoint\n"
+      "  --stop-after n   graceful stop after n shards (exit 3)\n"
+      "  --workers n      distributed worker processes\n"
+      "  --queue-dir d    shared work-queue directory\n"
+      "  --queue-addr a   TCP work server host:port (0 = free port)\n"
+      "  --lease-expiry s --poll-period s --lease-batch n\n"
+      "  --json f         write result artifacts as JSON\n",
+      argv0);
 }
 
 [[noreturn]] void usage_error(const char* argv0) {
@@ -105,17 +127,68 @@ std::string parse_addr_or_die(const char* argv0, const char* text) {
   return addr;
 }
 
-}  // namespace
+int cmd_list(int argc, char** argv) {
+  bool names_only = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::string(argv[i]) == "--names") names_only = true;
+    else usage_error(argv[0]);
+  }
+  for (const ScenarioSpec* spec : ScenarioRegistry::instance().all()) {
+    if (names_only)
+      std::printf("%s\n", spec->name.c_str());
+    else
+      std::printf("%-28s %s\n", spec->name.c_str(), spec->summary.c_str());
+  }
+  return 0;
+}
 
-int main(int argc, char** argv) {
-  using namespace ftnav;
+int cmd_describe(int argc, char** argv) {
+  bool all = false;
+  bool markdown = false;
+  std::string name;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--all") all = true;
+    else if (arg == "--markdown") markdown = true;
+    else if (!arg.empty() && arg[0] != '-' && name.empty()) name = arg;
+    else usage_error(argv[0]);
+  }
+  if (all == !name.empty()) usage_error(argv[0]);  // exactly one of the two
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  if (all) {
+    bool first = true;
+    for (const ScenarioSpec* spec : registry.all()) {
+      if (!markdown && !first) std::printf("\n");
+      first = false;
+      std::printf("%s", describe_scenario(*spec, markdown).c_str());
+    }
+    return 0;
+  }
+  const ScenarioSpec* spec = registry.find(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "%s: unknown scenario '%s' (try `%s list`)\n",
+                 argv[0], name.c_str(), argv[0]);
+    return 2;
+  }
+  std::printf("%s", describe_scenario(*spec, markdown).c_str());
+  return 0;
+}
 
-  InferenceCampaignConfig config;
-  config.kind = GridPolicyKind::kTabular;
-  config.train_episodes = 1200;
-  config.repeats = 100;
-  InferenceFaultMode mode = InferenceFaultMode::kTransientM;
-  double ber = 0.005;
+int cmd_run(int argc, char** argv) {
+  if (argc < 3 || argv[2][0] == '-') usage_error(argv[0]);
+  const std::string name = argv[2];
+  const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  const ScenarioSpec* spec = registry.find(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "%s: unknown scenario '%s' (try `%s list`)\n",
+                 argv[0], name.c_str(), argv[0]);
+    return 2;
+  }
+
+  std::vector<std::pair<std::string, std::string>> cli_params;
+  std::string config_path;
+  ScenarioContext context;
+  int progress_every = 0;
   int workers = 0;
   int worker_id = -1;
   int worker_fail_after = 0;
@@ -125,9 +198,8 @@ int main(int argc, char** argv) {
   double poll_period = 0.0;    // <= 0 = keep the DistConfig default
   int lease_batch = 0;         // <= 0 = keep the DistConfig default
   std::string json_path;
-  bool progress = false;
 
-  for (int i = 1; i < argc; ++i) {
+  for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> const char* {
       if (i + 1 >= argc) usage_error(argv[0]);
@@ -135,50 +207,29 @@ int main(int argc, char** argv) {
     };
     if (arg == "--help" || arg == "-h") {
       print_usage(stdout, argv[0]);
-      return 0;
-    } else if (arg == "--policy") {
-      const std::string v = next();
-      if (v == "tabular") config.kind = GridPolicyKind::kTabular;
-      else if (v == "nn") config.kind = GridPolicyKind::kNeuralNet;
-      else usage_error(argv[0]);
-    } else if (arg == "--mode") {
-      const std::string v = next();
-      if (v == "tm") mode = InferenceFaultMode::kTransientM;
-      else if (v == "t1") mode = InferenceFaultMode::kTransient1;
-      else if (v == "sa0") mode = InferenceFaultMode::kStuckAt0;
-      else if (v == "sa1") mode = InferenceFaultMode::kStuckAt1;
-      else usage_error(argv[0]);
-    } else if (arg == "--ber") {
-      ber = std::atof(next());
-      if (ber < 0.0 || ber > 1.0) usage_error(argv[0]);
-    } else if (arg == "--repeats") {
-      config.repeats = std::atoi(next());
-      if (config.repeats <= 0) usage_error(argv[0]);
-    } else if (arg == "--density") {
-      const std::string v = next();
-      if (v == "low") config.density = ObstacleDensity::kLow;
-      else if (v == "middle") config.density = ObstacleDensity::kMiddle;
-      else if (v == "high") config.density = ObstacleDensity::kHigh;
-      else usage_error(argv[0]);
-    } else if (arg == "--mitigate") {
-      config.mitigated = true;
-    } else if (arg == "--seed") {
-      config.seed = static_cast<std::uint64_t>(std::atoll(next()));
+      std::exit(0);
+    } else if (arg == "--param") {
+      const std::string kv = next();
+      const std::size_t equals = kv.find('=');
+      if (equals == std::string::npos || equals == 0) usage_error(argv[0]);
+      cli_params.emplace_back(kv.substr(0, equals), kv.substr(equals + 1));
+    } else if (arg == "--config") {
+      config_path = next();
     } else if (arg == "--threads") {
-      config.threads = std::atoi(next());
+      context.threads = std::atoi(next());
     } else if (arg == "--progress") {
-      const int every = std::atoi(next());
-      if (every <= 0) usage_error(argv[0]);
-      progress = true;
-      config.stream.progress_every_trials = static_cast<std::size_t>(every);
+      progress_every = std::atoi(next());
+      if (progress_every <= 0) usage_error(argv[0]);
+      context.stream.progress_every_trials =
+          static_cast<std::size_t>(progress_every);
     } else if (arg == "--checkpoint") {
-      config.stream.checkpoint_path = next();
+      context.stream.checkpoint_path = next();
     } else if (arg == "--resume") {
-      config.stream.resume = true;
+      context.stream.resume = true;
     } else if (arg == "--stop-after") {
       const int shards = std::atoi(next());
       if (shards <= 0) usage_error(argv[0]);
-      config.stream.stop_after_shards = static_cast<std::size_t>(shards);
+      context.stream.stop_after_shards = static_cast<std::size_t>(shards);
     } else if (arg == "--workers") {
       workers = std::atoi(next());
       if (workers <= 0) usage_error(argv[0]);
@@ -211,12 +262,12 @@ int main(int argc, char** argv) {
       usage_error(argv[0]);
     }
   }
-  if (config.stream.stop_after_shards > 0 &&
-      config.stream.checkpoint_path.empty()) {
+  if (context.stream.stop_after_shards > 0 &&
+      context.stream.checkpoint_path.empty()) {
     std::fprintf(stderr, "--stop-after requires --checkpoint\n");
     return 2;
   }
-  if (config.stream.resume && config.stream.checkpoint_path.empty()) {
+  if (context.stream.resume && context.stream.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint\n");
     return 2;
   }
@@ -225,17 +276,31 @@ int main(int argc, char** argv) {
                  "--worker-id requires --queue-dir or --queue-addr\n");
     return 2;
   }
-  if (workers > 0 && (config.stream.resume ||
-                      config.stream.stop_after_shards > 0)) {
+  if (workers > 0 && (context.stream.resume ||
+                      context.stream.stop_after_shards > 0)) {
     std::fprintf(stderr, "--workers is incompatible with --resume and "
                          "--stop-after\n");
     return 2;
   }
 
-  config.bers = {ber};
+  // Scenario parameters: defaults < --config JSON < FTNAV_* env <
+  // --param. Every failure here is a diagnosed exit 2.
+  ParamSet params = spec->make_params();
+  try {
+    if (!config_path.empty()) params.apply_json_file(config_path);
+    params.apply_env();
+    for (const auto& [key, value] : cli_params)
+      params.set(key, value, ParamSource::kCli);
+  } catch (const ParamError& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 2;
+  }
+  // Diagnose typo'd FTNAV_* variables: everything set in this process
+  // must be a declared harness knob or some scenario's parameter.
+  warn_unknown_ftnav_vars(registry.known_param_env_names());
 
   // The lease-protocol knobs apply identically in every role.
-  const auto apply_lease_knobs = [&](ftnav::DistConfig& dist) {
+  const auto apply_lease_knobs = [&](DistConfig& dist) {
     if (lease_expiry >= 0.0) dist.lease_expiry_seconds = lease_expiry;
     if (poll_period > 0.0) dist.poll_period_seconds = poll_period;
     if (lease_batch >= 1) dist.lease_batch = lease_batch;
@@ -245,14 +310,14 @@ int main(int argc, char** argv) {
   // Silent on stdout (the coordinator's output is the campaign's
   // output and must not interleave with worker chatter).
   if (worker_id >= 0) {
-    config.dist.worker_id = worker_id;
-    config.dist.queue_dir = queue_dir;
-    config.dist.queue_addr = queue_addr;
-    config.dist.fail_after_shards = worker_fail_after;
-    apply_lease_knobs(config.dist);
-    config.stream = CampaignStreamConfig{};  // DistCampaign re-targets it
+    context.dist.worker_id = worker_id;
+    context.dist.queue_dir = queue_dir;
+    context.dist.queue_addr = queue_addr;
+    context.dist.fail_after_shards = worker_fail_after;
+    apply_lease_knobs(context.dist);
+    context.stream = CampaignStreamConfig{};  // DistCampaign re-targets it
     try {
-      (void)run_inference_campaign(config);
+      (void)spec->factory(params)->run(context);
     } catch (const std::exception& error) {
       std::fprintf(stderr, "worker %d: error: %s\n", worker_id,
                    error.what());
@@ -291,33 +356,25 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "distributed: %d workers, queue=%s\n", workers,
                    queue_dir.c_str());
     }
-    config.dist.workers = workers;
-    config.dist.queue_dir = queue_addr.empty() ? queue_dir : std::string();
-    config.dist.queue_addr = queue_addr;
-    apply_lease_knobs(config.dist);
+    context.dist.workers = workers;
+    context.dist.queue_dir =
+        queue_addr.empty() ? queue_dir : std::string();
+    context.dist.queue_addr = queue_addr;
+    apply_lease_knobs(context.dist);
 
+    // Workers get the *canonical* parameter set on their command line,
+    // so every process binds byte-identical scenario configuration no
+    // matter which sources configured the coordinator.
     DistCoordinator::Command worker_command;
-    worker_command.argv = {argv[0]};
-    const auto add = [&](const std::string& flag, const std::string& value) {
+    worker_command.argv = {argv[0], "run", name};
+    const auto add = [&](const std::string& flag,
+                         const std::string& value) {
       worker_command.argv.push_back(flag);
       worker_command.argv.push_back(value);
     };
-    add("--policy",
-        config.kind == GridPolicyKind::kTabular ? "tabular" : "nn");
-    add("--mode", mode == InferenceFaultMode::kTransientM   ? "tm"
-                  : mode == InferenceFaultMode::kTransient1 ? "t1"
-                  : mode == InferenceFaultMode::kStuckAt0   ? "sa0"
-                                                            : "sa1");
-    char buffer[64];
-    std::snprintf(buffer, sizeof buffer, "%.17g", ber);
-    add("--ber", buffer);
-    add("--repeats", std::to_string(config.repeats));
-    add("--density", config.density == ObstacleDensity::kLow      ? "low"
-                     : config.density == ObstacleDensity::kMiddle ? "middle"
-                                                                  : "high");
-    if (config.mitigated) worker_command.argv.push_back("--mitigate");
-    add("--seed", std::to_string(config.seed));
-    add("--threads", std::to_string(config.threads));
+    for (const ParamSpec& param : spec->params)
+      add("--param", param.name + "=" + params.canonical_value(param.name));
+    add("--threads", std::to_string(context.threads));
     if (queue_addr.empty())
       add("--queue-dir", queue_dir);
     else
@@ -337,7 +394,7 @@ int main(int argc, char** argv) {
       add("--worker-fail-after", std::to_string(worker_fail_after));
 
     try {
-      const DistCoordinator coordinator(config.dist);
+      const DistCoordinator coordinator(context.dist);
       coordinator.run([&](int id) {
         DistCoordinator::Command command = worker_command;
         command.argv.push_back("--worker-id");
@@ -352,8 +409,8 @@ int main(int argc, char** argv) {
     // finishes instantly with the workers' combined results.
   }
 
-  if (progress) {
-    config.stream.on_progress = [](const StreamProgress& p) {
+  if (progress_every > 0) {
+    context.stream.on_progress = [](const StreamProgress& p) {
       std::printf("progress: %zu/%zu trials (%.1f%%), %zu/%zu shards\n",
                   p.trials_done, p.trials_total, 100.0 * p.fraction(),
                   p.shards_done, p.shards_total);
@@ -361,61 +418,38 @@ int main(int argc, char** argv) {
     };
   }
 
-  // No worker count here: stdout is byte-identical between a plain
-  // run and any --workers N run (the worker count is announced on
-  // stderr above).
-  std::printf("campaign: policy=%s mode=%s ber=%.4f repeats=%d "
-              "mitigated=%s seed=%llu threads=%d\n",
-              to_string(config.kind).c_str(), to_string(mode).c_str(), ber,
-              config.repeats, config.mitigated ? "yes" : "no",
-              static_cast<unsigned long long>(config.seed), config.threads);
+  // The banner is a pure function of (scenario, parameters): stdout is
+  // byte-identical between a plain run and any --workers/--threads
+  // combination (worker counts are announced on stderr above).
+  std::printf("scenario: %s\nparams: %s\n", name.c_str(),
+              params.canonical().c_str());
 
-  InferenceCampaignResult result;
+  ScenarioResult result;
   try {
-    result = run_inference_campaign(config);
+    result = spec->factory(params)->run(context);
   } catch (const CampaignInterrupted& interrupted) {
     std::printf("%s\n", interrupted.what());
     std::printf("re-run with --checkpoint %s --resume to finish\n",
-                config.stream.checkpoint_path.c_str());
+                context.stream.checkpoint_path.c_str());
     return 3;
+  } catch (const ParamError& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 2;
   } catch (const std::exception& error) {
     // e.g. resume refused: checkpoint from a different configuration,
     // or a corrupt checkpoint file.
     std::fprintf(stderr, "error: %s\n", error.what());
     return 1;
   }
-  const double success =
-      result.success_by_mode[static_cast<std::size_t>(mode)][0];
-  const auto ci = wilson_interval(
-      static_cast<std::size_t>(success / 100.0 * config.repeats + 0.5),
-      static_cast<std::size_t>(config.repeats));
-  std::printf("success rate: %.1f%%  (95%% CI: %.1f%% .. %.1f%%)\n", success,
-              ci.low * 100.0, ci.high * 100.0);
-  if (config.mitigated)
-    std::printf("anomaly detections across campaign: %llu\n",
-                static_cast<unsigned long long>(result.detections));
+  std::printf("%s", result.text.c_str());
 
   if (!json_path.empty()) {
-    std::FILE* out = std::fopen(json_path.c_str(), "w");
-    if (out == nullptr) {
+    std::ofstream out(json_path, std::ios::binary);
+    if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
       return 1;
     }
-    std::fprintf(out, "{\"policy\": \"%s\", \"mode\": \"%s\", "
-                      "\"ber\": %.17g, \"repeats\": %d,\n",
-                 to_string(config.kind).c_str(), to_string(mode).c_str(),
-                 ber, config.repeats);
-    std::fprintf(out, " \"success_by_mode\": [");
-    for (std::size_t m = 0; m < result.success_by_mode.size(); ++m) {
-      std::fprintf(out, "%s[", m ? ", " : "");
-      for (std::size_t b = 0; b < result.success_by_mode[m].size(); ++b)
-        std::fprintf(out, "%s%.17g", b ? ", " : "",
-                     result.success_by_mode[m][b]);
-      std::fprintf(out, "]");
-    }
-    std::fprintf(out, "],\n \"detections\": %llu}\n",
-                 static_cast<unsigned long long>(result.detections));
-    std::fclose(out);
+    out << result.to_json();
   }
   // A scratch queue (no --queue-dir given) has served its purpose once
   // the merged result is out; kept on failure paths for post-mortems.
@@ -424,4 +458,26 @@ int main(int argc, char** argv) {
     std::filesystem::remove_all(queue_dir, ignored);
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) usage_error(argv[0]);
+  const std::string command = argv[1];
+  if (command == "--help" || command == "-h" || command == "help") {
+    print_usage(stdout, argv[0]);
+    return 0;
+  }
+  try {
+    if (command == "list") return cmd_list(argc, argv);
+    if (command == "describe") return cmd_describe(argc, argv);
+    if (command == "run") return cmd_run(argc, argv);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 1;
+  }
+  std::fprintf(stderr, "%s: unknown command '%s'\n", argv[0],
+               command.c_str());
+  usage_error(argv[0]);
 }

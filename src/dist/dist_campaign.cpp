@@ -207,7 +207,12 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
     impl_->transport->restore_partial();
     stream.resume = true;
     stream.checkpoint_every_shards = 1;  // durable before lease release
-    stream.stop_after_shards = 0;
+    // A front-end's graceful-stop knob belongs to the coordinator
+    // path; a worker only stops early through the dist-level hook
+    // (the in-process sibling of fail_after_shards).
+    stream.stop_after_shards =
+        static_cast<std::size_t>(std::max(
+            0, impl_->config.worker_stop_after_shards));
     stream.merge_partials.clear();
     impl_->arbiter = std::make_unique<TransportShardArbiter>(
         *impl_->transport, impl_->config);

@@ -97,6 +97,13 @@ struct DistConfig {
   /// its partial and never re-fires. 0 disables.
   int fail_after_shards = 0;
 
+  /// Graceful sibling of `fail_after_shards` for in-process tests: the
+  /// worker checkpoints its partial and throws CampaignInterrupted
+  /// after committing this many shards, leaving its last lease
+  /// unreleased — the same claim->done crash window, without _exit.
+  /// 0 disables.
+  int worker_stop_after_shards = 0;
+
   enum class Role { kOff, kWorker, kFinalize };
   Role role() const noexcept {
     if (queue_dir.empty() && queue_addr.empty()) return Role::kOff;

@@ -51,6 +51,11 @@ struct DroneTrainingCampaignResult {
       : transient(std::move(rows), std::move(cols)) {}
 };
 
+/// Deprecated direct entry point: the scenario registry (src/scenario/,
+/// `fault_campaign run drone-training`) is the front door; this remains
+/// as a compile-compatible shim for downstream code.
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-training")]]
 DroneTrainingCampaignResult run_drone_training_campaign(
     const DroneWorld& world, const DroneTrainingCampaignConfig& config);
 
@@ -77,6 +82,8 @@ struct EnvironmentSweepResult {
   std::vector<double> bers;
   std::vector<std::vector<double>> msf;  ///< [environment][ber]
 };
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-environments")]]
 EnvironmentSweepResult run_environment_sweep(
     const DroneInferenceCampaignConfig& config);
 
@@ -93,6 +100,8 @@ struct LocationSweepResult {
   std::vector<double> bers;
   std::vector<std::vector<double>> msf;  ///< [location][ber], enum order
 };
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-fault-locations")]]
 LocationSweepResult run_location_sweep(
     const DroneWorld& world, const DroneInferenceCampaignConfig& config);
 
@@ -102,6 +111,8 @@ struct LayerSweepResult {
   std::vector<double> bers;
   std::vector<std::vector<double>> msf;  ///< [layer][ber]
 };
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-layers")]]
 LayerSweepResult run_layer_sweep(const DroneWorld& world,
                                  const DroneInferenceCampaignConfig& config);
 
@@ -111,6 +122,8 @@ struct DataTypeSweepResult {
   std::vector<double> bers;
   std::vector<std::vector<double>> msf;  ///< [format][ber]
 };
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-data-types")]]
 DataTypeSweepResult run_data_type_sweep(
     const DroneWorld& world, const DroneInferenceCampaignConfig& config);
 
@@ -121,6 +134,8 @@ struct DroneMitigationResult {
   std::vector<double> mitigated_msf;
   std::uint64_t detections = 0;
 };
+[[deprecated("use the scenario registry: fault_campaign run "
+             "drone-mitigation")]]
 DroneMitigationResult run_drone_mitigation_comparison(
     const DroneWorld& world, const DroneInferenceCampaignConfig& config);
 

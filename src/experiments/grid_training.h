@@ -98,6 +98,11 @@ struct TrainingHeatmapConfig {
 
 /// Success rate (%) per (BER, injection episode) cell under transient
 /// faults injected during training.
+/// Deprecated direct entry point: the scenario registry (src/scenario/,
+/// `fault_campaign run grid-training-transient`) is the front door;
+/// this remains as a compile-compatible shim for downstream code.
+[[deprecated("use the scenario registry: fault_campaign run "
+             "grid-training-transient")]]
 HeatmapGrid run_transient_training_heatmap(const TrainingHeatmapConfig& config);
 
 // ---- Fig. 2a / 2c (right block): permanent faults in training ----------
@@ -108,6 +113,8 @@ struct PermanentTrainingSweep {
   std::vector<double> stuck_at_1_success;  ///< %
 };
 
+[[deprecated("use the scenario registry: fault_campaign run "
+             "grid-training-permanent")]]
 PermanentTrainingSweep run_permanent_training_sweep(
     const TrainingHeatmapConfig& config);
 
@@ -145,6 +152,8 @@ struct TransientConvergenceResult {
   std::vector<double> failure_fraction;  ///< runs that never re-converged
 };
 
+[[deprecated("use the scenario registry: fault_campaign run "
+             "grid-convergence-transient")]]
 TransientConvergenceResult run_transient_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int fault_episode,
     int max_extra_episodes, int repeats, std::uint64_t seed,
@@ -161,6 +170,8 @@ struct PermanentConvergenceResult {
   std::vector<double> sa1_late;
 };
 
+[[deprecated("use the scenario registry: fault_campaign run "
+             "grid-convergence-permanent")]]
 PermanentConvergenceResult run_permanent_convergence(
     GridPolicyKind kind, const std::vector<double>& bers, int early_episode,
     int late_episode, int extra_episodes, int repeats, std::uint64_t seed,
@@ -176,6 +187,8 @@ struct ExplorationStudyRow {
   double mean_recovery_episodes = 0.0;  ///< transient only; -1 if n/a
 };
 
+[[deprecated("use the scenario registry: fault_campaign run "
+             "grid-exploration-study")]]
 std::vector<ExplorationStudyRow> run_exploration_study(
     GridPolicyKind kind, const std::vector<double>& bers, int episodes,
     int repeats, std::uint64_t seed, int threads = 0);

@@ -1,0 +1,168 @@
+#pragma once
+// Declared, typed scenario parameters.
+//
+// Every scenario in the registry (scenario.h) publishes a schema of
+// ParamSpecs — name, type, default, documentation, validation — and
+// receives its configuration as a bound ParamSet. One parser serves
+// every front-end:
+//
+//   CLI      fault_campaign run <name> --param k=v        (kCli)
+//   env      FTNAV_<NAME> (dashes become underscores)     (kEnv)
+//   JSON     --config file.json, a flat object            (kJson)
+//
+// with fixed precedence CLI > env > JSON > default, independent of the
+// order sources are applied (each value remembers the rank that set
+// it). Unknown keys and malformed values throw ParamError everywhere —
+// front-ends turn that into exit code 2 — so a typo'd parameter is a
+// diagnosed failure, never a silently ignored knob.
+//
+// `canonical()` renders the full set as a sorted, whitespace-joined
+// "k=v" string that re-parses to an identical set (doubles use
+// shortest-round-trip formatting). The distributed coordinator ships
+// worker configurations this way, and checkpoint fingerprints digest
+// it, so "same canonical form" means "same campaign".
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace ftnav {
+
+enum class ParamType {
+  kInt,
+  kDouble,
+  kBool,
+  kString,
+  kChoice,      ///< string restricted to `choices`
+  kIntList,     ///< comma-separated integers
+  kDoubleList,  ///< comma-separated doubles
+};
+
+std::string to_string(ParamType type);
+
+/// Any parameter failure: unknown key, malformed value, type mismatch,
+/// out-of-range, bad choice. CLI front-ends report it and exit 2.
+class ParamError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Where a value came from; higher ranks win regardless of the order
+/// sources are applied.
+enum class ParamSource { kDefault = 0, kJson = 1, kEnv = 2, kCli = 3 };
+
+/// One declared parameter. Built via the static factories so specs
+/// read as a schema, not a struct soup.
+struct ParamSpec {
+  std::string name;  ///< kebab-case, unique within a scenario
+  ParamType type = ParamType::kString;
+  std::string default_value;  ///< canonical string form
+  std::string doc;
+  std::vector<std::string> choices;  ///< kChoice only
+  /// Inclusive numeric bounds (elements, for list types).
+  double min_value = -1e308;
+  double max_value = 1e308;
+
+  static ParamSpec integer(std::string name, std::int64_t default_value,
+                           std::string doc, double min_value = -1e308,
+                           double max_value = 1e308);
+  static ParamSpec real(std::string name, double default_value,
+                        std::string doc, double min_value = -1e308,
+                        double max_value = 1e308);
+  static ParamSpec boolean(std::string name, bool default_value,
+                           std::string doc);
+  static ParamSpec text(std::string name, std::string default_value,
+                        std::string doc);
+  static ParamSpec choice(std::string name, std::string default_value,
+                          std::string doc, std::vector<std::string> choices);
+  static ParamSpec int_list(std::string name,
+                            const std::vector<std::int64_t>& default_value,
+                            std::string doc, double min_value = -1e308,
+                            double max_value = 1e308);
+  static ParamSpec double_list(std::string name,
+                               const std::vector<double>& default_value,
+                               std::string doc, double min_value = -1e308,
+                               double max_value = 1e308);
+};
+
+/// Shortest decimal rendering that parses back to exactly `value`
+/// (strtod round-trip); the canonical form of every double parameter.
+std::string param_format_double(double value);
+
+/// Canonical comma-joined list renderings.
+std::string param_join(const std::vector<double>& values);
+std::string param_join(const std::vector<std::int64_t>& values);
+std::string param_join(const std::vector<int>& values);
+
+/// A schema plus one value per parameter. Copyable; a scenario factory
+/// binds a fully-applied ParamSet into a runnable Scenario.
+class ParamSet {
+ public:
+  ParamSet() = default;
+  /// Validates the schema: unique names, parseable defaults, choice
+  /// defaults among the choices. Throws ParamError on a bad schema
+  /// (caught by CI's describe-every-scenario step).
+  explicit ParamSet(std::vector<ParamSpec> schema);
+
+  const std::vector<ParamSpec>& schema() const noexcept { return schema_; }
+  bool has(const std::string& name) const noexcept;
+
+  /// Parses and validates `value` for `name`, storing it if `source`
+  /// outranks (or ties) the rank that set the current value. Unknown
+  /// names and invalid values throw ParamError either way.
+  void set(const std::string& name, const std::string& value,
+           ParamSource source);
+
+  /// Applies a whitespace-joined "k=v k=v ..." string (the canonical
+  /// form round-trips through this).
+  void apply_kv_text(const std::string& text, ParamSource source);
+
+  /// Applies a flat JSON object {"k": value, ...}; values may be
+  /// numbers, strings, booleans, or arrays of numbers (list params).
+  /// Strict: unknown keys, nested objects, and trailing garbage throw.
+  void apply_json_text(const std::string& text,
+                       ParamSource source = ParamSource::kJson);
+  void apply_json_file(const std::string& path,
+                       ParamSource source = ParamSource::kJson);
+
+  /// Reads FTNAV_<NAME> for every declared parameter (set and
+  /// non-empty applies at kEnv rank). Returns how many applied.
+  int apply_env();
+
+  // Typed getters; asking with the wrong type throws ParamError.
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+  std::vector<std::int64_t> get_int_list(const std::string& name) const;
+  std::vector<double> get_double_list(const std::string& name) const;
+
+  ParamSource source_of(const std::string& name) const;
+
+  /// Canonical rendering of one value (defaults included).
+  std::string canonical_value(const std::string& name) const;
+  /// Name-sorted "k=v" joined by single spaces; parses back to an
+  /// identical set via apply_kv_text. Digested into checkpoint
+  /// fingerprints and shipped to distributed workers.
+  std::string canonical() const;
+
+  /// "FTNAV_" + upper-cased name with '-' mapped to '_'.
+  static std::string env_name(const std::string& param_name);
+  /// env_name for every declared parameter.
+  std::vector<std::string> env_names() const;
+
+ private:
+  struct Slot {
+    std::string canonical;  ///< validated canonical string form
+    ParamSource source = ParamSource::kDefault;
+  };
+
+  const ParamSpec& spec_at(const std::string& name) const;
+  std::size_t index_of(const std::string& name) const;
+
+  std::vector<ParamSpec> schema_;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace ftnav

@@ -1,0 +1,124 @@
+#include "scenario/scenario.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "scenario/builtin_scenarios.h"
+#include "util/table.h"
+
+namespace ftnav {
+
+std::string ScenarioResult::to_json() const {
+  std::ostringstream out;
+  out << "{";
+  for (std::size_t i = 0; i < artifacts.size(); ++i) {
+    out << (i ? ",\n " : "\n ") << json_quote(artifacts[i].first) << ": "
+        << artifacts[i].second;
+  }
+  out << "\n}\n";
+  return out.str();
+}
+
+ScenarioRegistry& ScenarioRegistry::instance() {
+  static ScenarioRegistry registry;
+  static const bool registered = [] {
+    register_builtin_scenarios(registry);
+    return true;
+  }();
+  (void)registered;
+  return registry;
+}
+
+void ScenarioRegistry::add(ScenarioSpec spec) {
+  if (spec.name.empty())
+    throw std::logic_error("ScenarioRegistry: scenario without a name");
+  if (!spec.factory)
+    throw std::logic_error("ScenarioRegistry: scenario '" + spec.name +
+                           "' has no factory");
+  if (find(spec.name) != nullptr)
+    throw std::logic_error("ScenarioRegistry: duplicate scenario '" +
+                           spec.name + "'");
+  // Validate the schema now (unique names, parseable defaults) so a
+  // bad registration fails at startup, not at first `run`.
+  (void)ParamSet(spec.params);
+  specs_.push_back(std::move(spec));
+}
+
+const ScenarioSpec* ScenarioRegistry::find(const std::string& name) const {
+  for (const ScenarioSpec& spec : specs_)
+    if (spec.name == name) return &spec;
+  return nullptr;
+}
+
+std::vector<const ScenarioSpec*> ScenarioRegistry::all() const {
+  std::vector<const ScenarioSpec*> sorted;
+  sorted.reserve(specs_.size());
+  for (const ScenarioSpec& spec : specs_) sorted.push_back(&spec);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ScenarioSpec* a, const ScenarioSpec* b) {
+              return a->name < b->name;
+            });
+  return sorted;
+}
+
+std::vector<std::string> ScenarioRegistry::known_param_env_names() const {
+  std::vector<std::string> names;
+  for (const ScenarioSpec& spec : specs_)
+    for (const ParamSpec& param : spec.params)
+      names.push_back(ParamSet::env_name(param.name));
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::string describe_scenario(const ScenarioSpec& spec, bool markdown) {
+  std::ostringstream out;
+  std::string tags;
+  for (const std::string& tag : spec.tags) {
+    tags += tags.empty() ? "" : ", ";
+    tags += tag;
+  }
+
+  if (markdown) {
+    out << "### `" << spec.name << "`\n\n" << spec.summary << "\n\n";
+    if (!tags.empty()) out << "Tags: " << tags << "\n\n";
+    out << "| parameter | type | default | description |\n"
+        << "|---|---|---|---|\n";
+    for (const ParamSpec& param : spec.params) {
+      out << "| `" << param.name << "` | " << to_string(param.type);
+      if (param.type == ParamType::kChoice) {
+        out << " (";
+        for (std::size_t i = 0; i < param.choices.size(); ++i)
+          out << (i ? "\\|" : "") << param.choices[i];
+        out << ")";
+      }
+      out << " | `" << (param.default_value.empty() ? " " :
+                        param.default_value)
+          << "` | " << param.doc << " |\n";
+    }
+    out << "\n";
+    return out.str();
+  }
+
+  out << spec.name << " — " << spec.summary << "\n";
+  if (!tags.empty()) out << "  tags: " << tags << "\n";
+  out << "  params:\n";
+  Table table({"name", "type", "default", "doc"});
+  for (const ParamSpec& param : spec.params) {
+    std::string type = to_string(param.type);
+    if (param.type == ParamType::kChoice) {
+      type += " (";
+      for (std::size_t i = 0; i < param.choices.size(); ++i)
+        type += (i ? "|" : "") + param.choices[i];
+      type += ")";
+    }
+    table.add_row({param.name, type, param.default_value, param.doc});
+  }
+  std::istringstream rendered(table.render());
+  for (std::string line; std::getline(rendered, line);)
+    out << "    " << line << "\n";
+  return out.str();
+}
+
+}  // namespace ftnav

@@ -1,7 +1,12 @@
 #include "util/env_config.h"
 
+#include <algorithm>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
+
+extern "C" char** environ;
 
 namespace ftnav {
 
@@ -64,6 +69,63 @@ std::string describe(const BenchConfig& config) {
          "FTNAV_THREADS / FTNAV_PROGRESS / FTNAV_CHECKPOINT_DIR / "
          "FTNAV_RESUME=1 / FTNAV_JSON_DIR / FTNAV_WORKERS]";
   return out.str();
+}
+
+const std::vector<EnvKnob>& declared_env_knobs() {
+  static const std::vector<EnvKnob> knobs = {
+      {"FTNAV_SEED", "override the campaign seed"},
+      {"FTNAV_REPEATS", "override per-cell repeat count"},
+      {"FTNAV_FULL", "run paper-scale sweeps"},
+      {"FTNAV_THREADS", "campaign worker threads"},
+      {"FTNAV_PROGRESS", "streamed progress cadence in trials"},
+      {"FTNAV_CHECKPOINT_DIR", "campaign checkpoint directory"},
+      {"FTNAV_RESUME", "resume from existing checkpoints"},
+      {"FTNAV_JSON_DIR", "JSON table artifact directory"},
+      {"FTNAV_WORKERS", "distributed worker processes"},
+      {"FTNAV_QUEUE_DIR", "shared work-queue directory"},
+      {"FTNAV_QUEUE_ADDR", "TCP work-server host:port"},
+      {"FTNAV_LEASE_BATCH", "shards leased per claim round-trip"},
+      {"FTNAV_WORKER_ID", "set by the coordinator in worker processes"},
+  };
+  return knobs;
+}
+
+std::vector<std::string> unknown_ftnav_vars(
+    const std::vector<std::string>& also_known) {
+  std::vector<std::string> unknown;
+  for (char** entry = environ; entry != nullptr && *entry != nullptr;
+       ++entry) {
+    const char* assignment = *entry;
+    if (std::strncmp(assignment, "FTNAV_", 6) != 0) continue;
+    const char* equals = std::strchr(assignment, '=');
+    const std::string name(assignment, equals != nullptr
+                                           ? static_cast<std::size_t>(
+                                                 equals - assignment)
+                                           : std::strlen(assignment));
+    bool known = false;
+    for (const EnvKnob& knob : declared_env_knobs())
+      if (name == knob.name) {
+        known = true;
+        break;
+      }
+    if (!known)
+      known = std::find(also_known.begin(), also_known.end(), name) !=
+              also_known.end();
+    if (!known) unknown.push_back(name);
+  }
+  std::sort(unknown.begin(), unknown.end());
+  unknown.erase(std::unique(unknown.begin(), unknown.end()), unknown.end());
+  return unknown;
+}
+
+int warn_unknown_ftnav_vars(const std::vector<std::string>& also_known) {
+  const std::vector<std::string> unknown = unknown_ftnav_vars(also_known);
+  for (const std::string& name : unknown)
+    std::fprintf(stderr,
+                 "warning: unknown environment knob %s (typo? see "
+                 "util/env_config.h and `fault_campaign describe`)\n",
+                 name.c_str());
+  return static_cast<int>(unknown.size());
 }
 
 }  // namespace ftnav

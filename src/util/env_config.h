@@ -35,6 +35,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace ftnav {
 
@@ -72,5 +73,31 @@ std::int64_t env_int(const char* name, std::int64_t fallback);
 
 /// Renders the config banner all benches print before results.
 std::string describe(const BenchConfig& config);
+
+/// One declared FTNAV_* knob: the single source of truth for which
+/// environment variables exist, used both for documentation and for
+/// diagnosing typo'd variables.
+struct EnvKnob {
+  const char* name;
+  const char* doc;
+};
+
+/// Every declared harness-level FTNAV_* knob (the list in the header
+/// comment above). Scenario *parameters* (FTNAV_BERS, FTNAV_POLICY,
+/// ...) are declared by their scenarios instead — pass their names as
+/// `also_known` below.
+const std::vector<EnvKnob>& declared_env_knobs();
+
+/// FTNAV_*-prefixed environment variables that are neither declared
+/// harness knobs nor in `also_known` — i.e. typos that would
+/// otherwise be silently ignored. Sorted.
+std::vector<std::string> unknown_ftnav_vars(
+    const std::vector<std::string>& also_known = {});
+
+/// Prints one stderr warning per unknown FTNAV_* variable; returns how
+/// many were flagged. Front-ends call this with the registry's known
+/// scenario-parameter names so every env knob in the process is either
+/// declared somewhere or diagnosed.
+int warn_unknown_ftnav_vars(const std::vector<std::string>& also_known = {});
 
 }  // namespace ftnav
