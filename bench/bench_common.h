@@ -6,6 +6,7 @@
 // measured table(s), and a short "expected shape" note restating the
 // paper's qualitative claim the numbers should exhibit.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -18,8 +19,10 @@
 #include "dist/dist_coordinator.h"
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
+#include "nn/kernels/kernels.h"
 #include "scenario/scenario.h"
 #include "util/env_config.h"
+#include "util/perf.h"
 #include "util/table.h"
 
 namespace ftnav::benchharness {
@@ -229,6 +232,88 @@ class JsonArtifact {
   std::string dir_;
   std::string artifact_;
   std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Records wall-clock throughput per bench section and, when
+/// FTNAV_PERF_DIR is set, writes "<dir>/BENCH_<artifact>.json" on
+/// destruction — the perf-trajectory records `ci/perf_gate.py`
+/// compares against the committed `bench/baselines/`. Deliberately
+/// separate from FTNAV_JSON_DIR: result tables are byte-identical
+/// across backends/threads/workers and are diffed in CI, while perf
+/// records contain timings and never should be.
+///
+/// Nothing is printed to stdout (the backend name must not leak into
+/// output that equivalence legs diff); distributed workers never
+/// write (the coordinator's end-to-end timing is the record).
+class PerfRecorder {
+ public:
+  PerfRecorder(const BenchConfig& config, std::string artifact)
+      : artifact_(std::move(artifact)),
+        dir_(env_string("FTNAV_PERF_DIR", "")),
+        threads_(config.threads),
+        enabled_(!dir_.empty() && !config.is_dist_worker()) {}
+
+  PerfRecorder(const PerfRecorder&) = delete;
+  PerfRecorder& operator=(const PerfRecorder&) = delete;
+
+  bool enabled() const noexcept { return enabled_; }
+
+  /// Monotonic seconds; bracket a section with two calls.
+  static double now() { return perf::now(); }
+
+  void record(const std::string& name, std::size_t trials,
+              double wall_seconds) {
+    sections_.push_back({name, trials, wall_seconds});
+  }
+
+  ~PerfRecorder() {
+    // Fold in phase timings library code reported through the
+    // perf-section sink (e.g. the campaign trial grid, which excludes
+    // the policy-training preamble shared by every backend).
+    for (const perf::Section& s : perf::drain_sections())
+      sections_.push_back({s.name, s.ops, s.seconds});
+    if (!enabled_ || sections_.empty()) return;
+    std::ofstream out(dir_ + "/BENCH_" + artifact_ + ".json");
+    if (!out) return;  // benches never fail on artifact export
+    const std::string sha =
+        env_string("GITHUB_SHA", env_string("FTNAV_GIT_SHA", "unknown"));
+    const char* backend = "unknown";
+    try {
+      backend = kernels::active().name;
+    } catch (...) {  // invalid FTNAV_SIMD: the bench itself diagnoses it
+    }
+    out << "{\n \"artifact\": " << json_quote(artifact_) << ",\n"
+        << " \"git_sha\": " << json_quote(sha) << ",\n"
+        << " \"backend\": " << json_quote(backend) << ",\n"
+        << " \"threads\": " << threads_ << ",\n \"sections\": [";
+    for (std::size_t i = 0; i < sections_.size(); ++i) {
+      const Section& s = sections_[i];
+      const double tps =
+          s.wall_seconds > 0.0
+              ? static_cast<double>(s.trials) / s.wall_seconds
+              : 0.0;
+      out << (i ? ",\n  " : "\n  ") << "{\"name\": " << json_quote(s.name)
+          << ", \"trials\": " << s.trials << ", \"wall_seconds\": "
+          << format_double(s.wall_seconds, 6) << ", \"trials_per_sec\": "
+          << format_double(tps, 3) << "}";
+    }
+    out << "\n ]\n}\n";
+    std::fprintf(stderr, "perf: wrote %s/BENCH_%s.json\n", dir_.c_str(),
+                 artifact_.c_str());
+  }
+
+ private:
+  struct Section {
+    std::string name;
+    std::size_t trials;
+    double wall_seconds;
+  };
+
+  std::string artifact_;
+  std::string dir_;
+  int threads_;
+  bool enabled_;
+  std::vector<Section> sections_;
 };
 
 /// BER axis of the Grid World training figures (0.1%..1.0%).

@@ -44,6 +44,8 @@ int main() {
       {ObstacleDensity::kMiddle, "(b) middle obstacle density"},
       {ObstacleDensity::kHigh, "(c) high obstacle density"},
   };
+  JsonArtifact artifact(config, "fig1");
+  Table table({"map", "obstacles", "trained_success"});
   for (const auto& c : cases) {
     const GridWorld world = GridWorld::preset(c.density);
     TabularQAgent agent(world);
@@ -54,11 +56,14 @@ int main() {
       agent.run_training_episode(controller.rate(), rng);
       controller.end_episode(0.0);
     }
+    const bool success = agent.evaluate_success();
     std::printf("%s — %d obstacles, trained success=%s\n", c.name,
-                world.obstacle_count(),
-                agent.evaluate_success() ? "yes" : "no");
+                world.obstacle_count(), success ? "yes" : "no");
     std::printf("%s\n", render_with_route(world, agent).c_str());
+    table.add_row({c.name, std::to_string(world.obstacle_count()),
+                   success ? "yes" : "no"});
   }
+  artifact.add("fig1", table);
   print_shape_note(
       "all three maps train to a successful policy; the marked route "
       "(*) threads between obstacles from S to G, as in the paper's "

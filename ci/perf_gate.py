@@ -1,0 +1,138 @@
+#!/usr/bin/env python3
+"""Perf-trajectory gate: fail CI when throughput regresses.
+
+Compares candidate BENCH_*.json perf records (written by the benches
+when FTNAV_PERF_DIR is set; see bench/bench_common.h PerfRecorder)
+against the committed baselines in bench/baselines/, section by
+section on trials_per_sec. A section slower than the baseline by more
+than --max-regression fails the gate; faster is always fine (runner
+classes vary, and the committed baselines intentionally come from
+modest hardware so only genuine slowdowns trip the gate).
+
+Sections whose *baseline* wall clock is below --min-seconds are
+reported but never gate: timing noise on sub-100ms sections would
+otherwise dwarf any real regression.
+
+Refresh the baselines after an intentional perf change (one line per
+bench, from the repo root, Release build):
+
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 FTNAV_REPEATS=600 \
+        ./build/bench/bench_fig5_inference
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 FTNAV_FULL=1 \
+        ./build/bench/bench_overhead_micro
+
+then commit the rewritten bench/baselines/BENCH_*.json.
+"""
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+
+def load_records(directory: Path) -> dict:
+    """{artifact name: parsed record} for every BENCH_*.json in directory."""
+    records = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path, encoding="utf-8") as handle:
+            record = json.load(handle)
+        records[record.get("artifact", path.stem)] = record
+    return records
+
+
+def sections_by_name(record: dict) -> dict:
+    return {s["name"]: s for s in record.get("sections", [])}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory of committed baseline records")
+    parser.add_argument("--candidate", default="perf-json",
+                        help="directory of this run's records")
+    parser.add_argument("--max-regression", type=float, default=0.25,
+                        help="fail when trials/sec drops by more than "
+                             "this fraction (default 0.25)")
+    parser.add_argument("--min-seconds", type=float, default=0.1,
+                        help="baseline sections shorter than this are "
+                             "informational only (default 0.1)")
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline)
+    candidate_dir = Path(args.candidate)
+    if not baseline_dir.is_dir() or not any(baseline_dir.glob("BENCH_*.json")):
+        print(f"perf gate: no baselines under {baseline_dir} -- skipping "
+              "(commit bench/baselines/BENCH_*.json to arm the gate)")
+        return 0
+    if not candidate_dir.is_dir():
+        print(f"perf gate: candidate directory {candidate_dir} missing -- "
+              "the bench step did not produce perf records", file=sys.stderr)
+        return 1
+
+    baselines = load_records(baseline_dir)
+    candidates = load_records(candidate_dir)
+
+    rows = []
+    failures = []
+    for artifact, base_record in sorted(baselines.items()):
+        cand_record = candidates.get(artifact)
+        if cand_record is None:
+            failures.append(f"{artifact}: no candidate record "
+                            f"(expected {candidate_dir}/BENCH_{artifact}.json)")
+            continue
+        cand_sections = sections_by_name(cand_record)
+        for name, base in sections_by_name(base_record).items():
+            cand = cand_sections.get(name)
+            if cand is None:
+                failures.append(f"{artifact}/{name}: section missing from "
+                                "candidate record")
+                continue
+            base_tps = float(base["trials_per_sec"])
+            cand_tps = float(cand["trials_per_sec"])
+            ratio = cand_tps / base_tps if base_tps > 0 else float("inf")
+            gated = float(base["wall_seconds"]) >= args.min_seconds
+            status = "ok"
+            if not gated:
+                status = "info"
+            elif ratio < 1.0 - args.max_regression:
+                status = "FAIL"
+                failures.append(
+                    f"{artifact}/{name}: {cand_tps:.0f} trials/sec is "
+                    f"{(1.0 - ratio) * 100.0:.1f}% below the baseline "
+                    f"{base_tps:.0f} (allowed {args.max_regression * 100:.0f}%)")
+            rows.append((f"{artifact}/{name}", base_tps, cand_tps, ratio,
+                         status))
+
+    header = (f"| section | baseline trials/s | candidate trials/s "
+              f"| ratio | status |")
+    rule = "|---|---|---|---|---|"
+    lines = [header, rule]
+    for name, base_tps, cand_tps, ratio, status in rows:
+        lines.append(f"| {name} | {base_tps:.0f} | {cand_tps:.0f} "
+                     f"| {ratio:.2f}x | {status} |")
+    table = "\n".join(lines)
+    print(table)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as summary:
+            summary.write("## Perf trajectory\n\n" + table + "\n")
+            if failures:
+                summary.write("\n**Regressions:**\n")
+                for failure in failures:
+                    summary.write(f"- {failure}\n")
+
+    if failures:
+        print("\nperf gate FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        print("\nIf this slowdown is intentional, refresh the baselines "
+              "(see this script's docstring).", file=sys.stderr)
+        return 1
+    print("\nperf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -54,6 +54,40 @@ class StuckAtMask {
   std::vector<Entry> entries_;
 };
 
+/// A faultable buffer image: a live QVector plus a word-level golden
+/// snapshot taken at construction. Campaign trial loops mutate the
+/// live image with bit operations (flips, stuck-at masks) and call
+/// restore() between trials — a straight word copy off the snapshot,
+/// not a float re-encode — so batching thousands of trials through one
+/// resident image is cheap. restore() produces exactly the words the
+/// initial encode produced, so a restored image is bit-identical to a
+/// freshly constructed one.
+class FaultableImage {
+ public:
+  FaultableImage() = default;
+  /// Quantizes `values` into the live image and snapshots the words.
+  FaultableImage(QFormat format, std::span<const float> values)
+      : live_(format, values),
+        golden_(live_.words().begin(), live_.words().end()) {}
+
+  QVector& live() noexcept { return live_; }
+  const QVector& live() const noexcept { return live_; }
+  std::size_t size() const noexcept { return live_.size(); }
+  std::span<const Word> golden_words() const noexcept { return golden_; }
+
+  /// Restores the live image from the golden snapshot (word memcpy).
+  void restore() { live_.assign_words(golden_); }
+
+  /// Transient bit-flips applied once to the live image.
+  void apply(const FaultMap& map) { map.apply_once(live_.words()); }
+  /// Stuck-at overlay enforced on the live image.
+  void apply(const StuckAtMask& mask) noexcept { mask.apply(live_); }
+
+ private:
+  QVector live_;
+  std::vector<Word> golden_;
+};
+
 /// Applies a transient bit-flip fault map once to a quantized buffer.
 void inject_transient(QVector& buffer, const FaultMap& map);
 

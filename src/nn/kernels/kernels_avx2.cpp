@@ -1,0 +1,137 @@
+// AVX2 kernel backend.
+//
+// Vectorizes across INDEPENDENT output elements (8 float lanes), so
+// each lane executes exactly the scalar backend's accumulation chain
+// for its element: broadcast weight, load/gather 8 inputs, vmulps +
+// vaddps (no FMA: this TU is compiled with -ffp-contract=off, and
+// -mavx2 does not enable FMA codegen). IEEE-754 single-precision
+// mul/add are identical scalar vs vector, so results are bit-identical
+// to the scalar backend; remainder elements (sizes not divisible by 8)
+// run the scalar chain directly.
+//
+// This TU is the only one compiled with -mavx2 (x86 builds only; see
+// CMakeLists.txt). On other architectures it compiles to a stub that
+// reports the backend as unavailable.
+
+#include "nn/kernels/kernels.h"
+
+#if defined(__AVX2__)
+
+#include <immintrin.h>
+
+namespace ftnav::kernels {
+
+namespace {
+
+void conv2d_avx2(const float* w, const float* bias, const float* x, float* y,
+                 const ConvShape& s) {
+  // Lane j handles output column ow+j, reading input column
+  // (ow+j)*stride + kw: contiguous for stride 1, a gather otherwise.
+  const __m256i gather_index = _mm256_setr_epi32(
+      0, s.stride, 2 * s.stride, 3 * s.stride, 4 * s.stride, 5 * s.stride,
+      6 * s.stride, 7 * s.stride);
+  for (int oc = 0; oc < s.out_c; ++oc) {
+    for (int oh = 0; oh < s.out_h; ++oh) {
+      const int ih0 = oh * s.stride;
+      float* yrow = y + (static_cast<std::size_t>(oc) * s.out_h + oh) * s.out_w;
+      int ow = 0;
+      for (; ow + 8 <= s.out_w; ow += 8) {
+        __m256 acc = _mm256_broadcast_ss(bias + oc);
+        const int iw0 = ow * s.stride;
+        for (int ic = 0; ic < s.in_c; ++ic) {
+          for (int kh = 0; kh < s.kernel; ++kh) {
+            const float* wrow =
+                w + ((static_cast<std::size_t>(oc) * s.in_c + ic) * s.kernel +
+                     kh) *
+                        s.kernel;
+            const float* xrow =
+                x + (static_cast<std::size_t>(ic) * s.in_h + (ih0 + kh)) *
+                        s.in_w +
+                iw0;
+            for (int kw = 0; kw < s.kernel; ++kw) {
+              const __m256 wv = _mm256_broadcast_ss(wrow + kw);
+              const __m256 xv =
+                  s.stride == 1
+                      ? _mm256_loadu_ps(xrow + kw)
+                      : _mm256_i32gather_ps(xrow + kw, gather_index, 4);
+              acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+            }
+          }
+        }
+        _mm256_storeu_ps(yrow + ow, acc);
+      }
+      // Remainder columns: the scalar chain verbatim.
+      for (; ow < s.out_w; ++ow) {
+        float acc = bias[oc];
+        const int iw0 = ow * s.stride;
+        for (int ic = 0; ic < s.in_c; ++ic) {
+          for (int kh = 0; kh < s.kernel; ++kh) {
+            const float* wrow =
+                w + ((static_cast<std::size_t>(oc) * s.in_c + ic) * s.kernel +
+                     kh) *
+                        s.kernel;
+            const float* xrow =
+                x + (static_cast<std::size_t>(ic) * s.in_h + (ih0 + kh)) *
+                        s.in_w +
+                iw0;
+            for (int kw = 0; kw < s.kernel; ++kw) acc += wrow[kw] * xrow[kw];
+          }
+        }
+        yrow[ow] = acc;
+      }
+    }
+  }
+}
+
+void dense_avx2(const float* w, const float* wt, const float* bias,
+                const float* x, float* y, int in_f, int out_f) {
+  // Lane j handles output o+j through the transposed weights
+  // wt[i][o] (contiguous across outputs for a fixed input).
+  int o = 0;
+  for (; o + 8 <= out_f; o += 8) {
+    __m256 acc = _mm256_loadu_ps(bias + o);
+    for (int i = 0; i < in_f; ++i) {
+      const __m256 xv = _mm256_broadcast_ss(x + i);
+      const __m256 wv =
+          _mm256_loadu_ps(wt + static_cast<std::size_t>(i) * out_f + o);
+      acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+    }
+    _mm256_storeu_ps(y + o, acc);
+  }
+  for (; o < out_f; ++o) {
+    float acc = bias[o];
+    const float* row = w + static_cast<std::size_t>(o) * in_f;
+    for (int i = 0; i < in_f; ++i) acc += row[i] * x[i];
+    y[o] = acc;
+  }
+}
+
+void relu_avx2(float* x, std::size_t n) {
+  // max_ps(v, +0.0) matches `v > 0 ? v : 0` exactly: for v <= 0, v
+  // NaN, and v = -0.0 the second operand (+0.0) is returned, which is
+  // the scalar result in every case.
+  const __m256 zero = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8)
+    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
+}
+
+constexpr KernelOps kAvx2Ops{"avx2", /*dense_wants_transposed=*/true,
+                             conv2d_avx2, dense_avx2, relu_avx2};
+
+}  // namespace
+
+const KernelOps* avx2_ops() noexcept { return &kAvx2Ops; }
+
+}  // namespace ftnav::kernels
+
+#else  // !defined(__AVX2__)
+
+namespace ftnav::kernels {
+
+const KernelOps* avx2_ops() noexcept { return nullptr; }
+
+}  // namespace ftnav::kernels
+
+#endif

@@ -19,9 +19,17 @@
 //                        or a stuck-at mask on the shared output buffer
 //                        re-applied on every write ("Act (P)").
 //
-// The engine owns a *clone* of the trained network, so the caller's
-// golden model is never corrupted; reset_faults() restores the clone
-// from the golden parameters.
+// The engine snapshots the trained network at construction, so the
+// caller's golden model is never corrupted; reset_faults() restores
+// the weight buffer from a word-level golden image (a memcpy, not a
+// float re-encode), which makes batching many fault trials through
+// one resident engine cheap.
+//
+// Execution is compiled once into a flat layer program run by the
+// runtime-dispatched kernels in nn/kernels/ (FTNAV_SIMD selects the
+// backend; results are bit-identical across backends, see kernels.h)
+// over two reusable ping-pong buffers — no per-inference layer
+// allocations or virtual dispatch.
 //
 // Optional hardening: a RangeAnomalyDetector calibrated on the golden
 // per-layer weight ranges filters the weight buffer at load time
@@ -37,6 +45,7 @@
 #include "core/fault_model.h"
 #include "core/injector.h"
 #include "fixed/qvector.h"
+#include "nn/kernels/kernels.h"
 #include "nn/network.h"
 #include "util/rng.h"
 
@@ -52,6 +61,9 @@ class QuantizedInferenceEngine {
   const QFormat& format() const noexcept { return format_; }
   const Shape& input_shape() const noexcept { return input_shape_; }
   std::size_t weight_word_count() const noexcept { return weights_.size(); }
+  /// Name of the kernel backend this engine captured at construction
+  /// ("scalar", "avx2", ...).
+  const char* backend_name() const noexcept { return ops_->name; }
   std::size_t parametered_layer_count() const noexcept {
     return layer_ranges_.size();
   }
@@ -116,13 +128,28 @@ class QuantizedInferenceEngine {
   std::size_t act(const Tensor& input, Rng& rng);
 
  private:
-  void load_weights_into_net();
+  /// One step of the compiled execution program. Parametered steps
+  /// reference their slice of the decoded weight image; Dense steps
+  /// additionally name their slice of the transposed-weight cache.
+  struct Op {
+    LayerKind kind = LayerKind::kFlatten;
+    kernels::ConvShape conv{};     // kConv2D
+    int in_f = 0, out_f = 0;       // kDense
+    int window = 0;                // kMaxPool2D
+    Shape in_shape{}, out_shape{};
+    std::size_t param_begin = 0;   // into the float weight image
+    std::size_t weight_count = 0;  // excludes biases
+    std::size_t wt_begin = 0;      // into the transposed dense cache
+  };
 
-  Network net_;                         // working clone
+  void build_program();
+  void load_weights();
+
+  Network net_;                         // structural snapshot (golden)
   std::vector<float> golden_params_;    // pristine parameters
   QFormat format_;
   Shape input_shape_;
-  QVector weights_;                     // weight buffer (faultable)
+  FaultableImage weights_;              // weight buffer + golden words
   std::vector<std::pair<std::size_t, std::size_t>> layer_ranges_;
   std::size_t activation_words_ = 0;
   bool weights_dirty_ = true;
@@ -133,7 +160,14 @@ class QuantizedInferenceEngine {
   StuckAtMask activation_stuck_;
 
   std::optional<RangeAnomalyDetector> weight_detector_;
-  std::vector<float> scratch_;
+
+  const kernels::KernelOps* ops_ = nullptr;
+  std::vector<Op> program_;
+  std::size_t max_elements_ = 0;  // largest buffer any step touches
+  std::size_t wt_words_ = 0;      // transposed-cache footprint
+  std::vector<float> weight_image_;   // decoded (+ filtered) weights
+  std::vector<float> wt_cache_;       // transposed dense weights
+  std::vector<float> buf_a_, buf_b_;  // ping-pong activation buffers
 };
 
 }  // namespace ftnav

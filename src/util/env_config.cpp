@@ -86,6 +86,12 @@ const std::vector<EnvKnob>& declared_env_knobs() {
       {"FTNAV_QUEUE_ADDR", "TCP work-server host:port"},
       {"FTNAV_LEASE_BATCH", "shards leased per claim round-trip"},
       {"FTNAV_WORKER_ID", "set by the coordinator in worker processes"},
+      {"FTNAV_SIMD", "kernel backend: scalar|avx2|auto (results identical)"},
+      {"FTNAV_TRIAL_BATCH",
+       "NN trials per engine rebuild; 0 = one engine per shard "
+       "(results identical)"},
+      {"FTNAV_PERF_DIR", "write BENCH_*.json perf records here"},
+      {"FTNAV_GIT_SHA", "git sha recorded in perf records"},
   };
   return knobs;
 }

@@ -30,6 +30,24 @@
 //                         results identical for every value)
 //   FTNAV_WORKER_ID       set by the coordinator in worker processes;
 //                         not meant to be set by hand
+//   FTNAV_SIMD            kernel backend for quantized inference:
+//                         scalar | avx2 | auto (default). Results are
+//                         bit-identical across backends; avx2 on a
+//                         machine without AVX2 is a hard error. See
+//                         src/nn/kernels/
+//   FTNAV_TRIAL_BATCH     NN inference trials per engine rebuild:
+//                         0 (default) keeps one resident engine per
+//                         campaign shard, 1 reproduces the legacy
+//                         engine-per-trial path, k rebuilds every k
+//                         trials. Results identical for every value
+//   FTNAV_PERF_DIR        write BENCH_<name>.json perf-trajectory
+//                         records (trials/sec, wall clock, backend,
+//                         git sha) into this directory; consumed by
+//                         ci/perf_gate.py. Deliberately separate from
+//                         FTNAV_JSON_DIR so timing never lands in
+//                         byte-compared result artifacts
+//   FTNAV_GIT_SHA         git sha recorded in perf records when
+//                         GITHUB_SHA is unset
 //
 // Benches print the resolved configuration so results are reproducible.
 

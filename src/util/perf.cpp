@@ -1,0 +1,43 @@
+#include "util/perf.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace ftnav::perf {
+namespace {
+
+std::mutex g_mutex;
+std::vector<Section>& sections() {
+  static std::vector<Section> instance;
+  return instance;
+}
+
+}  // namespace
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void add_section(const std::string& name, std::uint64_t ops,
+                 double seconds) {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  for (Section& section : sections()) {
+    if (section.name == name) {
+      section.ops += ops;
+      section.seconds += seconds;
+      return;
+    }
+  }
+  sections().push_back(Section{name, ops, seconds});
+}
+
+std::vector<Section> drain_sections() {
+  const std::lock_guard<std::mutex> lock(g_mutex);
+  std::vector<Section> drained = std::move(sections());
+  sections().clear();
+  return drained;
+}
+
+}  // namespace ftnav::perf

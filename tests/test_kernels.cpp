@@ -1,0 +1,222 @@
+// Scalar-vs-SIMD bit-identity tests for the dispatched compute kernels
+// (src/nn/kernels/). The SIMD backends claim *exact* equality with the
+// scalar chain — not tolerance-based closeness — so every comparison
+// here is on the float bit pattern. Inputs are genuine Q-format values
+// (round-tripped through encode/decode) including the saturation
+// edges, and the geometry sweeps deliberately cross the 8-lane
+// boundary to exercise remainder handling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "core/injector.h"
+#include "fixed/qvector.h"
+#include "nn/kernels/kernels.h"
+#include "util/rng.h"
+
+namespace ftnav {
+namespace {
+
+using kernels::ConvShape;
+using kernels::KernelOps;
+
+std::uint32_t bits_of(float v) {
+  std::uint32_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+/// Random values already on the Q-format grid (as every buffer the
+/// engine hands a kernel is), with the saturation edges spliced in.
+std::vector<float> quantized_randoms(const QFormat& fmt, std::size_t count,
+                                     std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> values(count);
+  for (float& v : values)
+    v = static_cast<float>(
+        fmt.decode(fmt.encode(rng.normal(0.0, fmt.max_value() / 2))));
+  if (count >= 2) {
+    values[0] = static_cast<float>(fmt.max_value());
+    values[1] = static_cast<float>(fmt.min_value());
+  }
+  return values;
+}
+
+void expect_bit_identical(const std::vector<float>& scalar,
+                          const std::vector<float>& simd,
+                          const char* what) {
+  ASSERT_EQ(scalar.size(), simd.size());
+  for (std::size_t i = 0; i < scalar.size(); ++i)
+    ASSERT_EQ(bits_of(scalar[i]), bits_of(simd[i]))
+        << what << " element " << i << ": scalar=" << scalar[i]
+        << " simd=" << simd[i];
+}
+
+class KernelBitIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kernels::avx2_supported())
+      GTEST_SKIP() << "AVX2 backend unavailable on this host";
+    avx2_ = kernels::avx2_ops();
+    ASSERT_NE(avx2_, nullptr);
+  }
+  const KernelOps* avx2_ = nullptr;
+};
+
+TEST_F(KernelBitIdentity, ConvAcrossShapesAndRemainderLanes) {
+  const QFormat fmt = QFormat::q_1_4_11();
+  const struct { int in_c, out_c, kernel, stride, out_h, out_w; } shapes[] = {
+      {1, 1, 1, 1, 1, 1},    // degenerate
+      {1, 2, 3, 1, 3, 7},    // out_w < 8: pure remainder path
+      {2, 3, 3, 1, 4, 8},    // exactly one vector of columns
+      {3, 2, 3, 1, 5, 9},    // one vector + 1 remainder column
+      {2, 2, 5, 1, 2, 17},   // two vectors + 1 remainder
+      {1, 2, 3, 2, 3, 7},    // strided gather, remainder only
+      {2, 2, 3, 2, 4, 9},    // strided gather + remainder
+      {3, 4, 5, 2, 3, 16},   // strided, two full vectors
+  };
+  for (const auto& g : shapes) {
+    ConvShape s;
+    s.in_c = g.in_c;
+    s.out_c = g.out_c;
+    s.kernel = g.kernel;
+    s.stride = g.stride;
+    s.out_h = g.out_h;
+    s.out_w = g.out_w;
+    s.in_h = (g.out_h - 1) * g.stride + g.kernel;
+    s.in_w = (g.out_w - 1) * g.stride + g.kernel;
+    const std::size_t wn = static_cast<std::size_t>(g.out_c) * g.in_c *
+                           g.kernel * g.kernel;
+    const std::size_t xn =
+        static_cast<std::size_t>(g.in_c) * s.in_h * s.in_w;
+    const std::size_t yn =
+        static_cast<std::size_t>(g.out_c) * g.out_h * g.out_w;
+    const auto w = quantized_randoms(fmt, wn, 100 + wn);
+    const auto b = quantized_randoms(fmt, g.out_c, 200 + wn);
+    const auto x = quantized_randoms(fmt, xn, 300 + xn);
+    std::vector<float> y_scalar(yn, -1.0f), y_simd(yn, -2.0f);
+    kernels::scalar_ops().conv2d(w.data(), b.data(), x.data(),
+                                 y_scalar.data(), s);
+    avx2_->conv2d(w.data(), b.data(), x.data(), y_simd.data(), s);
+    expect_bit_identical(y_scalar, y_simd, "conv2d");
+  }
+}
+
+TEST_F(KernelBitIdentity, DenseAcrossWidthsAndRemainderLanes) {
+  const QFormat fmt(3, 4);  // coarse grid: saturating sums
+  for (const int in_f : {1, 5, 48}) {
+    for (const int out_f : {1, 7, 8, 9, 16, 25}) {
+      const std::size_t wn = static_cast<std::size_t>(out_f) * in_f;
+      const auto w = quantized_randoms(fmt, wn, 400 + wn);
+      const auto b = quantized_randoms(fmt, out_f, 500 + wn);
+      const auto x = quantized_randoms(fmt, in_f, 600 + in_f);
+      // Transposed copy, built exactly as the engine builds it.
+      std::vector<float> wt(wn);
+      for (int o = 0; o < out_f; ++o)
+        for (int i = 0; i < in_f; ++i)
+          wt[static_cast<std::size_t>(i) * out_f + o] =
+              w[static_cast<std::size_t>(o) * in_f + i];
+      std::vector<float> y_scalar(out_f, -1.0f), y_simd(out_f, -2.0f);
+      kernels::scalar_ops().dense(w.data(), nullptr, b.data(), x.data(),
+                                  y_scalar.data(), in_f, out_f);
+      avx2_->dense(w.data(), wt.data(), b.data(), x.data(), y_simd.data(),
+                   in_f, out_f);
+      expect_bit_identical(y_scalar, y_simd, "dense");
+    }
+  }
+}
+
+TEST_F(KernelBitIdentity, ReluIncludingSignedZeroAndRemainder) {
+  for (const std::size_t n : {1u, 7u, 8u, 17u, 64u}) {
+    std::vector<float> values = quantized_randoms(QFormat::q_1_4_11(), n, n);
+    values[0] = -0.0f;  // scalar path yields +0.0 here; SIMD must too
+    std::vector<float> scalar = values, simd = values;
+    kernels::scalar_ops().relu(scalar.data(), scalar.size());
+    avx2_->relu(simd.data(), simd.size());
+    expect_bit_identical(scalar, simd, "relu");
+    for (float v : scalar) EXPECT_GE(v, 0.0f);
+    EXPECT_EQ(bits_of(scalar[0]), bits_of(0.0f));  // not -0.0
+  }
+}
+
+TEST_F(KernelBitIdentity, FaultedWeightImagesStayBitIdentical) {
+  // Faulted weights leave the "nice" trained distribution: bit flips
+  // produce saturated magnitudes and sign flips. The backends must
+  // still agree exactly.
+  const QFormat fmt = QFormat::q_1_4_11();
+  const int in_f = 19, out_f = 11;
+  QVector image(fmt, quantized_randoms(fmt, static_cast<std::size_t>(in_f) *
+                                                out_f,
+                                       7));
+  Rng fault_rng(8);
+  FaultMap map = FaultMap::sample(FaultType::kTransientFlip, 0.05,
+                                  image.size(), fmt.total_bits(), fault_rng);
+  map.apply_once(image.words());
+  // Stuck-at-1 on top, compiled exactly like the engine applies it.
+  FaultMap stuck = FaultMap::sample(FaultType::kStuckAt1, 0.03, image.size(),
+                                    fmt.total_bits(), fault_rng);
+  StuckAtMask::compile(stuck).apply(image);
+
+  std::vector<float> w(image.size());
+  image.decode_into(w);
+  std::vector<float> wt(w.size());
+  for (int o = 0; o < out_f; ++o)
+    for (int i = 0; i < in_f; ++i)
+      wt[static_cast<std::size_t>(i) * out_f + o] =
+          w[static_cast<std::size_t>(o) * in_f + i];
+  const auto b = quantized_randoms(fmt, out_f, 9);
+  const auto x = quantized_randoms(fmt, in_f, 10);
+  std::vector<float> y_scalar(out_f), y_simd(out_f);
+  kernels::scalar_ops().dense(w.data(), nullptr, b.data(), x.data(),
+                              y_scalar.data(), in_f, out_f);
+  avx2_->dense(w.data(), wt.data(), b.data(), x.data(), y_simd.data(), in_f,
+               out_f);
+  expect_bit_identical(y_scalar, y_simd, "faulted dense");
+}
+
+TEST(Kernels, ResolveBackendNamesAndErrors) {
+  EXPECT_STREQ(kernels::resolve_backend("scalar").name, "scalar");
+  EXPECT_THROW(kernels::resolve_backend("neon"), std::invalid_argument);
+  if (kernels::avx2_supported())
+    EXPECT_STREQ(kernels::resolve_backend("avx2").name, "avx2");
+  else
+    EXPECT_THROW(kernels::resolve_backend("avx2"), std::runtime_error);
+  const KernelOps& resolved = kernels::resolve_backend("auto");
+  EXPECT_STREQ(resolved.name,
+               kernels::avx2_supported() ? "avx2" : "scalar");
+}
+
+TEST(Kernels, ScopedBackendOverridesActive) {
+  {
+    kernels::ScopedKernelBackend pin(kernels::scalar_ops());
+    EXPECT_STREQ(kernels::active().name, "scalar");
+  }
+  if (kernels::avx2_supported()) {
+    kernels::ScopedKernelBackend pin(*kernels::avx2_ops());
+    EXPECT_STREQ(kernels::active().name, "avx2");
+  }
+}
+
+TEST(Kernels, MaxPoolSelectsFirstOfEqualMaxima) {
+  // 2x2 windows over one channel; ties must resolve to the first
+  // element in scan order (strict > comparison).
+  const std::vector<float> x = {
+      1.0f, 1.0f, -2.0f, 0.5f,  //
+      0.0f, 1.0f, 0.5f,  0.5f,  //
+      -1.f, -1.f, -0.5f, -4.f,  //
+      -1.f, -1.f, -8.0f, -0.5f,
+  };
+  std::vector<float> y(4);
+  kernels::maxpool2d(x.data(), y.data(), 1, 4, 4, 2);
+  EXPECT_EQ(y[0], 1.0f);
+  EXPECT_EQ(y[1], 0.5f);
+  EXPECT_EQ(y[2], -1.0f);
+  EXPECT_EQ(y[3], -0.5f);
+}
+
+}  // namespace
+}  // namespace ftnav

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "nn/kernels/kernels.h"
 #include "nn/quantized_engine.h"
 
 namespace ftnav {
@@ -195,6 +198,86 @@ TEST(QuantizedEngine, ActMatchesArgmaxOfInfer) {
   Rng run_a(22), run_b(22);
   const Tensor out = engine.infer(test_input(), run_a);
   EXPECT_EQ(engine.act(test_input(), run_b), out.argmax());
+}
+
+TEST(QuantizedEngine, BackendsBitIdentical) {
+  // The whole point of the kernel layer: scalar and SIMD engines give
+  // the same bits, under faults included. Conv + pool + flatten +
+  // dense exercises every dispatched kernel.
+  if (!kernels::avx2_supported())
+    GTEST_SKIP() << "AVX2 backend unavailable on this host";
+  Rng rng(40);
+  Network net;
+  net.add(std::make_unique<Conv2D>(2, 4, 3, 1, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2D>(2));
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Dense>(4 * 4 * 4, 5, rng));
+  const Shape input_shape{2, 10, 10};
+  Tensor input(input_shape);
+  Rng fill(41);
+  for (std::size_t i = 0; i < input.size(); ++i)
+    input[i] = static_cast<float>(fill.normal(0.0, 1.0));
+
+  auto run = [&](const kernels::KernelOps& ops) {
+    kernels::ScopedKernelBackend pin(ops);
+    QuantizedInferenceEngine engine(net, QFormat::q_1_4_11(), input_shape);
+    EXPECT_STREQ(engine.backend_name(), ops.name);
+    Rng fault_rng(42);
+    engine.inject_weight_faults(FaultMap::sample(
+        FaultType::kTransientFlip, 0.02, engine.weight_word_count(),
+        engine.format().total_bits(), fault_rng));
+    engine.set_weight_stuck(StuckAtMask::compile(FaultMap::sample(
+        FaultType::kStuckAt1, 0.01, engine.weight_word_count(),
+        engine.format().total_bits(), fault_rng)));
+    Rng run_rng(43);
+    return engine.infer(input, run_rng);
+  };
+  const Tensor scalar_out = run(kernels::scalar_ops());
+  const Tensor avx2_out = run(*kernels::avx2_ops());
+  ASSERT_EQ(scalar_out.size(), avx2_out.size());
+  for (std::size_t i = 0; i < scalar_out.size(); ++i) {
+    const float sv = scalar_out[i], av = avx2_out[i];
+    std::uint32_t a, b;
+    std::memcpy(&a, &sv, sizeof(a));
+    std::memcpy(&b, &av, sizeof(b));
+    EXPECT_EQ(a, b) << "output " << i;
+  }
+}
+
+TEST(QuantizedEngine, PersistentEngineMatchesFreshEngine) {
+  // The batched campaign path keeps one engine and restores its golden
+  // weight image between trials; a fresh engine per trial must be
+  // indistinguishable, fault history and detector state included.
+  Rng rng(50);
+  Network net = tiny_net(rng);
+  const QFormat fmt = QFormat::q_1_4_11();
+  QuantizedInferenceEngine resident(net, fmt, Shape{4, 1, 1});
+  resident.enable_weight_protection(0.1);
+  for (int trial = 0; trial < 8; ++trial) {
+    QuantizedInferenceEngine fresh(net, fmt, Shape{4, 1, 1});
+    fresh.enable_weight_protection(0.1);
+    const std::uint64_t before = resident.weight_detector()->detections();
+
+    resident.reset_faults();
+    Rng fault_a(60 + trial), fault_b(60 + trial);
+    resident.inject_weight_faults(
+        FaultMap::sample(FaultType::kTransientFlip, 0.03,
+                         resident.weight_word_count(), 16, fault_a));
+    fresh.inject_weight_faults(
+        FaultMap::sample(FaultType::kTransientFlip, 0.03,
+                         fresh.weight_word_count(), 16, fault_b));
+    Rng run_a(70 + trial), run_b(70 + trial);
+    const Tensor out_resident = resident.infer(test_input(), run_a);
+    const Tensor out_fresh = fresh.infer(test_input(), run_b);
+    for (std::size_t i = 0; i < out_fresh.size(); ++i)
+      EXPECT_FLOAT_EQ(out_resident[i], out_fresh[i])
+          << "trial " << trial << " output " << i;
+    // Per-trial detections read as a delta off the resident counter.
+    EXPECT_EQ(resident.weight_detector()->detections() - before,
+              fresh.weight_detector()->detections())
+        << "trial " << trial;
+  }
 }
 
 TEST(QuantizedEngine, InputStuckFaultsApplyEveryInference) {
