@@ -88,6 +88,9 @@ inline CampaignStreamConfig stream_for(const BenchConfig& config,
 inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
   DistConfig dist;
   if (config.lease_batch >= 1) dist.lease_batch = config.lease_batch;
+  // Session token for an auth-enabled campaign server (FTNAV_AUTH_TOKEN);
+  // worker processes inherit the variable from our environment.
+  dist.auth_token = config.auth_token;
   if (config.worker_id >= 0) {
     dist.worker_id = config.worker_id;
     dist.queue_dir = config.queue_dir;
@@ -99,8 +102,10 @@ inline DistConfig bench_dist(const char* argv0, BenchConfig& config) {
   if (config.workers <= 0) return dist;
   if (!config.queue_addr.empty()) {
     // TCP transport: host the work server in this process for the
-    // whole bench run (the finalize merges drain it at the end).
-    static TcpWorkServer server(config.queue_addr);
+    // whole bench run (the finalize merges drain it at the end). It
+    // enforces the same session token the workers present.
+    static TcpWorkServer server(CampaignServerConfig{
+        config.queue_addr, std::string(), config.auth_token});
     server.start();
     config.queue_addr = server.address();  // resolve a port-0 bind
   } else if (config.queue_dir.empty()) {

@@ -158,6 +158,12 @@ std::string dist_queue_label(std::string_view tag) {
   return prefix + "-" + digest;
 }
 
+std::string dist_queue_label(const DistConfig& config,
+                             std::string_view tag) {
+  if (config.queue_namespace.empty()) return dist_queue_label(tag);
+  return dist_queue_label(config.queue_namespace + "/" + std::string(tag));
+}
+
 struct DistCampaign::Impl {
   DistConfig config;
   std::unique_ptr<ShardTransport> transport;
@@ -229,6 +235,16 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
           [impl] { return impl->stopping; })) {
         try {
           impl->transport->heartbeat();
+        } catch (const TransportAuthError& error) {
+          // The server revoked or rejected this session. Say so —
+          // this must surface as a diagnosed auth failure, never be
+          // mistaken for the silent lease expiry a vanished worker
+          // produces — then stop beating; the campaign's own next
+          // transport call throws the same error on a catchable
+          // path. (The constructor's eager heartbeat already turned
+          // a token wrong from the start into an immediate throw.)
+          std::fprintf(stderr, "dist worker heartbeat: %s\n", error.what());
+          return;
         } catch (const std::exception&) {
           // Transport gone (e.g. the TCP server died). Stop beating
           // and let the campaign's own next transport call surface

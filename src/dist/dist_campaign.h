@@ -61,8 +61,28 @@ struct DistConfig {
   /// selects the TCP transport: workers need no shared filesystem,
   /// only a route to the server. Front-ends fill it from
   /// `--queue-addr` / FTNAV_QUEUE_ADDR; the coordinator spawns an
-  /// in-process server for single-host runs.
+  /// in-process server for single-host runs, or points here at a
+  /// standalone campaign_server daemon (`fault_campaign serve`).
   std::string queue_addr;
+  /// Session token for an auth-enabled campaign server; presented in
+  /// the hello handshake of every connection (--auth-token /
+  /// FTNAV_AUTH_TOKEN). Empty means no handshake.
+  std::string auth_token;
+  /// Multi-tenant namespace (the submission tag): when set, queue
+  /// labels derive from "<namespace>/<stream tag>" instead of the
+  /// bare stream tag, so two submissions of the same scenario
+  /// configuration under different campaign tags use disjoint shard
+  /// queues on one shared campaign server. Empty preserves the
+  /// classic labels (`run` campaigns, byte-compatible with existing
+  /// queue directories).
+  std::string queue_namespace;
+  /// First worker id of this coordinator's spawn range: worker slot k
+  /// runs with id `worker_id_base + k`. The submit/attach front-ends
+  /// reserve the range from the campaign server (alloc_worker_ids) so
+  /// a failover coordinator can never collide with ids a previous
+  /// life's workers still hold leases or partials under. 0 preserves
+  /// the classic single-coordinator ids 0..workers-1.
+  int worker_id_base = 0;
 
   /// Shards leased per claim round-trip (worker-pull batching). The
   /// default 1 claims shard-by-shard exactly as before; larger values
@@ -122,6 +142,11 @@ struct DistConfig {
 /// vs permanent grids) get distinct queues deterministically in every
 /// process.
 std::string dist_queue_label(std::string_view tag);
+
+/// dist_queue_label under `config.queue_namespace` (see DistConfig):
+/// the label every transport actually uses for a stream tag.
+std::string dist_queue_label(const DistConfig& config,
+                             std::string_view tag);
 
 /// Applies a DistConfig to one streamed campaign, scoped RAII-style
 /// around the map_streamed / map_reduce_streamed call:

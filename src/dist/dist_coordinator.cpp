@@ -152,8 +152,11 @@ void DistCoordinator::run(
       }
       // The worker died. Its committed shards are safe in its partial
       // checkpoint; free its leases and respawn it under the same id
-      // so the replacement resumes that partial.
-      reclaim_transport_leases(config_, id, 0.0);
+      // so the replacement resumes that partial. Slot k runs as
+      // worker id worker_id_base + k (submit/attach reserve the base
+      // from the campaign server so failover coordinators never
+      // collide with a previous life's ids).
+      reclaim_transport_leases(config_, config_.worker_id_base + id, 0.0);
       if (slot.respawns >= config_.max_respawns) {
         kill_all();
         throw std::runtime_error(

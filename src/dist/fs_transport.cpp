@@ -7,7 +7,7 @@ namespace ftnav {
 FsTransport::FsTransport(const DistConfig& config, std::string_view tag)
     : queue_dir_(config.queue_dir),
       worker_id_(config.worker_id),
-      queue_(config.queue_dir, dist_queue_label(tag)) {}
+      queue_(config.queue_dir, dist_queue_label(config, tag)) {}
 
 void FsTransport::populate(std::size_t shard_count) {
   shard_count_ = shard_count;

@@ -24,7 +24,8 @@ std::size_t reclaim_transport_leases(const DistConfig& config,
   // coordinator loop calling this); if it is gone, fail fast so the
   // coordinator reports the real error instead of stalling.
   if (config.uses_tcp())
-    return TcpQueueClient(config.queue_addr, /*connect_attempts=*/4)
+    return TcpQueueClient(config.queue_addr, /*connect_attempts=*/4,
+                          config.auth_token)
         .reclaim(worker_id, expiry_seconds);
   return reclaim_queue_leases(config.queue_dir, worker_id, expiry_seconds);
 }

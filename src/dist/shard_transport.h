@@ -35,6 +35,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -42,6 +43,17 @@
 #include "dist/dist_campaign.h"
 
 namespace ftnav {
+
+/// The campaign server rejected this process's session (missing or
+/// wrong FTNAV_AUTH_TOKEN / --auth-token). Thrown by the TCP client
+/// on the auth status byte; front-ends catch it and exit 2 with the
+/// server's diagnostic — distinct from std::runtime_error so an auth
+/// failure is never mistaken for a transient connection loss and
+/// never degrades into a silent lease expiry.
+class TransportAuthError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 /// One poll of the queue from a worker's drain loop.
 struct ShardWave {

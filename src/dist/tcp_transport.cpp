@@ -1,144 +1,35 @@
 #include "dist/tcp_transport.h"
 
 #include <algorithm>
-#include <atomic>
-#include <chrono>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
-#include <limits>
-#include <map>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "campaign/checkpoint.h"
+#include "dist/wire_format.h"
 #include "util/binary_io.h"
 #include "util/clock.h"
 
 #if !defined(_WIN32)
-#include <arpa/inet.h>
 #include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
-#include <poll.h>
 #include <sys/socket.h>
 #include <sys/types.h>
 #include <unistd.h>
 #endif
 
 namespace ftnav {
-namespace {
 
-// ---- wire format ---------------------------------------------------------
-//
-// Frame: u32 little-endian payload length, then the payload. Request
-// payloads start with a u8 opcode; response payloads with a u8 status
-// (0 = ok + body, 1 = error + message string). Field encoding reuses
-// util/binary_io — the same fixed-width little-endian helpers the
-// checkpoints travel through.
-
-enum Opcode : unsigned char {
-  kOpPopulate = 1,
-  kOpClaim = 2,
-  kOpDone = 3,
-  kOpHeartbeat = 4,
-  kOpUpload = 5,
-  kOpFetch = 6,
-  kOpDrain = 7,
-  kOpReclaim = 8,
-};
-
-constexpr std::size_t kMaxFrameBytes = std::size_t{1} << 28;
-
-std::string frame(const std::string& payload) {
-  std::string framed;
-  framed.reserve(4 + payload.size());
-  const std::uint32_t size = static_cast<std::uint32_t>(payload.size());
-  for (int byte = 0; byte < 4; ++byte)
-    framed.push_back(static_cast<char>((size >> (8 * byte)) & 0xff));
-  framed += payload;
-  return framed;
-}
-
-std::uint64_t encode_worker(int worker_id) {
-  return static_cast<std::uint64_t>(static_cast<std::int64_t>(worker_id));
-}
-
-int decode_worker(std::uint64_t raw) {
-  return static_cast<int>(static_cast<std::int64_t>(raw));
-}
-
-void write_shards(std::ostream& out, const std::vector<std::size_t>& shards) {
-  io::write_u64(out, shards.size());
-  for (std::size_t shard : shards) io::write_u64(out, shard);
-}
-
-std::vector<std::size_t> read_shards(std::istream& in) {
-  const std::uint64_t count = io::read_u64(in);
-  std::vector<std::size_t> shards;
-  shards.reserve(static_cast<std::size_t>(count));
-  for (std::uint64_t i = 0; i < count; ++i)
-    shards.push_back(static_cast<std::size_t>(io::read_u64(in)));
-  return shards;
-}
-
-void write_bitmap(std::ostream& out, const std::vector<std::uint8_t>& bits) {
-  io::write_u64(out, bits.size());
-  if (!bits.empty()) io::write_bytes(out, bits.data(), bits.size());
-}
-
-std::vector<std::uint8_t> read_bitmap(std::istream& in) {
-  const std::uint64_t count = io::read_u64(in);
-  std::vector<std::uint8_t> bits(static_cast<std::size_t>(count));
-  if (count > 0) io::read_bytes(in, bits.data(), bits.size());
-  return bits;
-}
-
-std::string ok_reply(const std::string& body = std::string()) {
-  std::string reply;
-  reply.reserve(1 + body.size());
-  reply.push_back('\0');
-  reply += body;
-  return reply;
-}
-
-std::string error_reply(const std::string& message) {
-  std::ostringstream out;
-  out.put(1);
-  io::write_string(out, message);
-  return out.str();
-}
-
-/// Splits "host:port"; empty host means every interface (server) or
-/// loopback (client).
-void split_addr(const std::string& addr, std::string& host, std::string& port) {
-  const std::size_t colon = addr.rfind(':');
-  if (colon == std::string::npos || colon + 1 >= addr.size())
-    throw std::runtime_error("tcp transport: address must be host:port: " +
-                             addr);
-  host = addr.substr(0, colon);
-  port = addr.substr(colon + 1);
-}
-
-}  // namespace
+using namespace wire;
 
 #if defined(_WIN32)
 
-struct TcpWorkServer::Impl {};
-TcpWorkServer::TcpWorkServer(std::string) {
-  throw std::runtime_error("TcpWorkServer: POSIX-only");
-}
-TcpWorkServer::~TcpWorkServer() = default;
-void TcpWorkServer::start() {}
-void TcpWorkServer::stop() {}
-std::string TcpWorkServer::address() const { return {}; }
-int TcpWorkServer::port() const { return -1; }
-
 struct TcpQueueClient::Impl {};
-TcpQueueClient::TcpQueueClient(const std::string&, int) {
+TcpQueueClient::TcpQueueClient(const std::string&, int, const std::string&) {
   throw std::runtime_error("TcpQueueClient: POSIX-only");
 }
 TcpQueueClient::~TcpQueueClient() = default;
@@ -164,426 +55,13 @@ std::vector<TcpQueueClient::Partial> TcpQueueClient::drain_partials(
   return {};
 }
 std::size_t TcpQueueClient::reclaim(int, double) { return 0; }
+void TcpQueueClient::register_campaign(const std::string&,
+                                       const std::string&,
+                                       const std::string&) {}
+CampaignServerStatus TcpQueueClient::status() { return {}; }
+int TcpQueueClient::alloc_worker_ids(int) { return -1; }
 
 #else
-
-// ---- server --------------------------------------------------------------
-
-namespace {
-
-/// Per-shard lease state: todo / done / claimed-by-worker.
-constexpr int kShardTodo = -1;
-constexpr int kShardDone = -2;
-
-struct CampaignState {
-  std::size_t shard_count = 0;
-  std::vector<int> shard_state;  // kShardTodo, kShardDone, or owner id
-  std::size_t done_count = 0;
-  std::map<int, std::vector<std::uint8_t>> bitmaps;  // published partials
-  std::map<int, std::string> blobs;
-};
-
-struct Connection {
-  int fd = -1;
-  std::string inbox;
-  std::string outbox;
-};
-
-void set_nonblocking(int fd) {
-  const int flags = ::fcntl(fd, F_GETFL, 0);
-  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
-}
-
-/// The coordinator hosts the server while fork/exec-ing workers;
-/// without close-on-exec every worker would inherit the listen
-/// socket (keeping the port bound past a coordinator crash), live
-/// connection fds (masking peer EOFs), and the wake pipe.
-void set_cloexec(int fd) { ::fcntl(fd, F_SETFD, FD_CLOEXEC); }
-
-}  // namespace
-
-struct TcpWorkServer::Impl {
-  std::string bind_addr;
-  int listen_fd = -1;
-  int resolved_port = -1;
-  std::string resolved_host;
-  int wake_pipe[2] = {-1, -1};
-  std::thread thread;
-  std::atomic<bool> stopping{false};
-
-  // Queue state, touched only by the poll-loop thread.
-  std::map<std::string, CampaignState> campaigns;
-  std::map<int, std::chrono::steady_clock::time_point> heartbeats;
-  std::vector<Connection> connections;
-
-  ~Impl() { close_all(); }
-
-  void close_all() {
-    for (Connection& conn : connections) ::close(conn.fd);
-    connections.clear();
-    if (listen_fd >= 0) ::close(listen_fd);
-    listen_fd = -1;
-    for (int end : wake_pipe)
-      if (end >= 0) ::close(end);
-    wake_pipe[0] = wake_pipe[1] = -1;
-  }
-
-  double heartbeat_age(int worker_id) const {
-    const auto found = heartbeats.find(worker_id);
-    if (found == heartbeats.end())
-      return std::numeric_limits<double>::infinity();
-    return timeutil::steady_seconds_since(found->second);
-  }
-
-  void beat(int worker_id) {
-    heartbeats[worker_id] = std::chrono::steady_clock::now();
-  }
-
-  // ---- RPC handlers (poll-loop thread only) ----
-
-  std::string handle_populate(std::istream& in) {
-    const std::string label = io::read_string(in);
-    const std::size_t shard_count =
-        static_cast<std::size_t>(io::read_u64(in));
-    auto [found, inserted] = campaigns.try_emplace(label);
-    CampaignState& campaign = found->second;
-    if (inserted) {
-      campaign.shard_count = shard_count;
-      campaign.shard_state.assign(shard_count, kShardTodo);
-    } else if (campaign.shard_count != shard_count) {
-      return error_reply("populate: shard count mismatch for " + label);
-    }
-    return ok_reply();
-  }
-
-  std::string handle_claim(std::istream& in) {
-    const std::string label = io::read_string(in);
-    const int worker_id = decode_worker(io::read_u64(in));
-    const std::size_t hint = static_cast<std::size_t>(io::read_u64(in));
-    const std::size_t max_batch =
-        std::max<std::size_t>(1, static_cast<std::size_t>(io::read_u64(in)));
-    const auto found = campaigns.find(label);
-    if (found == campaigns.end())
-      return error_reply("claim: unknown campaign " + label);
-    CampaignState& campaign = found->second;
-    beat(worker_id);  // a claiming worker is by definition alive
-
-    std::vector<std::size_t> leased;
-    const auto lease = [&](std::size_t shard) {
-      if (shard < campaign.shard_count &&
-          campaign.shard_state[shard] == kShardTodo) {
-        campaign.shard_state[shard] = worker_id;
-        leased.push_back(shard);
-      }
-    };
-    if (hint != TcpQueueClient::kNoHint) lease(hint);
-    for (std::size_t shard = 0;
-         shard < campaign.shard_count && leased.size() < max_batch; ++shard)
-      lease(shard);
-
-    std::ostringstream body;
-    write_shards(body, leased);
-    body.put(campaign.done_count >= campaign.shard_count ? 1 : 0);
-    return ok_reply(body.str());
-  }
-
-  std::string handle_done(std::istream& in) {
-    const std::string label = io::read_string(in);
-    const int worker_id = decode_worker(io::read_u64(in));
-    const std::vector<std::size_t> shards = read_shards(in);
-    const auto found = campaigns.find(label);
-    if (found == campaigns.end())
-      return error_reply("done: unknown campaign " + label);
-    CampaignState& campaign = found->second;
-    beat(worker_id);
-    std::uint64_t released = 0;
-    for (std::size_t shard : shards) {
-      if (shard >= campaign.shard_count) continue;
-      // Only the lease owner may release; an already-done shard (an
-      // earlier life's lease, recovered by reclaim) is simply skipped,
-      // mirroring the filesystem queue's failed rename.
-      if (campaign.shard_state[shard] != worker_id) continue;
-      campaign.shard_state[shard] = kShardDone;
-      ++campaign.done_count;
-      ++released;
-    }
-    std::ostringstream body;
-    io::write_u64(body, released);
-    return ok_reply(body.str());
-  }
-
-  std::string handle_heartbeat(std::istream& in) {
-    beat(decode_worker(io::read_u64(in)));
-    return ok_reply();
-  }
-
-  std::string handle_upload(std::istream& in) {
-    const std::string label = io::read_string(in);
-    const int worker_id = decode_worker(io::read_u64(in));
-    std::vector<std::uint8_t> bitmap = read_bitmap(in);
-    std::string bytes = io::read_string(in);
-    const auto found = campaigns.find(label);
-    if (found == campaigns.end())
-      return error_reply("upload: unknown campaign " + label);
-    beat(worker_id);
-    found->second.bitmaps[worker_id] = std::move(bitmap);
-    found->second.blobs[worker_id] = std::move(bytes);
-    return ok_reply();
-  }
-
-  std::string handle_fetch(std::istream& in) {
-    const std::string label = io::read_string(in);
-    const int worker_id = decode_worker(io::read_u64(in));
-    std::ostringstream body;
-    const auto found = campaigns.find(label);
-    // A campaign the server has never seen simply has no partial yet
-    // (a worker's very first life fetches before populating).
-    if (found == campaigns.end() ||
-        found->second.blobs.find(worker_id) == found->second.blobs.end()) {
-      body.put(0);
-    } else {
-      body.put(1);
-      io::write_string(body, found->second.blobs.at(worker_id));
-    }
-    return ok_reply(body.str());
-  }
-
-  std::string handle_drain(std::istream& in) {
-    const std::string label = io::read_string(in);
-    std::ostringstream body;
-    const auto found = campaigns.find(label);
-    if (found == campaigns.end()) {
-      io::write_u64(body, 0);
-    } else {
-      io::write_u64(body, found->second.blobs.size());
-      for (const auto& [worker_id, bytes] : found->second.blobs) {
-        io::write_u64(body, encode_worker(worker_id));
-        io::write_string(body, bytes);
-      }
-    }
-    return ok_reply(body.str());
-  }
-
-  std::string handle_reclaim(std::istream& in) {
-    const int target = decode_worker(io::read_u64(in));
-    const double expiry_seconds = io::read_f64(in);
-    std::uint64_t recovered = 0;
-    for (auto& [label, campaign] : campaigns) {
-      for (std::size_t shard = 0; shard < campaign.shard_count; ++shard) {
-        const int owner = campaign.shard_state[shard];
-        if (owner < 0) continue;  // todo or done
-        if (target >= 0 && owner != target) continue;
-        if (expiry_seconds > 0.0 && heartbeat_age(owner) < expiry_seconds)
-          continue;
-        // The published partial is the durable truth: a shard it
-        // records survived the owner's death; anything else re-runs.
-        const auto bitmap = campaign.bitmaps.find(owner);
-        const bool survived = bitmap != campaign.bitmaps.end() &&
-                              shard < bitmap->second.size() &&
-                              bitmap->second[shard] != 0;
-        if (survived) {
-          campaign.shard_state[shard] = kShardDone;
-          ++campaign.done_count;
-        } else {
-          campaign.shard_state[shard] = kShardTodo;
-        }
-        ++recovered;
-      }
-    }
-    std::ostringstream body;
-    io::write_u64(body, recovered);
-    return ok_reply(body.str());
-  }
-
-  std::string handle_request(const std::string& payload) {
-    try {
-      std::istringstream in(payload);
-      int opcode = in.get();
-      switch (opcode) {
-        case kOpPopulate: return handle_populate(in);
-        case kOpClaim: return handle_claim(in);
-        case kOpDone: return handle_done(in);
-        case kOpHeartbeat: return handle_heartbeat(in);
-        case kOpUpload: return handle_upload(in);
-        case kOpFetch: return handle_fetch(in);
-        case kOpDrain: return handle_drain(in);
-        case kOpReclaim: return handle_reclaim(in);
-        default:
-          return error_reply("unknown opcode " + std::to_string(opcode));
-      }
-    } catch (const std::exception& error) {
-      return error_reply(error.what());
-    }
-  }
-
-  // ---- poll loop ----
-
-  /// Consumes complete frames from the connection's inbox. Returns
-  /// false on a protocol violation (oversized frame) — drop the peer.
-  bool pump_frames(Connection& conn) {
-    while (conn.inbox.size() >= 4) {
-      std::uint32_t size = 0;
-      for (int byte = 0; byte < 4; ++byte)
-        size |= static_cast<std::uint32_t>(
-                    static_cast<unsigned char>(conn.inbox[byte]))
-                << (8 * byte);
-      if (size > kMaxFrameBytes) return false;
-      if (conn.inbox.size() < 4 + static_cast<std::size_t>(size)) break;
-      const std::string payload = conn.inbox.substr(4, size);
-      conn.inbox.erase(0, 4 + static_cast<std::size_t>(size));
-      conn.outbox += frame(handle_request(payload));
-    }
-    return true;
-  }
-
-  void run() {
-    std::vector<pollfd> fds;
-    while (!stopping.load(std::memory_order_acquire)) {
-      fds.clear();
-      fds.push_back({wake_pipe[0], POLLIN, 0});
-      fds.push_back({listen_fd, POLLIN, 0});
-      for (const Connection& conn : connections)
-        fds.push_back({conn.fd,
-                       static_cast<short>(POLLIN | (conn.outbox.empty()
-                                                        ? 0
-                                                        : POLLOUT)),
-                       0});
-      if (::poll(fds.data(), fds.size(), -1) < 0) {
-        if (errno == EINTR) continue;
-        break;
-      }
-      if (fds[0].revents != 0) {
-        char drained[64];
-        while (::read(wake_pipe[0], drained, sizeof drained) > 0) {}
-      }
-      if (fds[1].revents & POLLIN) {
-        while (true) {
-          const int fd = ::accept(listen_fd, nullptr, nullptr);
-          if (fd < 0) break;
-          set_nonblocking(fd);
-          set_cloexec(fd);
-          connections.push_back(Connection{fd, {}, {}});
-        }
-        // The new connections get polled next iteration.
-      }
-      // Walk the pre-poll connection count only; erase dead ones after.
-      std::vector<std::size_t> dead;
-      const std::size_t polled =
-          std::min(connections.size(), fds.size() - 2);
-      for (std::size_t index = 0; index < polled; ++index) {
-        Connection& conn = connections[index];
-        const short events = fds[index + 2].revents;
-        bool drop = (events & (POLLERR | POLLNVAL)) != 0;
-        if (!drop && (events & POLLIN)) {
-          char chunk[4096];
-          while (true) {
-            const ssize_t got = ::recv(conn.fd, chunk, sizeof chunk, 0);
-            if (got > 0) {
-              conn.inbox.append(chunk, static_cast<std::size_t>(got));
-              continue;
-            }
-            if (got == 0) drop = true;  // orderly shutdown
-            else if (errno != EAGAIN && errno != EWOULDBLOCK) drop = true;
-            break;
-          }
-          if (!drop && !pump_frames(conn)) drop = true;
-        }
-        if (!drop && (events & POLLHUP) && conn.outbox.empty()) drop = true;
-        if (!drop && !conn.outbox.empty()) {
-          const ssize_t sent = ::send(conn.fd, conn.outbox.data(),
-                                      conn.outbox.size(), MSG_NOSIGNAL);
-          if (sent > 0) conn.outbox.erase(0, static_cast<std::size_t>(sent));
-          else if (sent < 0 && errno != EAGAIN && errno != EWOULDBLOCK)
-            drop = true;
-        }
-        if (drop) dead.push_back(index);
-      }
-      // A vanished client's leases stay with its worker id until a
-      // reclaim recovers them — nothing to clean up here but the fd.
-      for (auto it = dead.rbegin(); it != dead.rend(); ++it) {
-        ::close(connections[*it].fd);
-        connections.erase(connections.begin() +
-                          static_cast<std::ptrdiff_t>(*it));
-      }
-    }
-  }
-};
-
-TcpWorkServer::TcpWorkServer(std::string bind_addr)
-    : impl_(std::make_unique<Impl>()) {
-  impl_->bind_addr = std::move(bind_addr);
-}
-
-TcpWorkServer::~TcpWorkServer() { stop(); }
-
-void TcpWorkServer::start() {
-  if (impl_->thread.joinable()) return;  // already running
-  std::string host;
-  std::string port;
-  split_addr(impl_->bind_addr, host, port);
-
-  addrinfo hints{};
-  hints.ai_family = AF_INET;
-  hints.ai_socktype = SOCK_STREAM;
-  hints.ai_flags = AI_PASSIVE;
-  addrinfo* resolved = nullptr;
-  if (::getaddrinfo(host.empty() ? nullptr : host.c_str(), port.c_str(),
-                    &hints, &resolved) != 0 ||
-      resolved == nullptr)
-    throw std::runtime_error("TcpWorkServer: cannot resolve " +
-                             impl_->bind_addr);
-
-  const int fd = ::socket(resolved->ai_family, resolved->ai_socktype, 0);
-  if (fd < 0) {
-    ::freeaddrinfo(resolved);
-    throw std::runtime_error("TcpWorkServer: socket() failed");
-  }
-  const int enable = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
-  const bool bound =
-      ::bind(fd, resolved->ai_addr, resolved->ai_addrlen) == 0 &&
-      ::listen(fd, 64) == 0;
-  ::freeaddrinfo(resolved);
-  if (!bound) {
-    ::close(fd);
-    throw std::runtime_error("TcpWorkServer: cannot bind " +
-                             impl_->bind_addr);
-  }
-
-  sockaddr_in local{};
-  socklen_t local_size = sizeof local;
-  ::getsockname(fd, reinterpret_cast<sockaddr*>(&local), &local_size);
-  impl_->resolved_port = static_cast<int>(ntohs(local.sin_port));
-  impl_->resolved_host = host.empty() ? "127.0.0.1" : host;
-
-  if (::pipe(impl_->wake_pipe) != 0) {
-    ::close(fd);
-    throw std::runtime_error("TcpWorkServer: pipe() failed");
-  }
-  set_nonblocking(impl_->wake_pipe[0]);
-  set_cloexec(impl_->wake_pipe[0]);
-  set_cloexec(impl_->wake_pipe[1]);
-  set_nonblocking(fd);
-  set_cloexec(fd);
-  impl_->listen_fd = fd;
-  impl_->stopping.store(false, std::memory_order_release);
-  impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
-}
-
-void TcpWorkServer::stop() {
-  if (!impl_->thread.joinable()) return;
-  impl_->stopping.store(true, std::memory_order_release);
-  const char wake = 1;
-  (void)!::write(impl_->wake_pipe[1], &wake, 1);
-  impl_->thread.join();
-  impl_->close_all();
-}
-
-std::string TcpWorkServer::address() const {
-  return impl_->resolved_host + ":" + std::to_string(impl_->resolved_port);
-}
-
-int TcpWorkServer::port() const { return impl_->resolved_port; }
 
 // ---- client --------------------------------------------------------------
 
@@ -617,7 +95,10 @@ struct TcpQueueClient::Impl {
   }
 
   /// One request/response round-trip; returns the response body after
-  /// the status byte, throwing on a server-reported error.
+  /// the status byte, throwing on a server-reported error — a
+  /// TransportAuthError when the server rejected the session, so
+  /// front-ends can turn it into a diagnosed exit instead of retrying
+  /// until the lease expires.
   std::string rpc(const std::string& request) {
     // The server drops oversized frames without replying (protocol
     // violation), and beyond 4 GiB the u32 length prefix would wrap;
@@ -643,7 +124,14 @@ struct TcpQueueClient::Impl {
     if (size > 0) recv_all(payload.data(), payload.size());
     if (payload.empty())
       throw std::runtime_error("tcp transport: empty reply");
-    if (payload[0] != 0) {
+    const auto status = static_cast<unsigned char>(payload[0]);
+    if (status == kStatusAuthError) {
+      std::istringstream in(payload.substr(1));
+      throw TransportAuthError("campaign server at the configured "
+                               "endpoint rejected the session: " +
+                               io::read_string(in));
+    }
+    if (status != kStatusOk) {
       std::istringstream in(payload.substr(1));
       throw std::runtime_error("tcp transport: server error: " +
                                io::read_string(in));
@@ -652,7 +140,8 @@ struct TcpQueueClient::Impl {
   }
 };
 
-TcpQueueClient::TcpQueueClient(const std::string& addr, int connect_attempts)
+TcpQueueClient::TcpQueueClient(const std::string& addr, int connect_attempts,
+                               const std::string& auth_token)
     : impl_(std::make_unique<Impl>()) {
   std::string host;
   std::string port;
@@ -662,6 +151,7 @@ TcpQueueClient::TcpQueueClient(const std::string& addr, int connect_attempts)
   // A worker can race the coordinator's server startup by a few
   // milliseconds; retry briefly before giving up.
   timeutil::PollBackoff backoff(0.25);
+  bool connected = false;
   for (int attempt = 0; attempt < std::max(1, connect_attempts); ++attempt) {
     addrinfo hints{};
     hints.ai_family = AF_INET;
@@ -673,16 +163,28 @@ TcpQueueClient::TcpQueueClient(const std::string& addr, int connect_attempts)
       if (fd >= 0 &&
           ::connect(fd, resolved->ai_addr, resolved->ai_addrlen) == 0) {
         ::freeaddrinfo(resolved);
-        set_cloexec(fd);
+        const int flags = ::fcntl(fd, F_GETFD, 0);
+        ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
         impl_->fd = fd;
-        return;
+        connected = true;
+        break;
       }
       if (fd >= 0) ::close(fd);
       ::freeaddrinfo(resolved);
     }
     backoff.wait();
   }
-  throw std::runtime_error("tcp transport: cannot connect to " + addr);
+  if (!connected)
+    throw std::runtime_error("tcp transport: cannot connect to " + addr);
+  // Present the session token before any other traffic; a server
+  // without auth accepts any hello. Done eagerly so a bad token
+  // surfaces here — at construction — not on the first lease RPC.
+  if (!auth_token.empty()) {
+    std::ostringstream out;
+    out.put(kOpHello);
+    io::write_string(out, auth_token);
+    impl_->rpc(out.str());
+  }
 }
 
 TcpQueueClient::~TcpQueueClient() = default;
@@ -781,6 +283,51 @@ std::size_t TcpQueueClient::reclaim(int worker_id, double expiry_seconds) {
   return static_cast<std::size_t>(io::read_u64(in));
 }
 
+void TcpQueueClient::register_campaign(const std::string& tag,
+                                       const std::string& scenario,
+                                       const std::string& params) {
+  std::ostringstream out;
+  out.put(kOpRegister);
+  io::write_string(out, tag);
+  io::write_string(out, scenario);
+  io::write_string(out, params);
+  impl_->rpc(out.str());
+}
+
+CampaignServerStatus TcpQueueClient::status() {
+  std::ostringstream out;
+  out.put(kOpStatus);
+  std::istringstream in(impl_->rpc(out.str()));
+  CampaignServerStatus status;
+  const std::uint64_t campaigns = io::read_u64(in);
+  for (std::uint64_t i = 0; i < campaigns; ++i) {
+    CampaignRegistration reg;
+    reg.tag = io::read_string(in);
+    reg.scenario = io::read_string(in);
+    reg.params = io::read_string(in);
+    status.campaigns.push_back(std::move(reg));
+  }
+  const std::uint64_t queues = io::read_u64(in);
+  for (std::uint64_t i = 0; i < queues; ++i) {
+    CampaignQueueStatus queue;
+    queue.label = io::read_string(in);
+    queue.shards = static_cast<std::size_t>(io::read_u64(in));
+    queue.done = static_cast<std::size_t>(io::read_u64(in));
+    queue.leased = static_cast<std::size_t>(io::read_u64(in));
+    queue.partials = static_cast<std::size_t>(io::read_u64(in));
+    status.queues.push_back(std::move(queue));
+  }
+  return status;
+}
+
+int TcpQueueClient::alloc_worker_ids(int count) {
+  std::ostringstream out;
+  out.put(kOpAllocWorkers);
+  io::write_u64(out, static_cast<std::uint64_t>(std::max(1, count)));
+  std::istringstream in(impl_->rpc(out.str()));
+  return static_cast<int>(io::read_u64(in));
+}
+
 #endif  // !defined(_WIN32)
 
 // ---- TcpTransport --------------------------------------------------------
@@ -827,10 +374,10 @@ void write_file_bytes(const std::string& path, const std::string& bytes) {
 }  // namespace
 
 TcpTransport::TcpTransport(const DistConfig& config, std::string_view tag)
-    : label_(dist_queue_label(tag)),
+    : label_(dist_queue_label(config, tag)),
       worker_id_(config.worker_id),
       scratch_dir_(fresh_scratch_dir(config, label_)),
-      client_(config.queue_addr) {}
+      client_(config.queue_addr, 24, config.auth_token) {}
 
 TcpTransport::~TcpTransport() {
   std::error_code ignored;

@@ -1,14 +1,18 @@
 #pragma once
-// TCP ShardTransport: a small work server plus a framed-RPC client,
-// so cluster nodes WITHOUT a shared filesystem can join a campaign.
+// TCP ShardTransport: the framed-RPC client side of the campaign
+// service, so cluster nodes WITHOUT a shared filesystem can join a
+// campaign.
 //
-// The server (TcpWorkServer) is a single-threaded poll() loop holding
-// the authoritative queue state in memory: per campaign label the
-// todo/claimed/done state of every shard, plus each worker's last
-// *published* partial checkpoint (bitmap + raw bytes) and heartbeat
-// time. It serves length-prefixed binary frames (util/binary_io
-// encoding) implementing the same lease protocol as the filesystem
-// queue:
+// The server side is CampaignServer (campaign_server.h): a
+// single-threaded poll() loop holding the authoritative queue state —
+// per campaign label the todo/claimed/done state of every shard, plus
+// each worker's last *published* partial checkpoint (bitmap + raw
+// bytes) and heartbeat time — optionally journaled to disk and
+// guarded by a session token. `TcpWorkServer` is the embedded
+// in-memory flavor of the same server (the coordinator hosts one for
+// single-submission `run --queue-addr` campaigns). The protocol
+// frames are length-prefixed util/binary_io payloads (wire_format.h)
+// implementing the same lease protocol as the filesystem queue:
 //
 //   populate   create the campaign's shard set (idempotent)
 //   claim      lease up to B shards in one round-trip (batched pull)
@@ -21,6 +25,10 @@
 //   fetch      download a worker's published partial (respawn resume)
 //   drain      download every partial (coordinator finalize merge)
 //   reclaim    recover leases of dead/expired workers
+//   hello      session-token handshake (auth-enabled servers)
+//   register   record a campaign submission under its tag
+//   status     registrations + per-queue progress
+//   alloc      reserve a fresh worker-id range (coordinator failover)
 //
 // A client that vanishes mid-conversation (crash, kill, network cut)
 // just leaves leases assigned to its worker id; the poll loop drops
@@ -44,50 +52,33 @@
 #include <string_view>
 #include <vector>
 
+#include "dist/campaign_server.h"
 #include "dist/shard_transport.h"
 
 namespace ftnav {
 
-/// The work server. start() binds, listens, and runs the poll loop on
-/// a background thread; stop() (or destruction) shuts it down. Bind
-/// to port 0 to let the kernel pick — address() reports the resolved
-/// endpoint to hand to workers.
-class TcpWorkServer {
- public:
-  /// `bind_addr` is "host:port"; host may be empty for 0.0.0.0.
-  explicit TcpWorkServer(std::string bind_addr);
-  ~TcpWorkServer();
-
-  TcpWorkServer(const TcpWorkServer&) = delete;
-  TcpWorkServer& operator=(const TcpWorkServer&) = delete;
-
-  /// Throws std::runtime_error when the address cannot be bound.
-  void start();
-  void stop();
-
-  /// Resolved "host:port" (real port when bound to 0). Valid after
-  /// start().
-  std::string address() const;
-  int port() const;
-
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-};
+/// The embedded work server: CampaignServer without journal or auth,
+/// exactly the pre-daemon behavior. Bind to port 0 to let the kernel
+/// pick — address() reports the resolved endpoint to hand to workers.
+using TcpWorkServer = CampaignServer;
 
 /// Client-side RPC handle, usable standalone (the coordinator's
-/// reclaim path) or through TcpTransport. Thread-safe; each call is
-/// one request/response round-trip. Throws std::runtime_error on
-/// connection failure or a server-reported error.
+/// reclaim path, the submit/status/attach front-ends) or through
+/// TcpTransport. Thread-safe; each call is one request/response
+/// round-trip. Throws std::runtime_error on connection failure or a
+/// server-reported error, TransportAuthError when the server rejects
+/// the session.
 class TcpQueueClient {
  public:
   /// Connects immediately, retrying up to `connect_attempts` times
   /// with short backoff — the default absorbs a worker racing the
   /// coordinator's server startup; callers probing a server that may
   /// be genuinely gone (the coordinator's reclaim path) pass a small
-  /// count to fail fast.
-  explicit TcpQueueClient(const std::string& addr,
-                          int connect_attempts = 24);
+  /// count to fail fast. A non-empty `auth_token` is presented in a
+  /// hello handshake before any other RPC; the constructor throws
+  /// TransportAuthError right away when the server refuses it.
+  explicit TcpQueueClient(const std::string& addr, int connect_attempts = 24,
+                          const std::string& auth_token = std::string());
   ~TcpQueueClient();
 
   TcpQueueClient(const TcpQueueClient&) = delete;
@@ -125,6 +116,20 @@ class TcpQueueClient {
   std::vector<Partial> drain_partials(const std::string& label);
 
   std::size_t reclaim(int worker_id, double expiry_seconds);
+
+  /// Records a campaign submission under `tag`; idempotent for
+  /// identical content, error for a conflicting resubmission.
+  void register_campaign(const std::string& tag, const std::string& scenario,
+                         const std::string& params);
+
+  /// Registrations + per-queue progress (campaign_server.h structs).
+  CampaignServerStatus status();
+
+  /// Reserves `count` worker ids no previous submission ever used and
+  /// returns the first — the failover primitive: an attaching
+  /// coordinator's workers must never collide with ids that still own
+  /// leases or published partials.
+  int alloc_worker_ids(int count);
 
  private:
   struct Impl;

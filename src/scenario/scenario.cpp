@@ -121,4 +121,40 @@ std::string describe_scenario(const ScenarioSpec& spec, bool markdown) {
   return out.str();
 }
 
+std::string describe_scenario_json(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  out << "{\n  \"name\": " << json_quote(spec.name)
+      << ",\n  \"summary\": " << json_quote(spec.summary)
+      << ",\n  \"tags\": [";
+  for (std::size_t i = 0; i < spec.tags.size(); ++i)
+    out << (i ? ", " : "") << json_quote(spec.tags[i]);
+  out << "],\n  \"params\": [";
+  for (std::size_t i = 0; i < spec.params.size(); ++i) {
+    const ParamSpec& param = spec.params[i];
+    // One object per line, fields in fixed order: the layout is part
+    // of the contract (line-oriented consumers and the round-trip
+    // test rely on it).
+    out << (i ? ",\n    " : "\n    ") << "{\"name\": "
+        << json_quote(param.name) << ", \"type\": "
+        << json_quote(to_string(param.type)) << ", \"default\": "
+        << json_quote(param.default_value) << ", \"doc\": "
+        << json_quote(param.doc);
+    if (param.type == ParamType::kChoice) {
+      out << ", \"choices\": [";
+      for (std::size_t c = 0; c < param.choices.size(); ++c)
+        out << (c ? ", " : "") << json_quote(param.choices[c]);
+      out << "]";
+    }
+    // Bounds only when the spec restricts them — the +/-1e308
+    // sentinels mean "unbounded" and would only mislead consumers.
+    if (param.min_value > -1e308)
+      out << ", \"min\": " << param_format_double(param.min_value);
+    if (param.max_value < 1e308)
+      out << ", \"max\": " << param_format_double(param.max_value);
+    out << "}";
+  }
+  out << "\n  ]\n}";
+  return out.str();
+}
+
 }  // namespace ftnav

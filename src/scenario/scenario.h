@@ -138,4 +138,14 @@ struct ScenarioRegistrar {
 /// are stable and deterministic for a fixed registry.
 std::string describe_scenario(const ScenarioSpec& spec, bool markdown);
 
+/// Machine-readable ParamSpec schema dump for one scenario — the
+/// contract `fault_campaign describe --json` publishes and submit
+/// clients (or a future web front-end) consume. One JSON object:
+/// name, summary, tags, and a `params` array of {name, type, default,
+/// doc[, choices][, min][, max]} objects (numeric bounds only when
+/// the spec actually restricts them; defaults are the same canonical
+/// strings ParamSet::set accepts, so a config built from this schema
+/// re-parses to an identical canonical() form).
+std::string describe_scenario_json(const ScenarioSpec& spec);
+
 }  // namespace ftnav

@@ -39,6 +39,7 @@ BenchConfig bench_config_from_env() {
   config.queue_addr = env_string("FTNAV_QUEUE_ADDR", "");
   config.lease_batch = static_cast<int>(env_int("FTNAV_LEASE_BATCH", 0));
   config.worker_id = static_cast<int>(env_int("FTNAV_WORKER_ID", -1));
+  config.auth_token = env_string("FTNAV_AUTH_TOKEN", "");
   return config;
 }
 
@@ -86,6 +87,9 @@ const std::vector<EnvKnob>& declared_env_knobs() {
       {"FTNAV_QUEUE_ADDR", "TCP work-server host:port"},
       {"FTNAV_LEASE_BATCH", "shards leased per claim round-trip"},
       {"FTNAV_WORKER_ID", "set by the coordinator in worker processes"},
+      {"FTNAV_AUTH_TOKEN", "campaign-server session token"},
+      {"FTNAV_SERVER", "default campaign-server host:port for "
+                       "submit/status/attach"},
       {"FTNAV_SIMD", "kernel backend: scalar|avx2|auto (results identical)"},
       {"FTNAV_TRIAL_BATCH",
        "NN trials per engine rebuild; 0 = one engine per shard "

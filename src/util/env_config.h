@@ -30,6 +30,13 @@
 //                         results identical for every value)
 //   FTNAV_WORKER_ID       set by the coordinator in worker processes;
 //                         not meant to be set by hand
+//   FTNAV_AUTH_TOKEN      session token for an auth-enabled campaign
+//                         server (fault_campaign serve --auth-token);
+//                         presented in the hello handshake of every
+//                         TCP transport connection. Empty = no auth
+//   FTNAV_SERVER          default campaign-server host:port for the
+//                         fault_campaign submit/status/attach
+//                         subcommands (their --server flag overrides)
 //   FTNAV_SIMD            kernel backend for quantized inference:
 //                         scalar | avx2 | auto (default). Results are
 //                         bit-identical across backends; avx2 on a
@@ -71,6 +78,7 @@ struct BenchConfig {
   std::string queue_addr;      // TCP work-server host:port; "" = filesystem
   int lease_batch = 0;         // shards per claim round-trip; 0 = default
   int worker_id = -1;          // >= 0 marks a spawned worker process
+  std::string auth_token;      // campaign-server session token; "" = none
 
   /// Repeat count to use given the bench's fast-mode default.
   int resolve_repeats(int fast_default, int full_default) const;

@@ -22,6 +22,7 @@
 #include "campaign/streaming.h"
 #include "dist/dist_campaign.h"
 #include "dist/dist_coordinator.h"
+#include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
 #include "util/histogram.h"
 
@@ -404,6 +405,121 @@ TEST(DistCampaignE2E, MapStreamedPartialsMergeByTrialRange) {
       runner.map_streamed("test-dist-map", 150, 77, trial_fn, stream);
   EXPECT_EQ(merged, reference);  // bit-identical doubles
 }
+
+// ---- campaign-server failover + multi-tenant queues ----------------------
+
+#if !defined(_WIN32)
+
+TEST(CampaignServerFailover, ServerKillAndRestartMergesByteIdentical) {
+  // The tentpole contract: the campaign survives losing the SERVER
+  // mid-run. Worker 0 dies in the claim->done crash window, then the
+  // server is destroyed without any graceful drain; a new server
+  // replays the journal, a NEVER-BEFORE-USED worker id finishes the
+  // campaign (expiry-reclaiming the dead worker's lease from replayed
+  // state), and the finalize merge must be byte-identical to a
+  // single-process run.
+  ScratchDir scratch("server_failover");
+  const std::string reference_path = scratch.path + "/reference.ckpt";
+  CampaignStreamConfig reference_stream;
+  reference_stream.checkpoint_path = reference_path;
+  const Histogram reference = run_campaign(reference_stream);
+
+  const std::string journal = scratch.path + "/journal.bin";
+  const auto endpoint_config = [](const std::string& addr) {
+    DistConfig config;
+    config.queue_addr = addr;
+    config.auth_token = "failover-token";
+    config.queue_namespace = "failover-tag";
+    config.lease_expiry_seconds = 1.0;  // heartbeat auto-clamps to 0.25
+    config.poll_period_seconds = 0.01;
+    return config;
+  };
+
+  {
+    CampaignServer server(
+        CampaignServerConfig{"127.0.0.1:0", journal, "failover-token"});
+    server.start();
+    DistConfig config = endpoint_config(server.address());
+    config.worker_id = 0;
+    config.worker_stop_after_shards = 5;  // die in the crash window
+    CampaignStreamConfig stream;
+    DistCampaign dist(config, kTag, stream);
+    EXPECT_THROW(run_campaign(stream), CampaignInterrupted);
+  }  // server destroyed here: no drain, exactly like a SIGKILL
+
+  CampaignServer server(
+      CampaignServerConfig{"127.0.0.1:0", journal, "failover-token"});
+  server.start();  // journal replay restores leases, partials, counts
+
+  {
+    // Failover worker under a fresh id (as attach's alloc_worker_ids
+    // guarantees): reclaims the dead worker's lease from the REPLAYED
+    // heartbeat-free state and completes the campaign.
+    DistConfig config = endpoint_config(server.address());
+    config.worker_id = 7;
+    CampaignStreamConfig stream;
+    DistCampaign dist(config, kTag, stream);
+    (void)run_campaign(stream);
+  }
+
+  DistConfig finalize = endpoint_config(server.address());
+  finalize.workers = 1;
+  CampaignStreamConfig stream;
+  stream.checkpoint_path = scratch.path + "/merged.ckpt";
+  DistCampaign dist(finalize, kTag, stream);
+  const Histogram merged = run_campaign(stream);
+  expect_histograms_identical(merged, reference);
+  EXPECT_EQ(read_file(stream.checkpoint_path), read_file(reference_path));
+}
+
+TEST(CampaignServerTenancy, ConcurrentTagsKeepDisjointQueues) {
+  // Two campaigns with IDENTICAL scenario configuration (same stream
+  // tag, same trial count and seed) run interleaved on one server
+  // under different submission tags. Without namespace-keyed queues
+  // they would share one shard queue and each merge would hold a
+  // random half of the trials.
+  ScratchDir scratch("server_tenancy");
+  const std::string reference_path = scratch.path + "/reference.ckpt";
+  CampaignStreamConfig reference_stream;
+  reference_stream.checkpoint_path = reference_path;
+  const Histogram reference = run_campaign(reference_stream);
+  const std::string reference_bytes = read_file(reference_path);
+
+  CampaignServer server("127.0.0.1:0");
+  server.start();
+  const auto tenant_config = [&](const std::string& tenant) {
+    DistConfig config;
+    config.queue_addr = server.address();
+    config.queue_namespace = tenant;
+    config.lease_expiry_seconds = 1.0;
+    config.poll_period_seconds = 0.01;
+    return config;
+  };
+  const auto tenant_worker = [&](const std::string& tenant, int worker_id) {
+    DistConfig config = tenant_config(tenant);
+    config.worker_id = worker_id;
+    CampaignStreamConfig stream;
+    DistCampaign dist(config, kTag, stream);
+    (void)run_campaign(stream);
+  };
+
+  std::thread tenant_b([&] { tenant_worker("tenant-b", 0); });
+  tenant_worker("tenant-a", 0);
+  tenant_b.join();
+
+  for (const std::string tenant : {"tenant-a", "tenant-b"}) {
+    DistConfig finalize = tenant_config(tenant);
+    finalize.workers = 1;
+    CampaignStreamConfig stream;
+    stream.checkpoint_path = scratch.path + "/merged-" + tenant + ".ckpt";
+    DistCampaign dist(finalize, kTag, stream);
+    const Histogram merged = run_campaign(stream);
+    expect_histograms_identical(merged, reference);
+    EXPECT_EQ(read_file(stream.checkpoint_path), reference_bytes) << tenant;
+  }
+}
+
+#endif  // !defined(_WIN32)
 
 // ---- DistCoordinator (fork/exec) ----------------------------------------
 

@@ -256,6 +256,47 @@ TEST(Registry, EverySpecBindsAndDescribes) {
   }
 }
 
+/// Pulls the value of `"key": "..."` out of one schema-dump line.
+/// describe_scenario_json emits one param object per line with fixed
+/// field order, which this test (and external tooling) relies on.
+std::string json_field(const std::string& line, const std::string& key) {
+  const std::string marker = "\"" + key + "\": \"";
+  const std::size_t start = line.find(marker);
+  if (start == std::string::npos) return {};
+  const std::size_t begin = start + marker.size();
+  const std::size_t end = line.find('"', begin);
+  return line.substr(begin, end - begin);
+}
+
+TEST(Registry, DescribeJsonSchemaRoundTripsToCanonicalParams) {
+  // The machine-readable schema dump is a *contract*: a ParamSet built
+  // by feeding every dumped default back through set() must re-parse
+  // to the same canonical() string the scenario's own defaults yield.
+  for (const ScenarioSpec* spec : ScenarioRegistry::instance().all()) {
+    const std::string json = describe_scenario_json(*spec);
+    EXPECT_NE(json.find("\"name\": \"" + spec->name + "\""),
+              std::string::npos)
+        << spec->name;
+    EXPECT_NE(json.find("\"params\": ["), std::string::npos) << spec->name;
+
+    ParamSet rebuilt = spec->make_params();
+    std::size_t dumped = 0;
+    std::istringstream lines(json);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::string param = json_field(line, "name");
+      if (param.empty() || param == spec->name) continue;
+      ASSERT_FALSE(json_field(line, "type").empty())
+          << spec->name << "." << param;
+      rebuilt.set(param, json_field(line, "default"), ParamSource::kCli);
+      ++dumped;
+    }
+    EXPECT_EQ(dumped, spec->params.size()) << spec->name;
+    EXPECT_EQ(rebuilt.canonical(), spec->make_params().canonical())
+        << spec->name;
+  }
+}
+
 TEST(Registry, DuplicateRegistrationThrows) {
   ScenarioRegistry registry;
   ScenarioSpec spec;

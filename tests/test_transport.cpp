@@ -381,6 +381,113 @@ TEST(TcpWorkServerTest, SurvivesClientsVanishingMidClaim) {
                   .campaign_done);
 }
 
+// ---- campaign-server service layers: auth, journal, id allocation --------
+
+TEST(CampaignServerTest, AuthRejectsClientsBeforeTouchingTheQueue) {
+  CampaignServer server(
+      CampaignServerConfig{"127.0.0.1:0", "", "secret-token"});
+  server.start();
+
+  // No hello: the very first RPC is refused with the auth status, and
+  // the populate must not have created any queue state.
+  TcpQueueClient unauthed(server.address());
+  EXPECT_THROW(unauthed.populate("camp", 6), TransportAuthError);
+  EXPECT_THROW(unauthed.claim("camp", 0, TcpQueueClient::kNoHint, 1),
+               TransportAuthError);
+
+  // Wrong token: the eager hello in the constructor throws right away.
+  EXPECT_THROW(
+      TcpQueueClient(server.address(), 2, "wrong-token"),
+      TransportAuthError);
+
+  // Right token: full access — and a populate with a different count
+  // would throw if the unauthenticated one above had landed.
+  TcpQueueClient authed(server.address(), 24, "secret-token");
+  authed.populate("camp", 4);
+  EXPECT_EQ(authed.claim("camp", 0, TcpQueueClient::kNoHint, 4)
+                .leased.size(),
+            4u);
+}
+
+TEST(CampaignServerTest, JournalReplayResumesQueueState) {
+  ScratchDir scratch("journal_replay");
+  const std::string journal = scratch.path + "/journal.bin";
+  {
+    CampaignServer server(CampaignServerConfig{"127.0.0.1:0", journal, ""});
+    server.start();
+    TcpQueueClient client(server.address());
+    client.register_campaign("camp-tag", "demo-scenario", "a=1 b=2");
+    client.populate("camp", 6);
+    ASSERT_EQ(client.claim("camp", 1, TcpQueueClient::kNoHint, 3)
+                  .leased,
+              (std::vector<std::size_t>{0, 1, 2}));
+    EXPECT_EQ(client.done("camp", 1, {0}), 1u);
+    // Shard 1 is in the publish->done crash window: published in the
+    // partial, lease still held when the server dies below.
+    client.upload_partial("camp", 1, {1, 1, 0, 0, 0, 0}, "w1-bytes");
+  }  // SIGKILL equivalent: no drain, no graceful anything
+
+  CampaignServer server(CampaignServerConfig{"127.0.0.1:0", journal, ""});
+  server.start();  // replays the journal
+  TcpQueueClient client(server.address());
+
+  const CampaignServerStatus status = client.status();
+  ASSERT_EQ(status.campaigns.size(), 1u);
+  EXPECT_EQ(status.campaigns[0].tag, "camp-tag");
+  EXPECT_EQ(status.campaigns[0].scenario, "demo-scenario");
+  EXPECT_EQ(status.campaigns[0].params, "a=1 b=2");
+  ASSERT_EQ(status.queues.size(), 1u);
+  EXPECT_EQ(status.queues[0].shards, 6u);
+  EXPECT_EQ(status.queues[0].done, 1u);
+  EXPECT_EQ(status.queues[0].leased, 2u);
+  EXPECT_EQ(status.queues[0].partials, 1u);
+  EXPECT_EQ(client.fetch_partial("camp", 1), "w1-bytes");
+
+  // Worker 1's post-restart heartbeat is unknown — treated as
+  // infinitely old, so even a huge expiry reclaims its leases: the
+  // published shard 1 survives into done, shard 2 returns to todo.
+  EXPECT_EQ(client.reclaim(-1, 3600.0), 2u);
+  const auto rest = client.claim("camp", 2, TcpQueueClient::kNoHint, 8);
+  EXPECT_EQ(rest.leased, (std::vector<std::size_t>{2, 3, 4, 5}));
+  EXPECT_EQ(client.done("camp", 2, rest.leased), 4u);
+  EXPECT_TRUE(client.claim("camp", 2, TcpQueueClient::kNoHint, 1)
+                  .campaign_done);
+}
+
+TEST(CampaignServerTest, WorkerIdAllocationSurvivesRestartAndLeases) {
+  ScratchDir scratch("journal_alloc");
+  const std::string journal = scratch.path + "/journal.bin";
+  {
+    CampaignServer server(CampaignServerConfig{"127.0.0.1:0", journal, ""});
+    server.start();
+    TcpQueueClient client(server.address());
+    EXPECT_EQ(client.alloc_worker_ids(2), 0);
+    EXPECT_EQ(client.alloc_worker_ids(3), 2);
+    // A lease under a high worker id (a classic `run --queue-addr`
+    // campaign that never allocated) must also advance the counter.
+    client.populate("camp", 2);
+    ASSERT_EQ(client.claim("camp", 9, TcpQueueClient::kNoHint, 1)
+                  .leased.size(),
+              1u);
+  }
+  CampaignServer server(CampaignServerConfig{"127.0.0.1:0", journal, ""});
+  server.start();
+  TcpQueueClient client(server.address());
+  EXPECT_EQ(client.alloc_worker_ids(1), 10);  // past both 5 and 9
+}
+
+TEST(CampaignServerTest, RegistrationIsIdempotentButConflictsAreErrors) {
+  CampaignServer server("127.0.0.1:0");
+  server.start();
+  TcpQueueClient client(server.address());
+  client.register_campaign("tag", "scenario", "a=1");
+  client.register_campaign("tag", "scenario", "a=1");  // identical: fine
+  EXPECT_THROW(client.register_campaign("tag", "scenario", "a=2"),
+               std::runtime_error);
+  client.register_campaign("tag2", "scenario", "a=2");  // new tag: fine
+  EXPECT_EQ(client.status().campaigns.size(), 2u);
+}
+
 TEST(TcpWorkServerTest, CoordinatorReclaimDispatchesOverTcp) {
   TcpWorkServer server("127.0.0.1:0");
   server.start();
