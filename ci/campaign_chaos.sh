@@ -18,6 +18,13 @@
 # reproduce the reference bytes from the journaled queue -- a weaker
 # but still meaningful pass (the script says which one you got).
 #
+# The recovery phase (restarted server + attach) runs with telemetry
+# on (FTNAV_TRACE_DIR + FTNAV_LOG=debug) while the reference run stays
+# telemetry-off, so the byte-identity check in step 4 doubles as the
+# proof that tracing never leaks into stdout, JSON, or checkpoints.
+# The traces, shard timings, and `status --json` emitted by that phase
+# are validated with ci/validate_telemetry.py.
+#
 # usage: ci/campaign_chaos.sh [path-to-fault_campaign]
 # knobs: CHAOS_REPEATS (60), CHAOS_EPISODES (300), CHAOS_KILL_DELAY (2.5)
 set -euo pipefail
@@ -31,7 +38,10 @@ PARAMS=(--param policy=nn --param "repeats=$REPEATS"
 TOKEN=chaos-session-token
 TAG=chaos
 
+VALIDATE="$(dirname "$0")/validate_telemetry.py"
+
 WORK=$(mktemp -d "${TMPDIR:-/tmp}/campaign_chaos.XXXXXX")
+TRACE_DIR="$WORK/trace"
 SRV1= SRV2= SUB=
 cleanup() {
   for pid in "$SRV1" "$SRV2" "$SUB"; do
@@ -99,8 +109,9 @@ sleep 0.5
 pkill -9 -f "run grid-inference.*worker-id" 2>/dev/null || true
 test -s "$WORK/journal.bin"
 
-echo "== restart the server on the same journal"
-"$BIN" serve --bind 127.0.0.1:0 --journal "$WORK/journal.bin" \
+echo "== restart the server on the same journal (telemetry on)"
+FTNAV_TRACE_DIR="$TRACE_DIR" FTNAV_LOG=debug \
+  "$BIN" serve --bind 127.0.0.1:0 --journal "$WORK/journal.bin" \
   --auth-token "$TOKEN" --addr-file "$WORK/addr2" \
   > "$WORK/serve2.log" 2>&1 &
 SRV2=$!
@@ -111,14 +122,37 @@ echo "== replayed state survives: the campaign is still registered"
 "$BIN" status --server "$ADDR" --auth-token "$TOKEN" > "$WORK/status.txt"
 grep -q "^  $TAG\$" "$WORK/status.txt"
 
-echo "== attach with fresh workers and finish the campaign"
-"$BIN" attach "$TAG" --server "$ADDR" --auth-token "$TOKEN" \
+echo "== attach with fresh workers (telemetry on) and finish the campaign"
+FTNAV_TRACE_DIR="$TRACE_DIR" FTNAV_LOG=debug \
+  "$BIN" attach "$TAG" --server "$ADDR" --auth-token "$TOKEN" \
   --workers 2 --lease-expiry 2 --poll-period 0.2 \
   --checkpoint "$WORK/att.ckpt" --json "$WORK/att.json" \
   > "$WORK/att.txt" 2> "$WORK/att.err"
 
 echo "== artifacts are byte-identical to the single-process reference"
+# The reference ran telemetry-off and the attach ran telemetry-on, so
+# these also assert the src/obs/ invariant: tracing touches nothing
+# the campaign itself emits.
 cmp "$WORK/ref.ckpt" "$WORK/att.ckpt"
 diff -u "$WORK/ref.txt" "$WORK/att.txt"
 diff -u "$WORK/ref.json" "$WORK/att.json"
+
+echo "== telemetry artifacts from the recovery phase validate"
+# Attach coordinator + 2 workers flush at exit; the still-running
+# server flushes its own trace only when it exits, so require 3.
+python3 "$VALIDATE" trace "$TRACE_DIR" --min-files 3
+# Shards finished during the (untraced) submit phase have no timing
+# record here, so completeness is not required -- and in a degraded
+# (journal-replay-only) pass the attach reclaims nothing and writes
+# no timings file at all. (Records are keyed by the internal queue
+# label, not the submit --tag, so no tag assertion either.)
+if [ -f "$TRACE_DIR/shard_timings.json" ]; then
+  python3 "$VALIDATE" timings "$TRACE_DIR/shard_timings.json"
+else
+  echo "   no shard_timings.json (degraded pass reclaimed nothing)"
+fi
+"$BIN" status --server "$ADDR" --auth-token "$TOKEN" --json \
+  > "$WORK/status.json"
+python3 "$VALIDATE" status "$WORK/status.json" \
+  --expect-counter rpc.claim --expect-counter connections.accepted
 echo "campaign_chaos: PASS"

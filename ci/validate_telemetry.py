@@ -1,0 +1,257 @@
+#!/usr/bin/env python3
+"""Validate telemetry artifacts (stdlib only; see src/obs/).
+
+Three subcommands, one per artifact family:
+
+  trace <dir>         every trace.*.json in <dir> is well-formed
+                      Chrome trace-event JSON (the format Perfetto and
+                      chrome://tracing load): a traceEvents list whose
+                      B/E spans pair LIFO per (pid, tid) lane.
+                      --min-files N requires at least N trace files
+                      (a distributed run should leave one per process).
+
+  timings <file>      <file> is an ftnav-shard-timings-v1 document:
+                      numeric fields, no duplicate (tag, shard) pair.
+                      --require-complete additionally demands that each
+                      tag's shard ids are exactly 0..N-1 (a clean
+                      campaign covers every shard exactly once; chaos
+                      runs have journal-replayed shards with no timing
+                      record, so they validate without it).
+                      --expect-tag TAG requires TAG among the records.
+
+  status <file>       <file> is an ftnav-status-v1 document as printed
+                      by `fault_campaign status --json` (the schema
+                      documented in src/dist/status_doc.h).
+
+Exit 0 when the artifacts validate, 1 with a diagnostic when not —
+wired into the distributed CI leg and ci/campaign_chaos.sh.
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def fail(message: str) -> int:
+    print(f"validate_telemetry: {message}", file=sys.stderr)
+    return 1
+
+
+def load_json(path: Path):
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+# ---- trace ----------------------------------------------------------------
+
+def check_trace_file(path: Path) -> list:
+    """Returns a list of problems (empty = valid)."""
+    problems = []
+    try:
+        doc = load_json(path)
+    except (OSError, ValueError) as error:
+        return [f"{path}: not valid JSON: {error}"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return [f"{path}: traceEvents is not a list"]
+    stacks = {}
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"{path}: event #{index} is not an object")
+            continue
+        missing = [key for key in ("name", "ph", "pid", "tid", "ts")
+                   if key not in event]
+        if missing:
+            problems.append(
+                f"{path}: event #{index} missing {','.join(missing)}")
+            continue
+        phase = event["ph"]
+        lane = (event["pid"], event["tid"])
+        if phase == "B":
+            stacks.setdefault(lane, []).append(event["name"])
+        elif phase == "E":
+            stack = stacks.setdefault(lane, [])
+            if not stack:
+                problems.append(
+                    f"{path}: event #{index} ends '{event['name']}' on an "
+                    f"empty lane {lane}")
+            elif stack[-1] != event["name"]:
+                problems.append(
+                    f"{path}: event #{index} ends '{event['name']}' but "
+                    f"'{stack[-1]}' is open on lane {lane}")
+            else:
+                stack.pop()
+        elif phase != "i":
+            problems.append(
+                f"{path}: event #{index} has unexpected phase '{phase}'")
+    for lane, stack in stacks.items():
+        if stack:
+            problems.append(
+                f"{path}: lane {lane} left spans open: {stack}")
+    return problems
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    directory = Path(args.dir)
+    paths = sorted(directory.glob("trace.*.json"))
+    if len(paths) < args.min_files:
+        return fail(f"{directory}: found {len(paths)} trace files, "
+                    f"need at least {args.min_files}")
+    problems = []
+    total_events = 0
+    for path in paths:
+        problems.extend(check_trace_file(path))
+        if not problems:
+            total_events += len(load_json(path)["traceEvents"])
+    if problems:
+        for problem in problems:
+            print(f"validate_telemetry: {problem}", file=sys.stderr)
+        return 1
+    print(f"validate_telemetry: {len(paths)} trace files OK "
+          f"({total_events} events)")
+    return 0
+
+
+# ---- timings --------------------------------------------------------------
+
+def cmd_timings(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    try:
+        doc = load_json(path)
+    except (OSError, ValueError) as error:
+        return fail(f"{path}: not valid JSON: {error}")
+    if doc.get("schema") != "ftnav-shard-timings-v1":
+        return fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+                    "ftnav-shard-timings-v1")
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return fail(f"{path}: records is not a list")
+    shards_by_tag = {}
+    for index, record in enumerate(records):
+        for key, kind in (("tag", str), ("shard", int), ("worker", int),
+                          ("wall_seconds", (int, float)), ("trials", int),
+                          ("backend", str)):
+            if not isinstance(record.get(key), kind):
+                return fail(f"{path}: record #{index} field {key!r} is "
+                            f"{record.get(key)!r}")
+        if record["wall_seconds"] < 0:
+            return fail(f"{path}: record #{index} has negative wall_seconds")
+        shards = shards_by_tag.setdefault(record["tag"], set())
+        if record["shard"] in shards:
+            return fail(f"{path}: tag {record['tag']!r} reports shard "
+                        f"{record['shard']} twice")
+        shards.add(record["shard"])
+    if args.expect_tag is not None and args.expect_tag not in shards_by_tag:
+        return fail(f"{path}: tag {args.expect_tag!r} absent "
+                    f"(tags: {sorted(shards_by_tag)})")
+    if args.require_complete:
+        for tag, shards in shards_by_tag.items():
+            expected = set(range(len(shards)))
+            if shards != expected:
+                missing = sorted(expected - shards)[:5]
+                extra = sorted(shards - expected)[:5]
+                return fail(f"{path}: tag {tag!r} does not cover shards "
+                            f"0..{len(shards) - 1} exactly once "
+                            f"(missing {missing}, unexpected {extra})")
+    total = sum(len(shards) for shards in shards_by_tag.values())
+    print(f"validate_telemetry: {path} OK ({total} shard timings across "
+          f"{len(shards_by_tag)} tags)")
+    return 0
+
+
+# ---- status ---------------------------------------------------------------
+
+def cmd_status(args: argparse.Namespace) -> int:
+    path = Path(args.file)
+    try:
+        doc = load_json(path)
+    except (OSError, ValueError) as error:
+        return fail(f"{path}: not valid JSON: {error}")
+    if doc.get("schema") != "ftnav-status-v1":
+        return fail(f"{path}: schema is {doc.get('schema')!r}, expected "
+                    "ftnav-status-v1")
+    if not isinstance(doc.get("server"), str) or not doc["server"]:
+        return fail(f"{path}: server is {doc.get('server')!r}")
+    for campaign in doc.get("campaigns", []) or []:
+        for key in ("tag", "scenario", "params"):
+            if not isinstance(campaign.get(key), str):
+                return fail(f"{path}: campaign field {key!r} is "
+                            f"{campaign.get(key)!r}")
+    for queue in doc.get("queues", []) or []:
+        if not isinstance(queue.get("label"), str):
+            return fail(f"{path}: queue label is {queue.get('label')!r}")
+        for key in ("shards", "done", "leased", "partials"):
+            if not isinstance(queue.get(key), int) or queue[key] < 0:
+                return fail(f"{path}: queue {queue['label']!r} field "
+                            f"{key!r} is {queue.get(key)!r}")
+        if queue["done"] + queue["leased"] > queue["shards"]:
+            return fail(f"{path}: queue {queue['label']!r} has "
+                        f"done+leased > shards")
+    metrics = doc.get("metrics")
+    if not isinstance(metrics, dict):
+        return fail(f"{path}: metrics is not an object")
+    counters = metrics.get("counters")
+    if not isinstance(counters, list):
+        return fail(f"{path}: metrics.counters is not a list")
+    for counter in counters:
+        if not isinstance(counter.get("name"), str) or \
+                not isinstance(counter.get("value"), int):
+            return fail(f"{path}: malformed counter {counter!r}")
+    histograms = metrics.get("histograms")
+    if not isinstance(histograms, list):
+        return fail(f"{path}: metrics.histograms is not a list")
+    for histogram in histograms:
+        if not isinstance(histogram.get("name"), str) or \
+                not isinstance(histogram.get("count"), int) or \
+                not isinstance(histogram.get("sum_seconds"), (int, float)) or \
+                not isinstance(histogram.get("buckets"), list):
+            return fail(f"{path}: malformed histogram {histogram!r}")
+        if sum(histogram["buckets"]) != histogram["count"]:
+            return fail(f"{path}: histogram {histogram['name']!r} buckets "
+                        f"sum to {sum(histogram['buckets'])}, count is "
+                        f"{histogram['count']}")
+    names = [counter["name"] for counter in counters]
+    if names != sorted(names):
+        return fail(f"{path}: counters are not sorted by name")
+    if args.expect_counter:
+        for name in args.expect_counter:
+            if name not in names:
+                return fail(f"{path}: expected counter {name!r} absent")
+    print(f"validate_telemetry: {path} OK ({len(counters)} counters, "
+          f"{len(histograms)} histograms)")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    trace = commands.add_parser("trace", help="validate trace.*.json files")
+    trace.add_argument("dir", help="FTNAV_TRACE_DIR of the run")
+    trace.add_argument("--min-files", type=int, default=1,
+                       help="minimum trace files expected (default 1)")
+    trace.set_defaults(handler=cmd_trace)
+
+    timings = commands.add_parser("timings",
+                                  help="validate a shard_timings.json")
+    timings.add_argument("file")
+    timings.add_argument("--require-complete", action="store_true",
+                         help="each tag must cover shards 0..N-1 exactly")
+    timings.add_argument("--expect-tag", default=None,
+                         help="require this campaign tag to be present")
+    timings.set_defaults(handler=cmd_timings)
+
+    status = commands.add_parser("status",
+                                 help="validate a status --json document")
+    status.add_argument("file")
+    status.add_argument("--expect-counter", action="append", default=[],
+                        help="require this counter name (repeatable)")
+    status.set_defaults(handler=cmd_status)
+
+    args = parser.parse_args()
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

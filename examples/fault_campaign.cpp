@@ -73,8 +73,10 @@
 #include "dist/campaign_server.h"
 #include "dist/dist_coordinator.h"
 #include "dist/shard_transport.h"
+#include "dist/status_doc.h"
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
+#include "obs/trace.h"
 #include "scenario/scenario.h"
 #include "util/binary_io.h"
 #include "util/env_config.h"
@@ -164,6 +166,8 @@ constexpr FlagInfo kFlags[] = {
     {"--lease-batch", "n", "shards leased per claim round-trip",
      kLaunchCmds, false},
     {"--json", "f", "write result artifacts as JSON", kLaunchCmds, false},
+    {"--json", nullptr, "machine-readable status document (ftnav-status-v1)",
+     kCmdStatus, false},
     {"--bind", "a", "listen address host:port (port 0 = kernel-picked)",
      kCmdServe, false},
     {"--journal", "f", "durable journal file (replayed on restart)",
@@ -539,19 +543,17 @@ int cmd_status(int argc, char** argv) {
   try {
     TcpQueueClient client(flags.server, /*connect_attempts=*/4,
                           flags.auth_token);
-    const CampaignServerStatus status = client.status();
-    std::printf("server: %s\n", flags.server.c_str());
-    std::printf("campaigns: %zu\n", status.campaigns.size());
-    for (const CampaignRegistration& reg : status.campaigns)
-      std::printf("  %s\n    scenario: %s\n    params: %s\n",
-                  reg.tag.c_str(), reg.scenario.c_str(),
-                  reg.params.c_str());
-    std::printf("queues: %zu\n", status.queues.size());
-    for (const CampaignQueueStatus& queue : status.queues)
-      std::printf("  %s\n    %zu/%zu shards done, %zu leased, "
-                  "%zu partials published\n",
-                  queue.label.c_str(), queue.done, queue.shards,
-                  queue.leased, queue.partials);
+    // One document, two renderings (status_doc.h): the plain-text
+    // view and --json are built from the same struct so they can't
+    // drift.
+    ServerStatusDocument doc;
+    doc.server = flags.server;
+    doc.status = client.status();
+    doc.metrics = client.stats();
+    const std::string rendered = flags.json_schema
+                                     ? render_status_json(doc)
+                                     : render_status_text(doc);
+    std::fwrite(rendered.data(), 1, rendered.size(), stdout);
   } catch (const TransportAuthError& error) {
     std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
     return 2;
@@ -952,6 +954,11 @@ int cmd_launch(LaunchMode mode, int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Settle FTNAV_TRACE_DIR up front: with tracing enabled this
+  // registers the exit-time flush, so every traced process (coordinator,
+  // worker, server) leaves a trace.<pid>.json even if it exits before
+  // hitting an instrumented span. A nullptr result costs nothing.
+  ftnav::obs::trace();
   if (argc < 2) usage_error(argv[0]);
   const std::string command = argv[1];
   if (command == "--help" || command == "-h" || command == "help") {

@@ -3,6 +3,7 @@
 #include <thread>
 
 #include "campaign/worker_pool.h"
+#include "obs/trace.h"
 
 namespace ftnav {
 namespace {
@@ -69,7 +70,15 @@ void CampaignRunner::run_shards_prepartitioned(
     const std::vector<CampaignShard>& shards,
     const std::function<void(std::size_t)>& body) const {
   if (shards.empty()) return;
-  WorkerPool::instance().run(shards.size(), threads_, body);
+  // Batch (non-streamed) campaigns get their per-shard spans here; the
+  // streamed path spans inside run_one_shard instead, where the shard
+  // tag and lease outcome are in scope.
+  WorkerPool::instance().run(shards.size(), threads_,
+                             [&body](std::size_t index) {
+                               obs::TraceSpan span("shard", "campaign",
+                                                   "shard", index);
+                               body(index);
+                             });
 }
 
 void CampaignRunner::run_shards_prepartitioned_indices(

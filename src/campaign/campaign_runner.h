@@ -48,6 +48,9 @@
 
 #include "campaign/checkpoint.h"
 #include "campaign/streaming.h"
+#include "obs/shard_timing.h"
+#include "obs/trace.h"
+#include "util/perf.h"
 #include "util/rng.h"
 
 namespace ftnav {
@@ -292,6 +295,8 @@ class CampaignRunner {
     // the partials cover every shard this run does zero trials and the
     // merged file is byte-identical to a single-process run's.
     if (checkpointing && !stream.merge_partials.empty()) {
+      obs::TraceSpan merge_span("merge_partials", "campaign", "partials",
+                                stream.merge_partials.size());
       std::vector<CampaignCheckpoint::Loaded> partials;
       for (const std::string& path : stream.merge_partials) {
         std::optional<CampaignCheckpoint::Loaded> loaded;
@@ -411,11 +416,15 @@ class CampaignRunner {
       if (stream.arbiter != nullptr && !stream.arbiter->claim(shard_index))
         return;
       const CampaignShard& shard = shards[shard_index];
+      obs::TraceSpan shard_span("shard", "campaign", "shard", shard_index);
+      const double shard_start = perf::now();
       Acc acc = make_partial();
       for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
         Rng rng = Rng::stream(seed, trial);
         accumulate(acc, shard, trial, rng);
       }
+      obs::record_shard_timing(tag, shard_index, perf::now() - shard_start,
+                               shard.size());
       aggregator.commit_shard(shard_index, shard.size(), std::move(acc));
       if (stream.arbiter != nullptr) stream.arbiter->committed(shard_index);
     };

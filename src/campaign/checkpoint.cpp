@@ -7,6 +7,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.h"
 #include "util/binary_io.h"
 
 namespace ftnav {
@@ -73,6 +74,8 @@ void CampaignCheckpoint::save(const std::string& path, const Header& header,
                               const std::string& payload) {
   if (shard_done.size() != header.shard_count)
     throw std::runtime_error("CampaignCheckpoint::save: bitmap size mismatch");
+  obs::TraceSpan span("checkpoint_save", "checkpoint", "bytes",
+                      payload.size());
 
   // The directory may not exist yet (FTNAV_CHECKPOINT_DIR pointing at a
   // fresh scratch path); create it instead of failing the first save.
@@ -115,6 +118,7 @@ void CampaignCheckpoint::save(const std::string& path, const Header& header,
 
 std::optional<CampaignCheckpoint::Loaded> CampaignCheckpoint::load(
     const std::string& path) {
+  obs::TraceSpan span("checkpoint_load", "checkpoint");
   std::ifstream in(path, std::ios::binary);
   if (!in) return std::nullopt;
 

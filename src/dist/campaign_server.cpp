@@ -14,8 +14,12 @@
 #include <vector>
 
 #include "dist/wire_format.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/clock.h"
+#include "util/perf.h"
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
@@ -80,7 +84,51 @@ struct CampaignState {
   std::size_t done_count = 0;
   std::map<int, std::vector<std::uint8_t>> bitmaps;  // published partials
   std::map<int, std::string> blobs;
+  // Shard-timing snapshots, append-only in arrival order. Telemetry,
+  // not state: never journaled, lost on restart, and losing them can
+  // only lose observability (the coordinator dedupes overlap).
+  std::vector<std::string> timings;
 };
+
+/// Static metric/span names per opcode (trace events store pointers).
+struct OpcodeNames {
+  const char* span;       // trace span, e.g. "serve:claim"
+  const char* counter;    // request counter, e.g. "rpc.claim"
+  const char* histogram;  // latency histogram, e.g. "rpc_latency.claim"
+};
+
+OpcodeNames opcode_names(int opcode) {
+  switch (opcode) {
+    case kOpPopulate:
+      return {"serve:populate", "rpc.populate", "rpc_latency.populate"};
+    case kOpClaim: return {"serve:claim", "rpc.claim", "rpc_latency.claim"};
+    case kOpDone: return {"serve:done", "rpc.done", "rpc_latency.done"};
+    case kOpHeartbeat:
+      return {"serve:heartbeat", "rpc.heartbeat", "rpc_latency.heartbeat"};
+    case kOpUpload:
+      return {"serve:upload", "rpc.upload", "rpc_latency.upload"};
+    case kOpFetch: return {"serve:fetch", "rpc.fetch", "rpc_latency.fetch"};
+    case kOpDrain: return {"serve:drain", "rpc.drain", "rpc_latency.drain"};
+    case kOpReclaim:
+      return {"serve:reclaim", "rpc.reclaim", "rpc_latency.reclaim"};
+    case kOpHello: return {"serve:hello", "rpc.hello", "rpc_latency.hello"};
+    case kOpRegister:
+      return {"serve:register", "rpc.register", "rpc_latency.register"};
+    case kOpStatus:
+      return {"serve:status", "rpc.status", "rpc_latency.status"};
+    case kOpAllocWorkers:
+      return {"serve:alloc_workers", "rpc.alloc_workers",
+              "rpc_latency.alloc_workers"};
+    case kOpStats: return {"serve:stats", "rpc.stats", "rpc_latency.stats"};
+    case kOpTimings:
+      return {"serve:timings", "rpc.timings", "rpc_latency.timings"};
+    case kOpDrainTimings:
+      return {"serve:drain_timings", "rpc.drain_timings",
+              "rpc_latency.drain_timings"};
+    default:
+      return {"serve:unknown", "rpc.unknown", "rpc_latency.unknown"};
+  }
+}
 
 struct Connection {
   int fd = -1;
@@ -122,6 +170,11 @@ struct CampaignServer::Impl {
   int journal_fd = -1;
   bool journal_dirty = false;
   bool replaying = false;
+
+  // Server metrics (counters + latency histograms), exposed through
+  // the authenticated stats RPC. Increment-only from the poll-loop
+  // thread; snapshot on demand.
+  obs::MetricsRegistry metrics;
 
   ~Impl() { close_all(); }
 
@@ -170,16 +223,20 @@ struct CampaignServer::Impl {
       offset += static_cast<std::size_t>(put);
     }
     journal_dirty = true;
+    metrics.counter("journal.appends").add();
+    metrics.counter("journal.bytes").add(framed.size());
   }
 
   /// fsync barrier between a state transition and its acknowledgment:
   /// called after every handled request, before the reply is queued.
   void journal_sync() {
     if (journal_fd < 0 || !journal_dirty) return;
+    obs::TraceSpan span("journal_fsync", "server");
     if (::fsync(journal_fd) != 0)
       throw std::runtime_error("campaign_server: journal fsync failed: " +
                                config.journal_path);
     journal_dirty = false;
+    metrics.counter("journal.fsyncs").add();
   }
 
   void journal_shards(unsigned char type, const std::string& label,
@@ -317,7 +374,9 @@ struct CampaignServer::Impl {
         throw std::runtime_error(
             "campaign_server: unsupported journal version " +
             std::to_string(version) + ": " + config.journal_path);
+      obs::TraceSpan replay_span("journal_replay", "server");
       replaying = true;
+      std::size_t replayed = 0;
       std::size_t offset = header_size;
       while (bytes.size() - offset >= 4) {
         std::uint32_t size = 0;
@@ -328,9 +387,15 @@ struct CampaignServer::Impl {
         if (size > kMaxFrameBytes || bytes.size() - offset - 4 < size)
           break;  // torn tail: the record was never acknowledged
         apply_record(bytes.substr(offset + 4, size));
+        ++replayed;
         offset += 4 + static_cast<std::size_t>(size);
       }
       replaying = false;
+      metrics.counter("journal.replayed_records").add(replayed);
+      obs::log_info("server", "journal %s replayed: %zu records, "
+                    "%zu campaigns, %zu registrations",
+                    config.journal_path.c_str(), replayed, campaigns.size(),
+                    registrations.size());
     }
     journal_fd =
         ::open(config.journal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND,
@@ -402,6 +467,7 @@ struct CampaignServer::Impl {
       lease(shard);
 
     if (!leased.empty()) {
+      metrics.counter("leases.granted").add(leased.size());
       std::ostringstream record;
       record.put(static_cast<char>(kRecLease));
       io::write_string(record, label);
@@ -536,10 +602,20 @@ struct CampaignServer::Impl {
       // Journaled by outcome, not request: replaying these records
       // reproduces the decision without the heartbeat table that
       // informed it.
-      if (!survived_shards.empty())
+      if (!survived_shards.empty()) {
+        metrics.counter("leases.reclaimed_done").add(survived_shards.size());
         journal_shards(kRecDone, label, survived_shards);
-      if (!requeued_shards.empty())
+      }
+      if (!requeued_shards.empty()) {
+        metrics.counter("leases.reclaimed_todo").add(requeued_shards.size());
         journal_shards(kRecTodo, label, requeued_shards);
+      }
+      if (!survived_shards.empty() || !requeued_shards.empty())
+        obs::log_info("server",
+                      "reclaim on %s: %zu shards survived (published), "
+                      "%zu requeued",
+                      label.c_str(), survived_shards.size(),
+                      requeued_shards.size());
     }
     std::ostringstream body;
     io::write_u64(body, recovered);
@@ -548,8 +624,11 @@ struct CampaignServer::Impl {
 
   std::string handle_hello(Connection& conn, std::istream& in) {
     const std::string token = io::read_string(in);
-    if (!config.auth_token.empty() && token != config.auth_token)
+    if (!config.auth_token.empty() && token != config.auth_token) {
+      metrics.counter("auth.rejected").add();
+      obs::log_warn("server", "hello with invalid session token rejected");
       return auth_error_reply("invalid session token");
+    }
     conn.authed = true;
     return ok_reply();
   }
@@ -620,33 +699,103 @@ struct CampaignServer::Impl {
     return ok_reply(body.str());
   }
 
+  std::string handle_stats(std::istream&) {
+    obs::MetricsSnapshot snapshot = metrics.snapshot();
+    // Queue depths are point-in-time state, not monotonic counters;
+    // synthesize them per request so the document always reflects the
+    // live queues.
+    for (const auto& [label, campaign] : campaigns) {
+      std::uint64_t leased = 0;
+      for (int state : campaign.shard_state)
+        if (state >= 0) ++leased;
+      obs::MetricsSnapshot depth;
+      depth.counters.push_back(
+          {"queue." + label + ".done", campaign.done_count});
+      depth.counters.push_back({"queue." + label + ".leased", leased});
+      depth.counters.push_back(
+          {"queue." + label + ".todo",
+           campaign.shard_count - campaign.done_count - leased});
+      snapshot.merge(depth);
+    }
+    std::ostringstream body;
+    obs::write_snapshot(body, snapshot);
+    return ok_reply(body.str());
+  }
+
+  std::string handle_timings(std::istream& in) {
+    const std::string label = io::read_string(in);
+    const int worker_id = decode_worker(io::read_u64(in));
+    std::string bytes = io::read_string(in);
+    beat(worker_id);
+    // Unknown label: accept and drop — timings are best-effort and
+    // must never create queue state populate didn't.
+    const auto found = campaigns.find(label);
+    if (found != campaigns.end()) {
+      found->second.timings.push_back(std::move(bytes));
+      metrics.counter("timings.snapshots").add();
+    }
+    return ok_reply();
+  }
+
+  std::string handle_drain_timings(std::istream& in) {
+    const std::string label = io::read_string(in);
+    std::ostringstream body;
+    const auto found = campaigns.find(label);
+    if (found == campaigns.end()) {
+      io::write_u64(body, 0);
+    } else {
+      io::write_u64(body, found->second.timings.size());
+      for (const std::string& blob : found->second.timings)
+        io::write_string(body, blob);
+    }
+    return ok_reply(body.str());
+  }
+
   std::string handle_request(Connection& conn, const std::string& payload) {
     try {
       std::istringstream in(payload);
       int opcode = in.get();
-      // The session gate: with a token configured, every opcode but
-      // the hello handshake is rejected before touching queue state.
-      if (!config.auth_token.empty() && !conn.authed && opcode != kOpHello)
-        return auth_error_reply(
-            "authentication required (pass --auth-token or set "
-            "FTNAV_AUTH_TOKEN)");
-      switch (opcode) {
-        case kOpPopulate: return handle_populate(in);
-        case kOpClaim: return handle_claim(in);
-        case kOpDone: return handle_done(in);
-        case kOpHeartbeat: return handle_heartbeat(in);
-        case kOpUpload: return handle_upload(in);
-        case kOpFetch: return handle_fetch(in);
-        case kOpDrain: return handle_drain(in);
-        case kOpReclaim: return handle_reclaim(in);
-        case kOpHello: return handle_hello(conn, in);
-        case kOpRegister: return handle_register(in);
-        case kOpStatus: return handle_status(in);
-        case kOpAllocWorkers: return handle_alloc_workers(in);
-        default:
-          return error_reply("unknown opcode " + std::to_string(opcode));
-      }
+      const OpcodeNames names = opcode_names(opcode);
+      obs::TraceSpan span(names.span, "server", "bytes", payload.size());
+      metrics.counter(names.counter).add();
+      const double start = perf::now();
+      const auto dispatch = [&]() -> std::string {
+        // The session gate: with a token configured, every opcode but
+        // the hello handshake is rejected before touching queue state.
+        if (!config.auth_token.empty() && !conn.authed &&
+            opcode != kOpHello) {
+          metrics.counter("auth.rejected").add();
+          obs::log_warn("server", "unauthenticated %s rejected",
+                        names.counter);
+          return auth_error_reply(
+              "authentication required (pass --auth-token or set "
+              "FTNAV_AUTH_TOKEN)");
+        }
+        switch (opcode) {
+          case kOpPopulate: return handle_populate(in);
+          case kOpClaim: return handle_claim(in);
+          case kOpDone: return handle_done(in);
+          case kOpHeartbeat: return handle_heartbeat(in);
+          case kOpUpload: return handle_upload(in);
+          case kOpFetch: return handle_fetch(in);
+          case kOpDrain: return handle_drain(in);
+          case kOpReclaim: return handle_reclaim(in);
+          case kOpHello: return handle_hello(conn, in);
+          case kOpRegister: return handle_register(in);
+          case kOpStatus: return handle_status(in);
+          case kOpAllocWorkers: return handle_alloc_workers(in);
+          case kOpStats: return handle_stats(in);
+          case kOpTimings: return handle_timings(in);
+          case kOpDrainTimings: return handle_drain_timings(in);
+          default:
+            return error_reply("unknown opcode " + std::to_string(opcode));
+        }
+      };
+      std::string reply = dispatch();
+      metrics.histogram(names.histogram).observe(perf::now() - start);
+      return reply;
     } catch (const std::exception& error) {
+      obs::log_debug("server", "request failed: %s", error.what());
       return error_reply(error.what());
     }
   }
@@ -709,6 +858,7 @@ struct CampaignServer::Impl {
           if (fd < 0) break;
           set_nonblocking(fd);
           set_cloexec(fd);
+          metrics.counter("connections.accepted").add();
           connections.push_back(Connection{fd, {}, {}, false});
         }
         // The new connections get polled next iteration.
@@ -818,6 +968,10 @@ void CampaignServer::start() {
   set_cloexec(fd);
   impl_->listen_fd = fd;
   impl_->stopping.store(false, std::memory_order_release);
+  obs::log_info("server", "serving on %s:%d%s%s",
+                impl_->resolved_host.c_str(), impl_->resolved_port,
+                impl_->config.journal_path.empty() ? "" : ", journal ",
+                impl_->config.journal_path.c_str());
   impl_->thread = std::thread([impl = impl_.get()] { impl->run(); });
 }
 

@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "dist/shard_transport.h"
+#include "obs/log.h"
+#include "obs/shard_timing.h"
+#include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/clock.h"
 
@@ -50,6 +53,7 @@ class TransportShardArbiter : public ShardArbiter {
       std::lock_guard<std::mutex> lock(mutex_);
       if (granted_.erase(shard) > 0) return true;  // batched lease in hand
     }
+    obs::TraceSpan span("lease_claim", "dist", "shard", shard);
     const std::vector<std::size_t> leased = transport_.claim(shard, batch_);
     bool won = false;
     std::lock_guard<std::mutex> lock(mutex_);
@@ -67,7 +71,16 @@ class TransportShardArbiter : public ShardArbiter {
     // to must already be published, and publications must reach the
     // transport in bitmap order (see ShardTransport::publish_partial).
     std::lock_guard<std::mutex> lock(commit_mutex_);
+    obs::TraceSpan span("lease_commit", "dist", "shard", shard);
     transport_.publish_partial();
+    // Telemetry rides alongside the partial: ship this process's
+    // shard-timing records (a full snapshot; the coordinator dedupes)
+    // before the lease is released, so a commit that survives a crash
+    // has its timing on record too. Gated on tracing so telemetry-off
+    // runs make zero extra RPCs.
+    if (obs::trace() != nullptr)
+      transport_.publish_timings(
+          obs::encode_shard_timings(obs::snapshot_shard_timings()));
     const std::size_t total =
         done_by_self_.fetch_add(1, std::memory_order_relaxed) + 1;
     // Test hook: die in the publish->done crash window, after the
@@ -82,6 +95,7 @@ class TransportShardArbiter : public ShardArbiter {
 
   std::vector<std::size_t> next_wave(
       const std::vector<std::uint8_t>& done_by_self) override {
+    obs::TraceSpan span("wave_poll", "dist");
     timeutil::PollBackoff backoff(config_.poll_period_seconds);
     while (true) {
       transport_.heartbeat();
@@ -166,6 +180,7 @@ std::string dist_queue_label(const DistConfig& config,
 
 struct DistCampaign::Impl {
   DistConfig config;
+  std::string queue_label;  // dist_queue_label(config, tag), for logs
   std::unique_ptr<ShardTransport> transport;
   std::unique_ptr<TransportShardArbiter> arbiter;
 
@@ -202,9 +217,12 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
     impl_->config.heartbeat_period_seconds =
         std::min(impl_->config.heartbeat_period_seconds,
                  impl_->config.lease_expiry_seconds / 4.0);
+  impl_->queue_label = dist_queue_label(impl_->config, tag);
   impl_->transport = make_shard_transport(impl_->config, tag);
 
   if (role == DistConfig::Role::kWorker) {
+    // Shard-timing records made by this process carry the worker id.
+    obs::set_shard_timing_worker_id(impl_->config.worker_id);
     stream.checkpoint_path = impl_->transport->partial_path();
     // A respawned worker continues from the durable copy of its own
     // partial (for the TCP transport that is the server's copy — the
@@ -243,13 +261,20 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
           // transport call throws the same error on a catchable
           // path. (The constructor's eager heartbeat already turned
           // a token wrong from the start into an immediate throw.)
-          std::fprintf(stderr, "dist worker heartbeat: %s\n", error.what());
+          obs::log_warn("worker",
+                        "worker %d heartbeat on queue %s: %s",
+                        impl->config.worker_id, impl->queue_label.c_str(),
+                        error.what());
           return;
-        } catch (const std::exception&) {
+        } catch (const std::exception& error) {
           // Transport gone (e.g. the TCP server died). Stop beating
           // and let the campaign's own next transport call surface
           // the error on a catchable path — an exception escaping
           // this thread would std::terminate the worker.
+          obs::log_info("worker",
+                        "worker %d heartbeat on queue %s lost transport: %s",
+                        impl->config.worker_id, impl->queue_label.c_str(),
+                        error.what());
           return;
         }
       }
@@ -265,6 +290,17 @@ DistCampaign::DistCampaign(const DistConfig& dist, std::string_view tag,
   stream.resume = true;
   stream.merge_partials = impl_->transport->collect_partials();
   stream.arbiter = nullptr;
+  // Absorb the workers' shard-timing uploads so flush_telemetry() can
+  // write one merged shard_timings.json. Gated on tracing, and a torn
+  // or stale blob only loses telemetry — never campaign state.
+  if (obs::trace() != nullptr) {
+    for (const std::string& blob : impl_->transport->collect_timings()) {
+      try {
+        obs::note_shard_timings(obs::decode_shard_timings(blob));
+      } catch (const std::exception&) {
+      }
+    }
+  }
 }
 
 DistCampaign::~DistCampaign() = default;

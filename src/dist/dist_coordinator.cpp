@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "dist/shard_transport.h"
+#include "obs/log.h"
 #include "util/clock.h"
 
 #if !defined(_WIN32)
@@ -120,8 +121,12 @@ void DistCoordinator::run(
     int respawns = 0;
   };
   std::vector<WorkerSlot> slots(static_cast<std::size_t>(config_.workers));
-  for (int id = 0; id < config_.workers; ++id)
+  for (int id = 0; id < config_.workers; ++id) {
     slots[static_cast<std::size_t>(id)].pid = spawn(command_for(id));
+    obs::log_info("coordinator", "spawned worker %d (pid %ld)",
+                  config_.worker_id_base + id,
+                  static_cast<long>(slots[static_cast<std::size_t>(id)].pid));
+  }
 
   const auto kill_all = [&slots] {
     for (WorkerSlot& slot : slots) {
@@ -156,6 +161,12 @@ void DistCoordinator::run(
       // worker id worker_id_base + k (submit/attach reserve the base
       // from the campaign server so failover coordinators never
       // collide with a previous life's ids).
+      obs::log_warn("coordinator",
+                    "worker %d (pid %ld) died (status 0x%x); reclaiming "
+                    "its leases and respawning",
+                    config_.worker_id_base + id,
+                    static_cast<long>(slot.pid),
+                    static_cast<unsigned>(status));
       reclaim_transport_leases(config_, config_.worker_id_base + id, 0.0);
       if (slot.respawns >= config_.max_respawns) {
         kill_all();

@@ -1,6 +1,16 @@
 #include "dist/fs_transport.h"
 
 #include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifdef _WIN32
+#include <process.h>
+#define getpid _getpid
+#else
+#include <unistd.h>
+#endif
 
 namespace ftnav {
 
@@ -60,6 +70,48 @@ std::vector<std::string> FsTransport::collect_partials() {
 
 std::string FsTransport::merged_checkpoint_path() const {
   return queue_.root() + "/merged.ckpt";
+}
+
+void FsTransport::publish_timings(const std::string& bytes) {
+  // One snapshot file per worker life (pid-suffixed): a respawned
+  // worker writes a fresh file instead of clobbering its predecessor's
+  // records. tmp+rename keeps readers away from torn writes.
+  const std::string path = queue_.root() + "/timings-worker-" +
+                           std::to_string(worker_id_) + "." +
+                           std::to_string(static_cast<long>(getpid())) +
+                           ".bin";
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return;
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    if (!out.flush()) return;
+  }
+  std::error_code ignored;
+  std::filesystem::rename(tmp, path, ignored);
+}
+
+std::vector<std::string> FsTransport::collect_timings() {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(queue_.root(), ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("timings-worker-", 0) == 0 &&
+        name.size() > 4 && name.compare(name.size() - 4, 4, ".bin") == 0)
+      paths.push_back(entry.path().string());
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<std::string> blobs;
+  blobs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    blobs.push_back(buffer.str());
+  }
+  return blobs;
 }
 
 }  // namespace ftnav

@@ -31,6 +31,8 @@ class FsTransport : public ShardTransport {
   ShardWave wave(std::size_t max_batch) override;
   std::vector<std::string> collect_partials() override;
   std::string merged_checkpoint_path() const override;
+  void publish_timings(const std::string& bytes) override;
+  std::vector<std::string> collect_timings() override;
 
  private:
   std::string queue_dir_;

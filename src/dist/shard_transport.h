@@ -135,6 +135,20 @@ class ShardTransport {
   /// files first). Workers that never claimed a shard may be absent.
   virtual std::vector<std::string> collect_partials() = 0;
 
+  /// Best-effort telemetry side channel: ships this worker's encoded
+  /// shard-timing records (obs::encode_shard_timings) so the
+  /// coordinator can merge them into shard_timings.json. Uploads are
+  /// append-only snapshots — a worker respawned after a crash never
+  /// erases a previous life's records; the coordinator dedupes by
+  /// (tag, shard). Unlike partials this is NOT durable state: it is
+  /// not journaled, and losing an upload loses only telemetry.
+  /// Default: drop (transports without a side channel).
+  virtual void publish_timings(const std::string& bytes) { (void)bytes; }
+
+  /// Finalize: every published timing snapshot, in arrival order.
+  /// Default: none.
+  virtual std::vector<std::string> collect_timings() { return {}; }
+
   /// Default location for the finalize-role merged checkpoint when
   /// the caller did not name one.
   virtual std::string merged_checkpoint_path() const = 0;

@@ -1,0 +1,125 @@
+#include "dist/status_doc.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "obs/json.h"
+
+namespace ftnav {
+namespace {
+
+void append_format(std::string& out, const char* fmt, ...)
+#if defined(__GNUC__) || defined(__clang__)
+    __attribute__((format(printf, 2, 3)))
+#endif
+    ;
+
+void append_format(std::string& out, const char* fmt, ...) {
+  char buffer[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof(buffer), fmt, args);
+  va_end(args);
+  out += buffer;
+}
+
+}  // namespace
+
+std::string render_status_text(const ServerStatusDocument& doc) {
+  std::string out;
+  append_format(out, "server: %s\n", doc.server.c_str());
+  append_format(out, "campaigns: %zu\n", doc.status.campaigns.size());
+  for (const CampaignRegistration& reg : doc.status.campaigns)
+    append_format(out, "  %s\n    scenario: %s\n    params: %s\n",
+                  reg.tag.c_str(), reg.scenario.c_str(), reg.params.c_str());
+  append_format(out, "queues: %zu\n", doc.status.queues.size());
+  for (const CampaignQueueStatus& queue : doc.status.queues)
+    append_format(out,
+                  "  %s\n    %zu/%zu shards done, %zu leased, "
+                  "%zu partials published\n",
+                  queue.label.c_str(), queue.done, queue.shards,
+                  queue.leased, queue.partials);
+  append_format(out, "metrics: %zu counters, %zu histograms\n",
+                doc.metrics.counters.size(), doc.metrics.histograms.size());
+  for (const obs::CounterSnapshot& counter : doc.metrics.counters)
+    append_format(out, "    %s = %llu\n", counter.name.c_str(),
+                  static_cast<unsigned long long>(counter.value));
+  for (const obs::HistogramSnapshot& histogram : doc.metrics.histograms)
+    append_format(out, "    %s: %llu obs, %.6f s total\n",
+                  histogram.name.c_str(),
+                  static_cast<unsigned long long>(histogram.count),
+                  histogram.sum_seconds);
+  return out;
+}
+
+std::string render_status_json(const ServerStatusDocument& doc) {
+  std::string out;
+  out.reserve(1u << 12);
+  out += "{\"schema\":\"ftnav-status-v1\",\"server\":\"";
+  obs::json_escape_into(out, doc.server);
+  out += "\",\"campaigns\":[";
+  bool first = true;
+  for (const CampaignRegistration& reg : doc.status.campaigns) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"tag\":\"";
+    obs::json_escape_into(out, reg.tag);
+    out += "\",\"scenario\":\"";
+    obs::json_escape_into(out, reg.scenario);
+    out += "\",\"params\":\"";
+    obs::json_escape_into(out, reg.params);
+    out += "\"}";
+  }
+  out += "],\"queues\":[";
+  first = true;
+  for (const CampaignQueueStatus& queue : doc.status.queues) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"label\":\"";
+    obs::json_escape_into(out, queue.label);
+    out += "\",\"shards\":";
+    out += std::to_string(queue.shards);
+    out += ",\"done\":";
+    out += std::to_string(queue.done);
+    out += ",\"leased\":";
+    out += std::to_string(queue.leased);
+    out += ",\"partials\":";
+    out += std::to_string(queue.partials);
+    out += '}';
+  }
+  out += "],\"metrics\":{\"counters\":[";
+  first = true;
+  for (const obs::CounterSnapshot& counter : doc.metrics.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    obs::json_escape_into(out, counter.name);
+    out += "\",\"value\":";
+    out += std::to_string(counter.value);
+    out += '}';
+  }
+  out += "],\"histograms\":[";
+  first = true;
+  for (const obs::HistogramSnapshot& histogram : doc.metrics.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    obs::json_escape_into(out, histogram.name);
+    out += "\",\"count\":";
+    out += std::to_string(histogram.count);
+    out += ",\"sum_seconds\":";
+    char sum[64];
+    std::snprintf(sum, sizeof(sum), "%.9g", histogram.sum_seconds);
+    out += sum;
+    out += ",\"buckets\":[";
+    for (std::size_t i = 0; i < histogram.buckets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(histogram.buckets[i]);
+    }
+    out += "]}";
+  }
+  out += "]}}\n";
+  return out;
+}
+
+}  // namespace ftnav

@@ -1,0 +1,42 @@
+#pragma once
+// The `fault_campaign status` document: one struct, two renderings.
+//
+// The plain-text view and the machine-readable `status --json` view
+// are both produced from ServerStatusDocument, so the two can never
+// drift — what a dashboard parses is exactly what a human reads.
+//
+// JSON schema (stable; validated by ci/validate_telemetry.py):
+//
+//   {"schema": "ftnav-status-v1",
+//    "server": "host:port",
+//    "campaigns": [{"tag", "scenario", "params"}],          // sorted by tag
+//    "queues": [{"label", "shards", "done", "leased",
+//                "partials"}],                              // sorted by label
+//    "metrics": {"counters": [{"name", "value"}],           // sorted by name
+//                "histograms": [{"name", "count", "sum_seconds",
+//                                "buckets": [u64...]}]}}    // sorted by name
+//
+// Additive evolution only: fields may be added under a new reader's
+// tolerance, never renamed or removed, and the "schema" tag bumps on
+// any breaking change.
+
+#include <string>
+
+#include "dist/campaign_server.h"
+#include "obs/metrics.h"
+
+namespace ftnav {
+
+struct ServerStatusDocument {
+  std::string server;  // endpoint as the client addressed it
+  CampaignServerStatus status;
+  obs::MetricsSnapshot metrics;
+};
+
+/// The human rendering `fault_campaign status` prints.
+std::string render_status_text(const ServerStatusDocument& doc);
+
+/// The `status --json` rendering (schema above), newline-terminated.
+std::string render_status_json(const ServerStatusDocument& doc);
+
+}  // namespace ftnav

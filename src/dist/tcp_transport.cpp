@@ -10,6 +10,7 @@
 
 #include "campaign/checkpoint.h"
 #include "dist/wire_format.h"
+#include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/clock.h"
 
@@ -60,10 +61,43 @@ void TcpQueueClient::register_campaign(const std::string&,
                                        const std::string&) {}
 CampaignServerStatus TcpQueueClient::status() { return {}; }
 int TcpQueueClient::alloc_worker_ids(int) { return -1; }
+obs::MetricsSnapshot TcpQueueClient::stats() { return {}; }
+void TcpQueueClient::publish_timings(const std::string&, int,
+                                     const std::string&) {}
+std::vector<std::string> TcpQueueClient::drain_timings(const std::string&) {
+  return {};
+}
 
 #else
 
 // ---- client --------------------------------------------------------------
+
+namespace {
+
+/// Static span names for RPC round-trips (trace events store only the
+/// pointer, so these must be literals).
+const char* rpc_op_name(unsigned char opcode) {
+  switch (opcode) {
+    case kOpPopulate: return "rpc:populate";
+    case kOpClaim: return "rpc:claim";
+    case kOpDone: return "rpc:done";
+    case kOpHeartbeat: return "rpc:heartbeat";
+    case kOpUpload: return "rpc:upload";
+    case kOpFetch: return "rpc:fetch";
+    case kOpDrain: return "rpc:drain";
+    case kOpReclaim: return "rpc:reclaim";
+    case kOpHello: return "rpc:hello";
+    case kOpRegister: return "rpc:register";
+    case kOpStatus: return "rpc:status";
+    case kOpAllocWorkers: return "rpc:alloc_workers";
+    case kOpStats: return "rpc:stats";
+    case kOpTimings: return "rpc:timings";
+    case kOpDrainTimings: return "rpc:drain_timings";
+    default: return "rpc:unknown";
+  }
+}
+
+}  // namespace
 
 struct TcpQueueClient::Impl {
   int fd = -1;
@@ -109,6 +143,9 @@ struct TcpQueueClient::Impl {
           "tcp transport: request exceeds the frame limit (" +
           std::to_string(request.size()) + " bytes; partial checkpoint "
           "too large for the TCP transport)");
+    obs::TraceSpan span(
+        rpc_op_name(static_cast<unsigned char>(request[0])), "rpc",
+        "request_bytes", request.size());
     std::lock_guard<std::mutex> lock(mutex);
     send_all(frame(request));
     char header[4];
@@ -328,6 +365,37 @@ int TcpQueueClient::alloc_worker_ids(int count) {
   return static_cast<int>(io::read_u64(in));
 }
 
+obs::MetricsSnapshot TcpQueueClient::stats() {
+  std::ostringstream out;
+  out.put(kOpStats);
+  std::istringstream in(impl_->rpc(out.str()));
+  return obs::read_snapshot(in);
+}
+
+void TcpQueueClient::publish_timings(const std::string& label, int worker_id,
+                                     const std::string& bytes) {
+  std::ostringstream out;
+  out.put(kOpTimings);
+  io::write_string(out, label);
+  io::write_u64(out, encode_worker(worker_id));
+  io::write_string(out, bytes);
+  impl_->rpc(out.str());
+}
+
+std::vector<std::string> TcpQueueClient::drain_timings(
+    const std::string& label) {
+  std::ostringstream out;
+  out.put(kOpDrainTimings);
+  io::write_string(out, label);
+  std::istringstream in(impl_->rpc(out.str()));
+  const std::uint64_t count = io::read_u64(in);
+  std::vector<std::string> blobs;
+  blobs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i)
+    blobs.push_back(io::read_string(in));
+  return blobs;
+}
+
 #endif  // !defined(_WIN32)
 
 // ---- TcpTransport --------------------------------------------------------
@@ -452,6 +520,21 @@ std::vector<std::string> TcpTransport::collect_partials() {
 
 std::string TcpTransport::merged_checkpoint_path() const {
   return scratch_dir_ + "/merged.ckpt";
+}
+
+void TcpTransport::publish_timings(const std::string& bytes) {
+  // Best-effort: a timing upload racing a dying connection must never
+  // take down the worker's commit path.
+  try {
+    client_.publish_timings(label_, worker_id_, bytes);
+  } catch (const TransportAuthError&) {
+    throw;  // auth failures keep their diagnosed exit path
+  } catch (const std::exception&) {
+  }
+}
+
+std::vector<std::string> TcpTransport::collect_timings() {
+  return client_.drain_timings(label_);
 }
 
 }  // namespace ftnav

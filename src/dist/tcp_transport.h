@@ -54,6 +54,7 @@
 
 #include "dist/campaign_server.h"
 #include "dist/shard_transport.h"
+#include "obs/metrics.h"
 
 namespace ftnav {
 
@@ -131,6 +132,17 @@ class TcpQueueClient {
   /// leases or published partials.
   int alloc_worker_ids(int count);
 
+  /// Server metrics snapshot (authenticated like every non-hello RPC).
+  obs::MetricsSnapshot stats();
+
+  /// Appends one encoded shard-timing snapshot for `label` (best
+  /// effort, in-memory only server-side — see wire_format.h).
+  void publish_timings(const std::string& label, int worker_id,
+                       const std::string& bytes);
+
+  /// Every stored timing snapshot for `label`, in arrival order.
+  std::vector<std::string> drain_timings(const std::string& label);
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
@@ -156,6 +168,8 @@ class TcpTransport : public ShardTransport {
   ShardWave wave(std::size_t max_batch) override;
   std::vector<std::string> collect_partials() override;
   std::string merged_checkpoint_path() const override;
+  void publish_timings(const std::string& bytes) override;
+  std::vector<std::string> collect_timings() override;
 
  private:
   std::string label_;

@@ -1,0 +1,81 @@
+#include "obs/log.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace ftnav::obs {
+namespace {
+
+constexpr int kUnset = -1;
+
+std::atomic<int> g_level{kUnset};
+
+int parse_env_level() {
+  const char* value = std::getenv("FTNAV_LOG");
+  if (value == nullptr) return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(value, "error") == 0)
+    return static_cast<int>(LogLevel::kError);
+  if (std::strcmp(value, "warn") == 0)
+    return static_cast<int>(LogLevel::kWarn);
+  if (std::strcmp(value, "info") == 0)
+    return static_cast<int>(LogLevel::kInfo);
+  if (std::strcmp(value, "debug") == 0)
+    return static_cast<int>(LogLevel::kDebug);
+  return static_cast<int>(LogLevel::kWarn);
+}
+
+void vlog(const char* level, const char* component, const char* fmt,
+          va_list args) {
+  char message[1024];
+  std::vsnprintf(message, sizeof(message), fmt, args);
+  // One fprintf per line keeps concurrent writers from interleaving
+  // mid-line (stderr is unbuffered, and small writes are atomic enough
+  // in practice for line-oriented logs).
+  std::fprintf(stderr, "ftnav %s [%s] %s\n", level, component, message);
+}
+
+}  // namespace
+
+LogLevel log_level() {
+  int level = g_level.load(std::memory_order_relaxed);
+  if (level == kUnset) {
+    level = parse_env_level();
+    int expected = kUnset;
+    if (!g_level.compare_exchange_strong(expected, level,
+                                         std::memory_order_relaxed))
+      level = expected;
+  }
+  return static_cast<LogLevel>(level);
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+#define FTNAV_LOG_BODY(level_enum, level_name)            \
+  if (!log_enabled(level_enum)) return;                   \
+  va_list args;                                           \
+  va_start(args, fmt);                                    \
+  vlog(level_name, component, fmt, args);                 \
+  va_end(args)
+
+void log_error(const char* component, const char* fmt, ...) {
+  FTNAV_LOG_BODY(LogLevel::kError, "error");
+}
+
+void log_warn(const char* component, const char* fmt, ...) {
+  FTNAV_LOG_BODY(LogLevel::kWarn, "warn");
+}
+
+void log_info(const char* component, const char* fmt, ...) {
+  FTNAV_LOG_BODY(LogLevel::kInfo, "info");
+}
+
+void log_debug(const char* component, const char* fmt, ...) {
+  FTNAV_LOG_BODY(LogLevel::kDebug, "debug");
+}
+
+#undef FTNAV_LOG_BODY
+
+}  // namespace ftnav::obs

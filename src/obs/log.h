@@ -1,0 +1,50 @@
+#pragma once
+// Tiny leveled logger for server/coordinator/worker diagnostics.
+//
+// Controlled by FTNAV_LOG=error|warn|info|debug (default warn). Every
+// line goes to stderr only — never stdout, never artifact files — as
+// one atomic fprintf of the form:
+//
+//   ftnav <level> [component] message
+//
+// so interleaved multi-worker stderr stays attributable line by line.
+// A disabled level costs one relaxed atomic load and a compare before
+// any formatting happens.
+
+#include <atomic>
+#include <cstdarg>
+
+namespace ftnav::obs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Active level; first call parses FTNAV_LOG (unknown values keep the
+/// default warn).
+LogLevel log_level();
+
+/// Test/CLI override; wins over the environment.
+void set_log_level(LogLevel level);
+
+inline bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+#if defined(__GNUC__) || defined(__clang__)
+#define FTNAV_PRINTF_ATTR(fmt_index, first_arg) \
+  __attribute__((format(printf, fmt_index, first_arg)))
+#else
+#define FTNAV_PRINTF_ATTR(fmt_index, first_arg)
+#endif
+
+void log_error(const char* component, const char* fmt, ...)
+    FTNAV_PRINTF_ATTR(2, 3);
+void log_warn(const char* component, const char* fmt, ...)
+    FTNAV_PRINTF_ATTR(2, 3);
+void log_info(const char* component, const char* fmt, ...)
+    FTNAV_PRINTF_ATTR(2, 3);
+void log_debug(const char* component, const char* fmt, ...)
+    FTNAV_PRINTF_ATTR(2, 3);
+
+#undef FTNAV_PRINTF_ATTR
+
+}  // namespace ftnav::obs

@@ -1,0 +1,107 @@
+#pragma once
+// Counters and bounded latency histograms for the campaign server (and
+// anything else that wants cheap process metrics).
+//
+// A MetricsRegistry hands out stable references to named counters and
+// histograms; increments are lock-free atomics. snapshot() freezes the
+// whole registry into a plain-data MetricsSnapshot that can merge,
+// serialize over the wire (the authenticated `stats` RPC), and render
+// into `fault_campaign status --json`.
+//
+// Histograms are bounded: power-of-two microsecond buckets (bucket i
+// holds samples in [2^i, 2^(i+1)) µs, bucket 0 holds < 2 µs, the last
+// bucket is overflow), so a histogram is a fixed 24 counters no matter
+// how many samples land in it.
+//
+// Per the src/obs/ invariant, nothing here touches stdout or artifact
+// files — snapshots only travel over the stats RPC / status --json.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ftnav::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBuckets = 24;
+
+  void observe(double seconds);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  /// Total observed time (nanosecond resolution internally).
+  double sum_seconds() const {
+    return static_cast<double>(sum_nanos_.load(std::memory_order_relaxed)) *
+           1e-9;
+  }
+  std::vector<std::uint64_t> bucket_counts() const;
+
+ private:
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_nanos_{0};
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum_seconds = 0.0;
+  std::vector<std::uint64_t> buckets;  // kBuckets entries
+};
+
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;      // sorted by name
+  std::vector<HistogramSnapshot> histograms;  // sorted by name
+
+  /// Adds `other` into this snapshot (matching names sum; new names
+  /// insert in sorted position).
+  void merge(const MetricsSnapshot& other);
+
+  std::uint64_t counter_value(const std::string& name) const;
+};
+
+/// Wire codec for the stats RPC (util/binary_io framing).
+void write_snapshot(std::ostream& out, const MetricsSnapshot& snapshot);
+MetricsSnapshot read_snapshot(std::istream& in);
+
+class MetricsRegistry {
+ public:
+  /// Returns the counter/histogram registered under `name`, creating
+  /// it on first use. References stay valid for the registry's
+  /// lifetime. Thread-safe.
+  Counter& counter(const std::string& name);
+  LatencyHistogram& histogram(const std::string& name);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>> histograms_;
+};
+
+}  // namespace ftnav::obs

@@ -55,6 +55,16 @@
 //                         byte-compared result artifacts
 //   FTNAV_GIT_SHA         git sha recorded in perf records when
 //                         GITHUB_SHA is unset
+//   FTNAV_TRACE_DIR       dump Chrome trace-event JSON
+//                         (trace.<pid>.json, Perfetto-loadable) and
+//                         the merged shard_timings.json into this
+//                         directory at exit; empty = tracing off
+//                         (zero-cost: a branch on a null recorder).
+//                         Never touches stdout, FTNAV_JSON_DIR, or
+//                         checkpoints — see src/obs/
+//   FTNAV_LOG             stderr log level for server / coordinator /
+//                         worker diagnostics: error|warn|info|debug
+//                         (default warn). stderr only, never stdout
 //
 // Benches print the resolved configuration so results are reproducible.
 
