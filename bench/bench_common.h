@@ -252,8 +252,14 @@ class JsonArtifact {
 /// write (the coordinator's end-to-end timing is the record).
 class PerfRecorder {
  public:
-  PerfRecorder(const BenchConfig& config, std::string artifact)
+  /// `refresh_command` is the exact baseline-refresh one-liner for this
+  /// bench (run from the repo root, Release build); it is embedded in
+  /// the record so ci/perf_gate.py can tell a contributor precisely how
+  /// to create a missing baseline.
+  PerfRecorder(const BenchConfig& config, std::string artifact,
+               std::string refresh_command = std::string())
       : artifact_(std::move(artifact)),
+        refresh_command_(std::move(refresh_command)),
         dir_(env_string("FTNAV_PERF_DIR", "")),
         threads_(config.threads),
         enabled_(!dir_.empty() && !config.is_dist_worker()) {}
@@ -290,7 +296,11 @@ class PerfRecorder {
     out << "{\n \"artifact\": " << json_quote(artifact_) << ",\n"
         << " \"git_sha\": " << json_quote(sha) << ",\n"
         << " \"backend\": " << json_quote(backend) << ",\n"
-        << " \"threads\": " << threads_ << ",\n \"sections\": [";
+        << " \"threads\": " << threads_ << ",\n";
+    if (!refresh_command_.empty())
+      out << " \"refresh_command\": " << json_quote(refresh_command_)
+          << ",\n";
+    out << " \"sections\": [";
     for (std::size_t i = 0; i < sections_.size(); ++i) {
       const Section& s = sections_[i];
       const double tps =
@@ -315,6 +325,7 @@ class PerfRecorder {
   };
 
   std::string artifact_;
+  std::string refresh_command_;
   std::string dir_;
   int threads_;
   bool enabled_;

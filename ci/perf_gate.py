@@ -13,6 +13,10 @@ Sections whose *baseline* wall clock is below --min-seconds are
 reported but never gate: timing noise on sub-100ms sections would
 otherwise dwarf any real regression.
 
+Candidate records or sections with no committed baseline are reported
+(with the exact refresh one-liner each record embeds) so new benches
+cannot silently run ungated.
+
 Refresh the baselines after an intentional perf change (one line per
 bench, from the repo root, Release build):
 
@@ -20,6 +24,18 @@ bench, from the repo root, Release build):
         ./build/bench/bench_fig5_inference
     FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 FTNAV_FULL=1 \
         ./build/bench/bench_overhead_micro
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_fig7a_drone_training
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_fig7b_environments
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_fig7c_fault_locations
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_fig7d_layer_sensitivity
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_fig7e_data_types
+    FTNAV_PERF_DIR=bench/baselines FTNAV_THREADS=2 \
+        ./build/bench/bench_ablation_mitigations
 
 then commit the rewritten bench/baselines/BENCH_*.json.
 """
@@ -103,6 +119,33 @@ def main() -> int:
                     f"{base_tps:.0f} (allowed {args.max_regression * 100:.0f}%)")
             rows.append((f"{artifact}/{name}", base_tps, cand_tps, ratio,
                          status))
+
+    # Candidate records/sections with no committed baseline: not a
+    # failure (the gate can't compare against nothing), but say exactly
+    # how to create one instead of staying silent.
+    unbaselined = []
+    for artifact, cand_record in sorted(candidates.items()):
+        base_record = baselines.get(artifact)
+        missing = (sections_by_name(cand_record).keys()
+                   if base_record is None
+                   else sections_by_name(cand_record).keys()
+                   - sections_by_name(base_record).keys())
+        if not missing:
+            continue
+        refresh = cand_record.get(
+            "refresh_command",
+            f"FTNAV_PERF_DIR=bench/baselines ./build/bench/<{artifact} bench>")
+        what = ("no baseline record" if base_record is None else
+                "section(s) " + ", ".join(sorted(missing)) +
+                " missing from baseline")
+        unbaselined.append(
+            f"{artifact}: {what} -- create it with:\n      {refresh}\n"
+            f"    then commit bench/baselines/BENCH_{artifact}.json")
+    if unbaselined:
+        print("\nperf gate: candidate records without baselines "
+              "(informational):")
+        for note in unbaselined:
+            print(f"  {note}")
 
     header = (f"| section | baseline trials/s | candidate trials/s "
               f"| ratio | status |")

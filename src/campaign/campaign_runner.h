@@ -38,6 +38,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -97,6 +98,26 @@ struct MapAccum {
   void restore_state(std::istream& in) {
     CampaignStateCodec<std::vector<T>>::load(in, results);
   }
+};
+
+/// MapAccum plus a runtime-only per-shard scratch object (e.g. a
+/// resident engine cache — see nn/engine_slot.h). The scratch never
+/// reaches save_state/restore_state (inherited: results only) and is
+/// dropped by copies, so checkpoint bytes and merged results are
+/// byte-identical to the scratch-less MapAccum's.
+template <typename T, typename Scratch>
+struct MapScratchAccum : MapAccum<T> {
+  std::unique_ptr<Scratch> scratch;
+
+  MapScratchAccum() = default;
+  MapScratchAccum(const MapScratchAccum& other) : MapAccum<T>(other) {}
+  MapScratchAccum& operator=(const MapScratchAccum& other) {
+    MapAccum<T>::operator=(other);
+    scratch.reset();
+    return *this;
+  }
+  MapScratchAccum(MapScratchAccum&&) = default;
+  MapScratchAccum& operator=(MapScratchAccum&&) = default;
 };
 
 }  // namespace detail
@@ -167,6 +188,88 @@ class CampaignRunner {
         // full-size results vector, so copy the trial ranges its
         // bitmap owns (disjoint across partials, hence
         // order-invariant).
+        [](Accum& into, Accum&& from,
+           const std::vector<std::uint8_t>& from_done,
+           const std::vector<CampaignShard>& shards) {
+          for (std::size_t s = 0; s < shards.size(); ++s) {
+            if (!from_done[s]) continue;
+            for (std::size_t t = shards[s].begin; t < shards[s].end; ++t)
+              into.results[t] = from.results[t];
+          }
+        },
+        stream);
+    return std::move(merged.results);
+  }
+
+  /// `map` with a per-shard scratch object: `scratch = make_scratch()`
+  /// is built once per shard and passed to `fn(trial, rng, scratch)`
+  /// for every trial of that shard. Scratch is runtime-only reuse
+  /// state (resident engines, buffers); `fn`'s results must not depend
+  /// on it, so output stays bit-identical to `map` for every thread
+  /// count and shard partition.
+  template <typename MakeScratch, typename Fn>
+  auto map_scratch(std::size_t trial_count, std::uint64_t seed,
+                   MakeScratch&& make_scratch, Fn&& fn) const
+      -> std::vector<std::invoke_result_t<
+          Fn&, std::size_t, Rng&, std::invoke_result_t<MakeScratch&>&>> {
+    using Scratch = std::invoke_result_t<MakeScratch&>;
+    using T = std::invoke_result_t<Fn&, std::size_t, Rng&, Scratch&>;
+    static_assert(!std::is_same_v<T, bool>,
+                  "CampaignRunner::map_scratch: bool results race in "
+                  "std::vector<bool>; return char or int instead");
+    std::vector<T> results(trial_count);
+    run_shards(trial_count, [&](const CampaignShard& shard) {
+      Scratch scratch = make_scratch();
+      for (std::size_t trial = shard.begin; trial < shard.end; ++trial) {
+        Rng rng = Rng::stream(seed, trial);
+        results[trial] = fn(trial, rng, scratch);
+      }
+    });
+    return results;
+  }
+
+  /// `map_streamed` with a per-shard scratch object (see map_scratch).
+  /// The scratch lives in the per-shard partial accumulator and never
+  /// reaches checkpoint bytes, so artifacts are byte-identical to the
+  /// scratch-less path for every thread/worker count and interruption
+  /// point.
+  template <typename MakeScratch, typename Fn>
+  auto map_streamed_scratch(std::string_view tag, std::size_t trial_count,
+                            std::uint64_t seed, MakeScratch&& make_scratch,
+                            Fn&& fn, const CampaignStreamConfig& stream) const
+      -> std::vector<std::invoke_result_t<
+          Fn&, std::size_t, Rng&, std::invoke_result_t<MakeScratch&>&>> {
+    using Scratch = std::invoke_result_t<MakeScratch&>;
+    using T = std::invoke_result_t<Fn&, std::size_t, Rng&, Scratch&>;
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "map_streamed_scratch results must be trivially copyable");
+    static_assert(!std::is_same_v<T, bool>,
+                  "CampaignRunner::map_streamed_scratch: return char or "
+                  "int instead of bool");
+    if (!stream.streaming_enabled())
+      return map_scratch(trial_count, seed, make_scratch, fn);
+    using Accum = detail::MapScratchAccum<T, Scratch>;
+    Accum initial;
+    initial.results.assign(trial_count, T{});
+    Accum merged = run_streamed<Accum>(
+        tag, trial_count, seed, std::move(initial),
+        [] { return Accum{}; },  // per-shard partials carry only a slice
+        [&](Accum& acc, const CampaignShard& shard, std::size_t trial,
+            Rng& rng) {
+          if (acc.slice.empty()) {
+            acc.slice_begin = shard.begin;
+            acc.slice.reserve(shard.size());
+          }
+          if (!acc.scratch)
+            acc.scratch = std::make_unique<Scratch>(make_scratch());
+          acc.slice.push_back(fn(trial, rng, *acc.scratch));
+        },
+        [](Accum& into, Accum&& from) {
+          for (std::size_t i = 0; i < from.slice.size(); ++i)
+            into.results[from.slice_begin + i] = from.slice[i];
+        },
+        // Partial-checkpoint merge: identical to map_streamed's (the
+        // scratch is not part of the restored state).
         [](Accum& into, Accum&& from,
            const std::vector<std::uint8_t>& from_done,
            const std::vector<CampaignShard>& shards) {

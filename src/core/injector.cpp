@@ -102,8 +102,7 @@ void enforce_stuck_values(std::span<float> values, const QFormat& format,
 }
 
 void quantize_values(std::span<float> values, const QFormat& format) noexcept {
-  for (float& v : values)
-    v = static_cast<float>(format.decode(format.encode(v)));
+  for (float& v : values) v = format.quantize(v);
 }
 
 }  // namespace ftnav

@@ -62,6 +62,13 @@ class StuckAtMask {
 /// resident image is cheap. restore() produces exactly the words the
 /// initial encode produced, so a restored image is bit-identical to a
 /// freshly constructed one.
+///
+/// The image tracks whether any fault has touched it since the last
+/// restore: restore() on a clean image is a no-op, and dirty() lets
+/// callers skip downstream work (e.g. re-decoding a weight image)
+/// between trials whose faults never hit this buffer. Mutations must
+/// therefore go through the apply() overloads, which keep the flag
+/// honest — the only raw-word escape hatch is live() on a const image.
 class FaultableImage {
  public:
   FaultableImage() = default;
@@ -75,17 +82,42 @@ class FaultableImage {
   std::size_t size() const noexcept { return live_.size(); }
   std::span<const Word> golden_words() const noexcept { return golden_; }
 
-  /// Restores the live image from the golden snapshot (word memcpy).
-  void restore() { live_.assign_words(golden_); }
+  /// True when a fault has been applied since the last restore (the
+  /// live words may differ from the golden snapshot).
+  bool dirty() const noexcept { return dirty_; }
+
+  /// Restores the live image from the golden snapshot (word memcpy);
+  /// a clean image is left untouched.
+  void restore() {
+    if (!dirty_) return;
+    live_.assign_words(golden_);
+    dirty_ = false;
+  }
 
   /// Transient bit-flips applied once to the live image.
-  void apply(const FaultMap& map) { map.apply_once(live_.words()); }
+  void apply(const FaultMap& map) {
+    if (map.sites().empty()) return;
+    map.apply_once(live_.words());
+    dirty_ = true;
+  }
+  /// Transient bit-flips applied once to the word range
+  /// [begin, begin + count) of the live image (per-layer injection).
+  void apply(const FaultMap& map, std::size_t begin, std::size_t count) {
+    if (map.sites().empty()) return;
+    map.apply_once(live_.words().subspan(begin, count));
+    dirty_ = true;
+  }
   /// Stuck-at overlay enforced on the live image.
-  void apply(const StuckAtMask& mask) noexcept { mask.apply(live_); }
+  void apply(const StuckAtMask& mask) noexcept {
+    if (mask.empty()) return;
+    mask.apply(live_);
+    dirty_ = true;
+  }
 
  private:
   QVector live_;
   std::vector<Word> golden_;
+  bool dirty_ = false;
 };
 
 /// Applies a transient bit-flip fault map once to a quantized buffer.

@@ -1,9 +1,12 @@
 #include "experiments/drone_campaigns.h"
 
+#include <memory>
 #include <stdexcept>
 
 #include "campaign/campaign_runner.h"
 #include "core/injector.h"
+#include "nn/engine_slot.h"
+#include "util/perf.h"
 #include "util/stats.h"
 
 namespace ftnav {
@@ -11,6 +14,11 @@ namespace {
 
 /// Runs `repeats` greedy rollouts, drawing a fresh fault instance via
 /// `arm` (called with the engine and a per-repeat rng) before each.
+/// The engine may be shard-resident (see nn/engine_slot.h): every
+/// repeat starts with reset_faults(), whose golden-image restore makes
+/// a reused engine bit-identical to a freshly built one, so fault
+/// state can never leak across repeats or across the cells sharing a
+/// slot.
 template <typename ArmFn>
 double msf_with_faults(QuantizedInferenceEngine& engine,
                        const DroneWorld& world,
@@ -61,29 +69,37 @@ std::string inference_stream_tag(const std::string& base,
 }
 
 /// Shared shape of the Fig. 7c-e sweeps: a (row, BER) cell grid where
-/// every cell owns a freshly built engine (so fault state never leaks
-/// across trials) and runs `config.repeats` rollouts. `engine_for(row)`
-/// builds the cell's engine; `arm(row, ber, engine, rng)` draws the
-/// cell's fault instance per repeat. Cells at BER <= 0 share one fixed
+/// each cell runs `config.repeats` rollouts on an engine acquired from
+/// the shard's resident cache — `engine_key(row)` names the slot (rows
+/// needing differently-configured engines get distinct keys),
+/// `engine_for(row)` builds it, and the FTNAV_TRIAL_BATCH policy says
+/// when to rebuild (0 = resident, 1 = legacy fresh engine per cell,
+/// k = every k cells). reset_faults()'s golden restore keeps every
+/// policy bit-identical. `arm(row, ber, engine, rng)` draws the cell's
+/// fault instance per repeat. Cells at BER <= 0 share one fixed
 /// baseline stream so every row reports identical fault-free rollouts.
-template <typename EngineFor, typename ArmFn>
+template <typename EngineFor, typename KeyFn, typename ArmFn>
 std::vector<std::vector<double>> sweep_msf_grid(
     const DroneInferenceCampaignConfig& config, std::uint64_t tag,
     std::size_t row_count, const DroneWorld& world,
     const DroneEnvConfig& env_config, EngineFor&& engine_for,
-    ArmFn&& arm) {
+    KeyFn&& engine_key, ArmFn&& arm, const std::string& perf_section) {
   const std::size_t ber_count = config.bers.size();
   const CampaignRunner runner(config.threads);
   const std::string stream_tag = inference_stream_tag(
       "drone-sweep/" + std::to_string(tag), config, &world);
   CampaignStreamConfig stream = config.stream;
   DistCampaign dist(config.dist, stream_tag, stream);
-  const std::vector<double> cells = runner.map_streamed(
+  const int trial_batch = resolve_trial_batch(config.trial_batch);
+  const double trials_started = perf::now();
+  const std::vector<double> cells = runner.map_streamed_scratch(
       stream_tag, row_count * ber_count, config.seed ^ tag,
-      [&](std::size_t trial, Rng& trial_rng) {
+      [] { return EngineCache(); },
+      [&](std::size_t trial, Rng& trial_rng, EngineCache& engines) {
         const std::size_t row = trial / ber_count;
         const double ber = config.bers[trial % ber_count];
-        QuantizedInferenceEngine engine = engine_for(row);
+        QuantizedInferenceEngine& engine = engines.acquire(
+            engine_key(row), trial_batch, [&] { return engine_for(row); });
         Rng rng = ber <= 0.0 ? Rng(config.seed ^ 0xb05e) : trial_rng;
         return msf_with_faults(
             engine, world, env_config, config.repeats, rng,
@@ -93,6 +109,10 @@ std::vector<std::vector<double>> sweep_msf_grid(
             });
       },
       stream);
+  perf::add_section(
+      perf_section,
+      row_count * ber_count * static_cast<std::size_t>(config.repeats),
+      perf::now() - trials_started);
   std::vector<std::vector<double>> grid;
   grid.reserve(row_count);
   for (std::size_t row = 0; row < row_count; ++row)
@@ -187,6 +207,10 @@ DroneTrainingCampaignResult run_drone_training_campaign(
   const CampaignRunner runner(config.threads);
   const std::size_t rows = config.injection_points.size();
   const std::size_t cols = config.bers.size();
+  // Fine-tune trial phase (both grids, excluding the policy-training
+  // preamble) for the perf-trajectory record; one fine-tune run = one
+  // trial here.
+  const double trials_started = perf::now();
 
   // Transient (injection point, BER) grid: one fine-tune run per cell,
   // accumulated into per-shard heatmaps. Cells are disjoint, so the
@@ -231,6 +255,8 @@ DroneTrainingCampaignResult run_drone_training_campaign(
         return run_fine_tune(std::nullopt, 0, type, ber, rng);
       },
       flat_stream);
+  perf::add_section("drone_training_trials", rows * cols + 1 + 2 * cols,
+                    perf::now() - trials_started);
   result.fault_free_msf = flat[0];
   result.stuck_at_0.assign(flat.begin() + 1,
                            flat.begin() + 1 + static_cast<std::ptrdiff_t>(cols));
@@ -259,23 +285,30 @@ EnvironmentSweepResult run_environment_sweep(
                                                       config.policy);
                   });
 
-  // Phase 2: flat (environment, BER) cell grid; each cell builds its
-  // own engine so fault state never crosses trials. Fault-free cells
-  // share one fixed stream (per environment) so every row reports the
-  // same baseline rollouts.
+  // Phase 2: flat (environment, BER) cell grid over shard-resident
+  // engines — one cache slot per environment, since each environment
+  // has its own trained network. Fault-free cells share one fixed
+  // stream (per environment) so every row reports the same baseline
+  // rollouts.
   const std::size_t ber_count = config.bers.size();
   const std::string stream_tag =
       inference_stream_tag("drone-env-sweep", config, nullptr);
   CampaignStreamConfig stream = config.stream;
   DistCampaign dist(config.dist, stream_tag, stream);
-  const std::vector<double> cells = runner.map_streamed(
+  const int trial_batch = resolve_trial_batch(config.trial_batch);
+  const double trials_started = perf::now();
+  const std::vector<double> cells = runner.map_streamed_scratch(
       stream_tag, worlds.size() * ber_count, config.seed ^ 0x7b,
-      [&](std::size_t trial, Rng& trial_rng) {
+      [] { return EngineCache(); },
+      [&](std::size_t trial, Rng& trial_rng, EngineCache& engines) {
         const std::size_t env = trial / ber_count;
         const double ber = config.bers[trial % ber_count];
-        QuantizedInferenceEngine engine(bundles[env].network,
-                                        QFormat::drone_weights(),
-                                        bundles[env].c3f2.input_shape());
+        QuantizedInferenceEngine& engine =
+            engines.acquire(env, trial_batch, [&] {
+              return std::make_unique<QuantizedInferenceEngine>(
+                  bundles[env].network, QFormat::drone_weights(),
+                  bundles[env].c3f2.input_shape());
+            });
         Rng rng = ber <= 0.0 ? Rng(config.seed ^ (0xb05e + env + 1))
                              : trial_rng;
         return msf_with_faults(
@@ -286,6 +319,10 @@ EnvironmentSweepResult run_environment_sweep(
             });
       },
       stream);
+  perf::add_section(
+      "drone_env_trials",
+      worlds.size() * ber_count * static_cast<std::size_t>(config.repeats),
+      perf::now() - trials_started);
   for (std::size_t env = 0; env < worlds.size(); ++env)
     result.msf.emplace_back(
         cells.begin() + static_cast<std::ptrdiff_t>(env * ber_count),
@@ -309,13 +346,16 @@ LocationSweepResult run_location_sweep(
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
 
+  // Every row drives the same engine configuration, so the whole sweep
+  // shares cache slot 0.
   result.msf = sweep_msf_grid(
       config, 0x7c, 4, world, bundle.env_config,
       [&](std::size_t) {
-        return QuantizedInferenceEngine(bundle.network,
-                                        QFormat::drone_weights(),
-                                        bundle.c3f2.input_shape());
+        return std::make_unique<QuantizedInferenceEngine>(
+            bundle.network, QFormat::drone_weights(),
+            bundle.c3f2.input_shape());
       },
+      [](std::size_t) { return std::size_t{0}; },
       [](std::size_t row, double ber, QuantizedInferenceEngine& e,
          Rng& r) {
         switch (static_cast<DroneFaultLocation>(row)) {
@@ -336,7 +376,8 @@ LocationSweepResult run_location_sweep(
             break;
           }
         }
-      });
+      },
+      "drone_location_trials");
   return result;
 }
 
@@ -346,19 +387,23 @@ LayerSweepResult run_layer_sweep(const DroneWorld& world,
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
   const auto engine_for = [&](std::size_t) {
-    return QuantizedInferenceEngine(bundle.network, QFormat::drone_weights(),
-                                    bundle.c3f2.input_shape());
+    return std::make_unique<QuantizedInferenceEngine>(
+        bundle.network, QFormat::drone_weights(), bundle.c3f2.input_shape());
   };
   const std::size_t layer_count = [&] {
-    const QuantizedInferenceEngine probe = engine_for(0);
-    result.layers = probe.layer_labels();
-    return probe.parametered_layer_count();
+    const auto probe = engine_for(0);
+    result.layers = probe->layer_labels();
+    return probe->parametered_layer_count();
   }();
 
+  // Rows differ only in which layer the arm targets, not in engine
+  // configuration: one shared slot.
   result.msf = sweep_msf_grid(
       config, 0x7d, layer_count, world, bundle.env_config, engine_for,
+      [](std::size_t) { return std::size_t{0}; },
       [](std::size_t layer, double ber, QuantizedInferenceEngine& e,
-         Rng& r) { e.inject_layer_weight_faults(layer, ber, r); });
+         Rng& r) { e.inject_layer_weight_faults(layer, ber, r); },
+      "drone_layer_trials");
   return result;
 }
 
@@ -377,15 +422,19 @@ DataTypeSweepResult run_data_type_sweep(
   for (const QFormat& format : formats)
     result.formats.push_back(format.name());
 
+  // Each row quantizes the network into a different QFormat, so each
+  // row owns its cache slot.
   result.msf = sweep_msf_grid(
       config, 0x7e, formats.size(), world, bundle.env_config,
       [&](std::size_t row) {
-        return QuantizedInferenceEngine(bundle.network, formats[row],
-                                        bundle.c3f2.input_shape());
+        return std::make_unique<QuantizedInferenceEngine>(
+            bundle.network, formats[row], bundle.c3f2.input_shape());
       },
+      [](std::size_t row) { return row; },
       [](std::size_t, double ber, QuantizedInferenceEngine& e, Rng& r) {
         arm_weight_transient(ber, e, r);
-      });
+      },
+      "drone_data_type_trials");
   return result;
 }
 
@@ -395,9 +444,10 @@ DroneMitigationResult run_drone_mitigation_comparison(
   result.bers = config.bers;
   const DronePolicyBundle bundle = train_drone_policy(world, config.policy);
 
-  // Rows: 0 = baseline, 1 = range-detector-hardened. Each cell reports
-  // its detector tally so the campaign total is an order-independent
-  // sum over trials.
+  // Rows: 0 = baseline, 1 = range-detector-hardened — the row index is
+  // also the cache key, so a baseline cell can never acquire a hardened
+  // engine or vice versa. Each cell reports its detector tally so the
+  // campaign total is an order-independent sum over trials.
   struct Cell {
     double msf = 0.0;
     std::uint64_t detections = 0;
@@ -408,15 +458,28 @@ DroneMitigationResult run_drone_mitigation_comparison(
       inference_stream_tag("drone-mitigation", config, &world);
   CampaignStreamConfig stream = config.stream;
   DistCampaign dist(config.dist, stream_tag, stream);
-  const std::vector<Cell> cells = runner.map_streamed(
+  const int trial_batch = resolve_trial_batch(config.trial_batch);
+  const double trials_started = perf::now();
+  const std::vector<Cell> cells = runner.map_streamed_scratch(
       stream_tag, 2 * ber_count, config.seed ^ 0x7f,
-      [&](std::size_t trial, Rng& trial_rng) {
+      [] { return EngineCache(); },
+      [&](std::size_t trial, Rng& trial_rng, EngineCache& engines) {
         const bool mitigated = trial >= ber_count;
         const double ber = config.bers[trial % ber_count];
-        QuantizedInferenceEngine engine(bundle.network,
-                                        QFormat::drone_weights(),
-                                        bundle.c3f2.input_shape());
-        if (mitigated) engine.enable_weight_protection(0.1);
+        QuantizedInferenceEngine& engine = engines.acquire(
+            mitigated ? 1 : 0, trial_batch, [&] {
+              auto built = std::make_unique<QuantizedInferenceEngine>(
+                  bundle.network, QFormat::drone_weights(),
+                  bundle.c3f2.input_shape());
+              if (mitigated) built->enable_weight_protection(0.1);
+              return built;
+            });
+        // The resident detector tallies across cells; this cell's
+        // count (identical to a fresh engine's) is the delta.
+        const std::uint64_t detections_before =
+            mitigated && engine.weight_detector() != nullptr
+                ? engine.weight_detector()->detections()
+                : 0;
         Cell cell;
         Rng rng = ber <= 0.0 ? Rng(config.seed ^ 0xb05e) : trial_rng;
         cell.msf = msf_with_faults(
@@ -426,10 +489,15 @@ DroneMitigationResult run_drone_mitigation_comparison(
               arm_weight_transient(ber, e, r);
             });
         if (mitigated && engine.weight_detector() != nullptr)
-          cell.detections = engine.weight_detector()->detections();
+          cell.detections =
+              engine.weight_detector()->detections() - detections_before;
         return cell;
       },
       stream);
+  perf::add_section(
+      "drone_mitigation_trials",
+      2 * ber_count * static_cast<std::size_t>(config.repeats),
+      perf::now() - trials_started);
   for (std::size_t i = 0; i < ber_count; ++i) {
     result.baseline_msf.push_back(cells[i].msf);
     result.mitigated_msf.push_back(cells[ber_count + i].msf);

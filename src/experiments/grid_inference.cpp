@@ -11,6 +11,7 @@
 #include "campaign/campaign_runner.h"
 #include "core/anomaly_detector.h"
 #include "core/injector.h"
+#include "nn/engine_slot.h"
 #include "nn/quantized_engine.h"
 #include "rl/mlp_q.h"
 #include "rl/tabular_q.h"
@@ -168,15 +169,6 @@ bool nn_fault_trial(const GridWorld& env, QuantizedInferenceEngine& engine,
   return false;
 }
 
-/// Shard-resident engine for batched NN trials: faults are injected
-/// into the live weight image and undone by a golden-snapshot restore
-/// between trials, so the engine (and its compiled kernel program) is
-/// built once per batch instead of once per trial.
-struct EngineSlot {
-  std::unique_ptr<QuantizedInferenceEngine> engine;
-  std::uint64_t trials_used = 0;
-};
-
 /// Per-shard accumulator: success and detection tallies per
 /// (mode, BER) cell. Integer adds, so neither the shard partition nor
 /// the merge order affects the merged campaign totals (the streamed
@@ -184,8 +176,9 @@ struct EngineSlot {
 struct InferenceAccum {
   std::vector<int> successes;
   std::vector<std::uint64_t> detections;
-  /// Runtime-only engine cache (NN path); never merged or
-  /// checkpointed — trial results are identical with or without it.
+  /// Runtime-only engine cache (NN path; see nn/engine_slot.h); never
+  /// merged or checkpointed — trial results are identical with or
+  /// without it.
   std::unique_ptr<EngineSlot> engine_slot;
 
   explicit InferenceAccum(std::size_t cells)
@@ -359,10 +352,7 @@ InferenceCampaignResult run_inference_campaign(
     // reset_faults() restores the golden word image bit-exactly, so
     // every policy yields identical results (see BatchInvariance in
     // tests/test_quantized_engine.cpp and the CI determinism leg).
-    const int trial_batch =
-        config.trial_batch >= 0
-            ? config.trial_batch
-            : static_cast<int>(env_int("FTNAV_TRIAL_BATCH", 0));
+    const int trial_batch = resolve_trial_batch(config.trial_batch);
 
     totals = runner.map_reduce_streamed(
         stream_tag, cell_count * repeat_count, config.seed ^ 0xabcd,
@@ -373,18 +363,14 @@ InferenceCampaignResult run_inference_campaign(
               static_cast<InferenceFaultMode>(cell / ber_count);
           const double ber = config.bers[cell % ber_count];
           if (!acc.engine_slot) acc.engine_slot = std::make_unique<EngineSlot>();
-          EngineSlot& slot = *acc.engine_slot;
-          if (!slot.engine ||
-              (trial_batch > 0 &&
-               slot.trials_used >= static_cast<std::uint64_t>(trial_batch))) {
-            slot.engine = std::make_unique<QuantizedInferenceEngine>(
-                golden_net, format, input_shape);
-            if (config.mitigated)
-              slot.engine->enable_weight_protection(config.detector_margin);
-            slot.trials_used = 0;
-          }
-          QuantizedInferenceEngine& engine = *slot.engine;
-          ++slot.trials_used;
+          QuantizedInferenceEngine& engine =
+              acc.engine_slot->acquire(trial_batch, [&] {
+                auto built = std::make_unique<QuantizedInferenceEngine>(
+                    golden_net, format, input_shape);
+                if (config.mitigated)
+                  built->enable_weight_protection(config.detector_margin);
+                return built;
+              });
           // The resident detector tallies across trials; the per-trial
           // count (identical to a fresh engine's) is the delta.
           const std::uint64_t detections_before =

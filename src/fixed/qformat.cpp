@@ -22,11 +22,15 @@ QFormat::QFormat(int integer_bits, int fraction_bits, Encoding encoding)
     throw std::invalid_argument("QFormat: need at least one value bit");
   scale_ = std::ldexp(1.0, fraction_bits);
   inv_scale_ = std::ldexp(1.0, -fraction_bits);
+  raw_max_d_ = static_cast<double>(raw_max());
+  raw_min_d_ = static_cast<double>(raw_min());
 }
 
 QFormat QFormat::with_encoding(Encoding encoding) const noexcept {
   QFormat copy = *this;
   copy.encoding_ = encoding;
+  // raw_min() depends on the encoding; keep the cached bound honest.
+  copy.raw_min_d_ = static_cast<double>(copy.raw_min());
   return copy;
 }
 
@@ -63,10 +67,16 @@ Word QFormat::sign_integer_mask() const noexcept {
 
 Word QFormat::encode(double value) const noexcept {
   const double scaled = value * scale_;
-  double rounded = std::nearbyint(scaled);
+  // Same rounding as quantize() (and as the std::nearbyint this code
+  // originally called: round-to-nearest-even in the default FP mode,
+  // without the libm call). A possible -0.0 result differs only in
+  // zero sign, which the integer cast erases.
+  constexpr double kShift = 4503599627370496.0;  // 2^52
+  const double offset = std::copysign(kShift, scaled);
+  double rounded = (scaled + offset) - offset;
   if (std::isnan(rounded)) rounded = 0.0;
-  if (rounded > raw_max()) rounded = raw_max();
-  if (rounded < raw_min()) rounded = raw_min();
+  if (rounded > raw_max_d_) rounded = raw_max_d_;
+  if (rounded < raw_min_d_) rounded = raw_min_d_;
   return from_raw(static_cast<std::int64_t>(rounded));
 }
 

@@ -20,6 +20,7 @@
 //     distribution under pure two's complement has roughly equal 0/1
 //     bit counts and cannot show either effect. See DESIGN.md §5.
 
+#include <cmath>
 #include <cstdint>
 #include <string>
 
@@ -76,6 +77,29 @@ class QFormat {
   /// Decodes a word (only the low total_bits() are read).
   double decode(Word word) const noexcept;
 
+  /// Quantizes to the nearest representable value: bit-identical to
+  /// float(decode(encode(value))) — same round-to-nearest-even,
+  /// saturation, and NaN-to-zero handling — without the word
+  /// pack/unpack round trip. This is the hot path of every activation
+  /// buffer write (quantize_values in core/injector.h runs it per
+  /// element of every layer output), so it stays branch-light and
+  /// inline; tests/test_qformat.cpp checks the equality exhaustively.
+  float quantize(float value) const noexcept {
+    const double scaled = static_cast<double>(value) * scale_;
+    // Round to nearest-even without a libm call: adding and removing
+    // 2^52 rounds |x| < 2^52 to an integer in the FPU's default mode,
+    // which is exactly what std::nearbyint does (the program never
+    // changes the rounding mode). Magnitudes >= 2^52 come out integral
+    // either way and saturate identically below.
+    constexpr double kShift = 4503599627370496.0;  // 2^52
+    const double offset = std::copysign(kShift, scaled);
+    double rounded = (scaled + offset) - offset;
+    if (std::isnan(rounded)) rounded = 0.0;
+    if (rounded > raw_max_d_) rounded = raw_max_d_;
+    if (rounded < raw_min_d_) rounded = raw_min_d_;
+    return static_cast<float>(rounded * inv_scale_);
+  }
+
   /// Signed integer v such that decode(word) == v * resolution().
   std::int32_t to_raw(Word word) const noexcept;
   /// Encodes a raw signed integer, saturating to the representable range.
@@ -102,10 +126,13 @@ class QFormat {
   int integer_bits_;
   int fraction_bits_;
   Encoding encoding_;
-  // Cached scale factors: encode/decode run on every element of every
-  // buffer write, so 2^f and 2^-f must not be recomputed per call.
+  // Cached scale factors and saturation bounds: encode/decode/quantize
+  // run on every element of every buffer write, so none of these may be
+  // recomputed per call.
   double scale_ = 1.0;       // 2^fraction_bits
   double inv_scale_ = 1.0;   // 2^-fraction_bits
+  double raw_max_d_ = 0.0;   // double(raw_max())
+  double raw_min_d_ = 0.0;   // double(raw_min())
 };
 
 /// Flips bit `bit` of `word` (bit must be < 32).

@@ -1,0 +1,12 @@
+#include "nn/engine_slot.h"
+
+#include "util/env_config.h"
+
+namespace ftnav {
+
+int resolve_trial_batch(int config_value) {
+  if (config_value >= 0) return config_value;
+  return static_cast<int>(env_int("FTNAV_TRIAL_BATCH", 0));
+}
+
+}  // namespace ftnav

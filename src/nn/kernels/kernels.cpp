@@ -18,8 +18,8 @@ namespace ftnav::kernels {
 
 namespace {
 
-void conv2d_scalar(const float* w, const float* bias, const float* x,
-                   float* y, const ConvShape& s) {
+void conv2d_scalar(const float* w, const float* /*wt*/, const float* bias,
+                   const float* x, float* y, const ConvShape& s) {
   for (int oc = 0; oc < s.out_c; ++oc) {
     for (int oh = 0; oh < s.out_h; ++oh) {
       for (int ow = 0; ow < s.out_w; ++ow) {
@@ -60,7 +60,8 @@ void relu_scalar(float* x, std::size_t n) {
 }
 
 constexpr KernelOps kScalarOps{"scalar", /*dense_wants_transposed=*/false,
-                               conv2d_scalar, dense_scalar, relu_scalar};
+                               /*conv_wants_transposed=*/false, conv2d_scalar,
+                               dense_scalar, relu_scalar};
 
 std::atomic<const KernelOps*> g_override{nullptr};
 
@@ -77,6 +78,8 @@ bool avx2_supported() noexcept {
 #endif
 }
 
+bool neon_supported() noexcept { return neon_ops() != nullptr; }
+
 const KernelOps& resolve_backend(const std::string& choice) {
   if (choice == "scalar") return kScalarOps;
   if (choice == "avx2") {
@@ -86,10 +89,20 @@ const KernelOps& resolve_backend(const std::string& choice) {
           "FTNAV_SIMD=scalar or auto)");
     return *avx2_ops();
   }
-  if (choice == "auto")
-    return avx2_supported() ? *avx2_ops() : kScalarOps;
+  if (choice == "neon") {
+    if (!neon_supported())
+      throw std::runtime_error(
+          "FTNAV_SIMD=neon: this host does not support NEON (use "
+          "FTNAV_SIMD=scalar or auto)");
+    return *neon_ops();
+  }
+  if (choice == "auto") {
+    if (avx2_supported()) return *avx2_ops();
+    if (neon_supported()) return *neon_ops();
+    return kScalarOps;
+  }
   throw std::invalid_argument("FTNAV_SIMD: unknown backend \"" + choice +
-                              "\" (expected scalar | avx2 | auto)");
+                              "\" (expected scalar | avx2 | neon | auto)");
 }
 
 const KernelOps& active() {

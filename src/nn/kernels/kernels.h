@@ -12,9 +12,10 @@
 // fuses the multiply-add chain into FMAs.
 //
 // Backend selection happens once per process from FTNAV_SIMD
-// ("scalar" | "avx2" | "auto", default auto = the widest backend the
-// CPU supports). FTNAV_SIMD=avx2 on a host without AVX2 is a
-// diagnosed error, not a silent fallback. Tests pin a backend with
+// ("scalar" | "avx2" | "neon" | "auto", default auto = the widest
+// backend the CPU supports: avx2 on x86, neon on ARM, scalar
+// otherwise). Naming a backend the host cannot execute is a diagnosed
+// error, not a silent fallback. Tests pin a backend with
 // ScopedKernelBackend to compare backends inside one process.
 
 #include <cstddef>
@@ -31,7 +32,9 @@ struct ConvShape {
 };
 
 /// One kernel backend. All pointers are to dense row-major storage:
-///   conv2d: w[oc][ic][kh][kw], bias[oc], x/y in CHW;
+///   conv2d: w[oc][ic][kh][kw], wt[ic][kh][kw][oc] (transposed copy,
+///           only valid when conv_wants_transposed; pass nullptr
+///           otherwise), bias[oc], x/y in CHW;
 ///   dense:  w[o][i] (row-major), wt[i][o] (transposed copy, only
 ///           valid when dense_wants_transposed; pass nullptr
 ///           otherwise), bias[o];
@@ -43,8 +46,14 @@ struct KernelOps {
   /// by the caller once per weight-image load, amortized over many
   /// inferences).
   bool dense_wants_transposed;
-  void (*conv2d)(const float* w, const float* bias, const float* x, float* y,
-                 const ConvShape& s);
+  /// True when `conv2d` reads the transposed weight copy `wt`
+  /// (contiguous across output channels for a fixed tap, so SIMD
+  /// lanes covering neighboring output channels load one vector per
+  /// tap instead of gathering strided input columns). Built by the
+  /// caller alongside the dense cache.
+  bool conv_wants_transposed;
+  void (*conv2d)(const float* w, const float* wt, const float* bias,
+                 const float* x, float* y, const ConvShape& s);
   void (*dense)(const float* w, const float* wt, const float* bias,
                 const float* x, float* y, int in_f, int out_f);
   void (*relu)(float* x, std::size_t n);
@@ -61,9 +70,17 @@ const KernelOps* avx2_ops() noexcept;
 /// True when the AVX2 backend is compiled in AND this CPU executes it.
 bool avx2_supported() noexcept;
 
-/// Resolves a backend by name ("scalar" | "avx2" | "auto"). Throws
-/// std::invalid_argument for unknown names and std::runtime_error for
-/// FTNAV_SIMD=avx2 on a host without AVX2.
+/// The NEON backend, or nullptr when not compiled in (non-ARM build).
+const KernelOps* neon_ops() noexcept;
+
+/// True when the NEON backend is compiled in (ARM builds; NEON is
+/// architectural on AArch64, so compiled-in implies executable).
+bool neon_supported() noexcept;
+
+/// Resolves a backend by name ("scalar" | "avx2" | "neon" | "auto").
+/// Throws std::invalid_argument for unknown names and
+/// std::runtime_error for a known backend this host cannot execute
+/// (e.g. FTNAV_SIMD=avx2 on ARM, FTNAV_SIMD=neon on x86).
 const KernelOps& resolve_backend(const std::string& choice);
 
 /// The process-wide backend: the ScopedKernelBackend override when one

@@ -1,48 +1,57 @@
-// AVX2 kernel backend.
+// NEON kernel backend.
 //
-// Vectorizes across INDEPENDENT output elements (8 float lanes), so
+// Vectorizes across INDEPENDENT output elements (4 float lanes), so
 // each lane executes exactly the scalar backend's accumulation chain
-// for its element. Conv and dense both read transposed weight copies
-// (contiguous across output channels / output features), broadcasting
-// one input value per tap: vmulps + vaddps with no gathers (no FMA:
-// this TU is compiled with -ffp-contract=off, and -mavx2 does not
-// enable FMA codegen). IEEE-754 single-precision mul/add are identical
-// scalar vs vector, so results are bit-identical to the scalar
-// backend; remainder elements (sizes not divisible by 8) run the
-// scalar chain directly.
+// for its element: broadcast weight, load 4 inputs, fmul + fadd kept
+// as separate instructions (never fused: vmulq/vaddq instead of
+// vmlaq, and this TU is compiled with -ffp-contract=off so the
+// compiler cannot re-fuse them into FMLA). IEEE-754 single-precision
+// mul/add are identical scalar vs vector, so results are bit-identical
+// to the scalar backend; remainder elements (sizes not divisible by 4)
+// run the scalar chain directly.
 //
-// This TU is the only one compiled with -mavx2 (x86 builds only; see
-// CMakeLists.txt). On other architectures it compiles to a stub that
-// reports the backend as unavailable.
+// ReLU deliberately avoids vmaxq_f32: ARM FMAX propagates NaN operands
+// where the scalar `v > 0 ? v : 0` (and x86 max_ps) returns 0, so the
+// NEON path selects through a compare instead, which matches the
+// scalar chain for every input including NaN and -0.0.
+//
+// On non-ARM architectures this TU compiles to a stub that reports the
+// backend as unavailable (mirroring kernels_avx2.cpp off x86).
 
 #include "nn/kernels/kernels.h"
 
-#if defined(__AVX2__)
+#if defined(__ARM_NEON) || defined(__ARM_NEON__)
 
-#include <immintrin.h>
+#include <arm_neon.h>
 
 namespace ftnav::kernels {
 
 namespace {
 
-void conv2d_avx2(const float* w, const float* wt, const float* bias,
+/// Loads lanes {p[0], p[stride], p[2*stride], p[3*stride]} — the
+/// strided-input gather for conv columns when stride != 1.
+inline float32x4_t load_strided(const float* p, int stride) {
+  float lanes[4] = {p[0], p[stride], p[2 * stride], p[3 * stride]};
+  return vld1q_f32(lanes);
+}
+
+void conv2d_neon(const float* w, const float* wt, const float* bias,
                  const float* x, float* y, const ConvShape& s) {
-  if (s.out_c >= 8 && wt != nullptr) {
+  if (s.out_c >= 4 && wt != nullptr) {
     // Lane j handles output channel oc+j at a fixed spatial position,
     // through the transposed weights wt[ic][kh][kw][oc] (contiguous
     // across output channels for a fixed tap): broadcast one input
-    // value, load 8 neighboring output-channel weights, vmulps +
-    // vaddps. No gathers regardless of stride, and full lanes even
-    // when the output feature map is tiny (late conv stages) -- the
-    // geometry where column vectorization runs mostly scalar.
+    // value, load 4 neighboring output-channel weights. No per-lane
+    // gathers regardless of stride, and full lanes even when the
+    // output feature map is tiny (late conv stages).
     const std::size_t plane = static_cast<std::size_t>(s.out_h) * s.out_w;
     for (int oh = 0; oh < s.out_h; ++oh) {
       for (int ow = 0; ow < s.out_w; ++ow) {
         const int ih0 = oh * s.stride;
         const int iw0 = ow * s.stride;
         int oc = 0;
-        for (; oc + 8 <= s.out_c; oc += 8) {
-          __m256 acc = _mm256_loadu_ps(bias + oc);
+        for (; oc + 4 <= s.out_c; oc += 4) {
+          float32x4_t acc = vld1q_f32(bias + oc);
           const float* wp = wt + oc;
           for (int ic = 0; ic < s.in_c; ++ic) {
             for (int kh = 0; kh < s.kernel; ++kh) {
@@ -51,18 +60,18 @@ void conv2d_avx2(const float* w, const float* wt, const float* bias,
                           s.in_w +
                   iw0;
               for (int kw = 0; kw < s.kernel; ++kw) {
-                const __m256 wv = _mm256_loadu_ps(wp);
-                const __m256 xv = _mm256_broadcast_ss(xrow + kw);
-                acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+                const float32x4_t wv = vld1q_f32(wp);
+                const float32x4_t xv = vdupq_n_f32(xrow[kw]);
+                acc = vaddq_f32(acc, vmulq_f32(wv, xv));
                 wp += s.out_c;
               }
             }
           }
-          alignas(32) float lanes[8];
-          _mm256_store_ps(lanes, acc);
+          float lanes[4];
+          vst1q_f32(lanes, acc);
           float* ybase = y + static_cast<std::size_t>(oc) * plane +
                          static_cast<std::size_t>(oh) * s.out_w + ow;
-          for (int j = 0; j < 8; ++j)
+          for (int j = 0; j < 4; ++j)
             ybase[static_cast<std::size_t>(j) * plane] = lanes[j];
         }
         // Remainder output channels: the scalar chain verbatim.
@@ -91,18 +100,15 @@ void conv2d_avx2(const float* w, const float* wt, const float* bias,
     return;
   }
   // Narrow-out_c fallback: lane j handles output column ow+j, reading
-  // input column (ow+j)*stride + kw: contiguous for stride 1, a gather
-  // otherwise.
-  const __m256i gather_index = _mm256_setr_epi32(
-      0, s.stride, 2 * s.stride, 3 * s.stride, 4 * s.stride, 5 * s.stride,
-      6 * s.stride, 7 * s.stride);
+  // input column (ow+j)*stride + kw: contiguous for stride 1, per-lane
+  // loads otherwise.
   for (int oc = 0; oc < s.out_c; ++oc) {
     for (int oh = 0; oh < s.out_h; ++oh) {
       const int ih0 = oh * s.stride;
       float* yrow = y + (static_cast<std::size_t>(oc) * s.out_h + oh) * s.out_w;
       int ow = 0;
-      for (; ow + 8 <= s.out_w; ow += 8) {
-        __m256 acc = _mm256_broadcast_ss(bias + oc);
+      for (; ow + 4 <= s.out_w; ow += 4) {
+        float32x4_t acc = vdupq_n_f32(bias[oc]);
         const int iw0 = ow * s.stride;
         for (int ic = 0; ic < s.in_c; ++ic) {
           for (int kh = 0; kh < s.kernel; ++kh) {
@@ -115,16 +121,15 @@ void conv2d_avx2(const float* w, const float* wt, const float* bias,
                         s.in_w +
                 iw0;
             for (int kw = 0; kw < s.kernel; ++kw) {
-              const __m256 wv = _mm256_broadcast_ss(wrow + kw);
-              const __m256 xv =
-                  s.stride == 1
-                      ? _mm256_loadu_ps(xrow + kw)
-                      : _mm256_i32gather_ps(xrow + kw, gather_index, 4);
-              acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+              const float32x4_t wv = vdupq_n_f32(wrow[kw]);
+              const float32x4_t xv = s.stride == 1
+                                         ? vld1q_f32(xrow + kw)
+                                         : load_strided(xrow + kw, s.stride);
+              acc = vaddq_f32(acc, vmulq_f32(wv, xv));
             }
           }
         }
-        _mm256_storeu_ps(yrow + ow, acc);
+        vst1q_f32(yrow + ow, acc);
       }
       // Remainder columns: the scalar chain verbatim.
       for (; ow < s.out_w; ++ow) {
@@ -149,20 +154,20 @@ void conv2d_avx2(const float* w, const float* wt, const float* bias,
   }
 }
 
-void dense_avx2(const float* w, const float* wt, const float* bias,
+void dense_neon(const float* w, const float* wt, const float* bias,
                 const float* x, float* y, int in_f, int out_f) {
   // Lane j handles output o+j through the transposed weights
   // wt[i][o] (contiguous across outputs for a fixed input).
   int o = 0;
-  for (; o + 8 <= out_f; o += 8) {
-    __m256 acc = _mm256_loadu_ps(bias + o);
+  for (; o + 4 <= out_f; o += 4) {
+    float32x4_t acc = vld1q_f32(bias + o);
     for (int i = 0; i < in_f; ++i) {
-      const __m256 xv = _mm256_broadcast_ss(x + i);
-      const __m256 wv =
-          _mm256_loadu_ps(wt + static_cast<std::size_t>(i) * out_f + o);
-      acc = _mm256_add_ps(acc, _mm256_mul_ps(wv, xv));
+      const float32x4_t xv = vdupq_n_f32(x[i]);
+      const float32x4_t wv =
+          vld1q_f32(wt + static_cast<std::size_t>(i) * out_f + o);
+      acc = vaddq_f32(acc, vmulq_f32(wv, xv));
     }
-    _mm256_storeu_ps(y + o, acc);
+    vst1q_f32(y + o, acc);
   }
   for (; o < out_f; ++o) {
     float acc = bias[o];
@@ -172,32 +177,34 @@ void dense_avx2(const float* w, const float* wt, const float* bias,
   }
 }
 
-void relu_avx2(float* x, std::size_t n) {
-  // max_ps(v, +0.0) matches `v > 0 ? v : 0` exactly: for v <= 0, v
-  // NaN, and v = -0.0 the second operand (+0.0) is returned, which is
-  // the scalar result in every case.
-  const __m256 zero = _mm256_setzero_ps();
+void relu_neon(float* x, std::size_t n) {
+  // Select-through-compare, NOT vmaxq_f32: vcgt is false for v <= 0,
+  // v = -0.0 and v NaN, so those lanes take +0.0 — exactly the scalar
+  // `v > 0 ? v : 0` (FMAX would propagate NaN instead).
+  const float32x4_t zero = vdupq_n_f32(0.0f);
   std::size_t i = 0;
-  for (; i + 8 <= n; i += 8)
-    _mm256_storeu_ps(x + i, _mm256_max_ps(_mm256_loadu_ps(x + i), zero));
+  for (; i + 4 <= n; i += 4) {
+    const float32x4_t v = vld1q_f32(x + i);
+    vst1q_f32(x + i, vbslq_f32(vcgtq_f32(v, zero), v, zero));
+  }
   for (; i < n; ++i) x[i] = x[i] > 0.0f ? x[i] : 0.0f;
 }
 
-constexpr KernelOps kAvx2Ops{"avx2", /*dense_wants_transposed=*/true,
-                             /*conv_wants_transposed=*/true, conv2d_avx2,
-                             dense_avx2, relu_avx2};
+constexpr KernelOps kNeonOps{"neon", /*dense_wants_transposed=*/true,
+                             /*conv_wants_transposed=*/true, conv2d_neon,
+                             dense_neon, relu_neon};
 
 }  // namespace
 
-const KernelOps* avx2_ops() noexcept { return &kAvx2Ops; }
+const KernelOps* neon_ops() noexcept { return &kNeonOps; }
 
 }  // namespace ftnav::kernels
 
-#else  // !defined(__AVX2__)
+#else  // !defined(__ARM_NEON)
 
 namespace ftnav::kernels {
 
-const KernelOps* avx2_ops() noexcept { return nullptr; }
+const KernelOps* neon_ops() noexcept { return nullptr; }
 
 }  // namespace ftnav::kernels
 

@@ -90,7 +90,8 @@ const std::vector<EnvKnob>& declared_env_knobs() {
       {"FTNAV_AUTH_TOKEN", "campaign-server session token"},
       {"FTNAV_SERVER", "default campaign-server host:port for "
                        "submit/status/attach"},
-      {"FTNAV_SIMD", "kernel backend: scalar|avx2|auto (results identical)"},
+      {"FTNAV_SIMD",
+       "kernel backend: scalar|avx2|neon|auto (results identical)"},
       {"FTNAV_TRIAL_BATCH",
        "NN trials per engine rebuild; 0 = one engine per shard "
        "(results identical)"},

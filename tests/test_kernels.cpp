@@ -3,8 +3,10 @@
 // scalar chain — not tolerance-based closeness — so every comparison
 // here is on the float bit pattern. Inputs are genuine Q-format values
 // (round-tripped through encode/decode) including the saturation
-// edges, and the geometry sweeps deliberately cross the 8-lane
-// boundary to exercise remainder handling.
+// edges, and the geometry sweeps deliberately cross both the 4-lane
+// (NEON) and 8-lane (AVX2) boundaries to exercise remainder handling.
+// Each SIMD backend runs the same matrix through its own fixture and
+// GTEST_SKIPs on hosts that cannot execute it.
 
 #include <gtest/gtest.h>
 
@@ -56,28 +58,27 @@ void expect_bit_identical(const std::vector<float>& scalar,
         << " simd=" << simd[i];
 }
 
-class KernelBitIdentity : public ::testing::Test {
- protected:
-  void SetUp() override {
-    if (!kernels::avx2_supported())
-      GTEST_SKIP() << "AVX2 backend unavailable on this host";
-    avx2_ = kernels::avx2_ops();
-    ASSERT_NE(avx2_, nullptr);
-  }
-  const KernelOps* avx2_ = nullptr;
-};
+// ---- Backend-agnostic bit-identity matrices ------------------------------
+// Each helper compares one SIMD backend against the scalar chain; the
+// per-backend fixtures below run every matrix through both compiled-in
+// backends.
 
-TEST_F(KernelBitIdentity, ConvAcrossShapesAndRemainderLanes) {
+void run_conv_shape_matrix(const KernelOps& simd) {
   const QFormat fmt = QFormat::q_1_4_11();
   const struct { int in_c, out_c, kernel, stride, out_h, out_w; } shapes[] = {
       {1, 1, 1, 1, 1, 1},    // degenerate
-      {1, 2, 3, 1, 3, 7},    // out_w < 8: pure remainder path
-      {2, 3, 3, 1, 4, 8},    // exactly one vector of columns
-      {3, 2, 3, 1, 5, 9},    // one vector + 1 remainder column
-      {2, 2, 5, 1, 2, 17},   // two vectors + 1 remainder
-      {1, 2, 3, 2, 3, 7},    // strided gather, remainder only
+      {1, 2, 3, 1, 3, 3},    // out_w < 4: pure remainder for both widths
+      {1, 2, 3, 1, 3, 7},    // out_w < 8: remainder for AVX2, 4+3 for NEON
+      {2, 3, 3, 1, 4, 8},    // one AVX2 vector; two NEON vectors
+      {3, 2, 3, 1, 5, 9},    // full vector(s) + 1 remainder column
+      {2, 2, 5, 1, 2, 17},   // several vectors + 1 remainder
+      {1, 2, 3, 2, 3, 7},    // strided gather + remainder
       {2, 2, 3, 2, 4, 9},    // strided gather + remainder
-      {3, 4, 5, 2, 3, 16},   // strided, two full vectors
+      {3, 4, 5, 2, 3, 16},   // strided; NEON channel path, AVX2 columns
+      {2, 8, 3, 1, 2, 2},    // tiny feature map: one AVX2 channel vector
+      {3, 12, 3, 2, 3, 3},   // strided channel path + 4-channel remainder
+      {2, 19, 5, 1, 4, 5},   // channel vectors + odd channel remainder
+      {1, 16, 1, 1, 6, 6},   // 1x1 kernel, pure channel vectorization
   };
   for (const auto& g : shapes) {
     ConvShape s;
@@ -98,18 +99,27 @@ TEST_F(KernelBitIdentity, ConvAcrossShapesAndRemainderLanes) {
     const auto w = quantized_randoms(fmt, wn, 100 + wn);
     const auto b = quantized_randoms(fmt, g.out_c, 200 + wn);
     const auto x = quantized_randoms(fmt, xn, 300 + xn);
+    // Transposed copy wt[ic][kh][kw][oc], built exactly as the engine
+    // builds it.
+    std::vector<float> wt(wn);
+    const int taps = g.in_c * g.kernel * g.kernel;
+    for (int oc = 0; oc < g.out_c; ++oc)
+      for (int t = 0; t < taps; ++t)
+        wt[static_cast<std::size_t>(t) * g.out_c + oc] =
+            w[static_cast<std::size_t>(oc) * taps + t];
     std::vector<float> y_scalar(yn, -1.0f), y_simd(yn, -2.0f);
-    kernels::scalar_ops().conv2d(w.data(), b.data(), x.data(),
+    kernels::scalar_ops().conv2d(w.data(), nullptr, b.data(), x.data(),
                                  y_scalar.data(), s);
-    avx2_->conv2d(w.data(), b.data(), x.data(), y_simd.data(), s);
+    simd.conv2d(w.data(), simd.conv_wants_transposed ? wt.data() : nullptr,
+                b.data(), x.data(), y_simd.data(), s);
     expect_bit_identical(y_scalar, y_simd, "conv2d");
   }
 }
 
-TEST_F(KernelBitIdentity, DenseAcrossWidthsAndRemainderLanes) {
+void run_dense_width_matrix(const KernelOps& simd) {
   const QFormat fmt(3, 4);  // coarse grid: saturating sums
   for (const int in_f : {1, 5, 48}) {
-    for (const int out_f : {1, 7, 8, 9, 16, 25}) {
+    for (const int out_f : {1, 3, 4, 7, 8, 9, 16, 25}) {
       const std::size_t wn = static_cast<std::size_t>(out_f) * in_f;
       const auto w = quantized_randoms(fmt, wn, 400 + wn);
       const auto b = quantized_randoms(fmt, out_f, 500 + wn);
@@ -123,27 +133,28 @@ TEST_F(KernelBitIdentity, DenseAcrossWidthsAndRemainderLanes) {
       std::vector<float> y_scalar(out_f, -1.0f), y_simd(out_f, -2.0f);
       kernels::scalar_ops().dense(w.data(), nullptr, b.data(), x.data(),
                                   y_scalar.data(), in_f, out_f);
-      avx2_->dense(w.data(), wt.data(), b.data(), x.data(), y_simd.data(),
-                   in_f, out_f);
+      simd.dense(w.data(),
+                 simd.dense_wants_transposed ? wt.data() : nullptr, b.data(),
+                 x.data(), y_simd.data(), in_f, out_f);
       expect_bit_identical(y_scalar, y_simd, "dense");
     }
   }
 }
 
-TEST_F(KernelBitIdentity, ReluIncludingSignedZeroAndRemainder) {
-  for (const std::size_t n : {1u, 7u, 8u, 17u, 64u}) {
+void run_relu_matrix(const KernelOps& simd) {
+  for (const std::size_t n : {1u, 3u, 4u, 7u, 8u, 17u, 64u}) {
     std::vector<float> values = quantized_randoms(QFormat::q_1_4_11(), n, n);
     values[0] = -0.0f;  // scalar path yields +0.0 here; SIMD must too
-    std::vector<float> scalar = values, simd = values;
+    std::vector<float> scalar = values, simd_vals = values;
     kernels::scalar_ops().relu(scalar.data(), scalar.size());
-    avx2_->relu(simd.data(), simd.size());
-    expect_bit_identical(scalar, simd, "relu");
+    simd.relu(simd_vals.data(), simd_vals.size());
+    expect_bit_identical(scalar, simd_vals, "relu");
     for (float v : scalar) EXPECT_GE(v, 0.0f);
     EXPECT_EQ(bits_of(scalar[0]), bits_of(0.0f));  // not -0.0
   }
 }
 
-TEST_F(KernelBitIdentity, FaultedWeightImagesStayBitIdentical) {
+void run_faulted_dense(const KernelOps& simd) {
   // Faulted weights leave the "nice" trained distribution: bit flips
   // produce saturated magnitudes and sign flips. The backends must
   // still agree exactly.
@@ -173,21 +184,89 @@ TEST_F(KernelBitIdentity, FaultedWeightImagesStayBitIdentical) {
   std::vector<float> y_scalar(out_f), y_simd(out_f);
   kernels::scalar_ops().dense(w.data(), nullptr, b.data(), x.data(),
                               y_scalar.data(), in_f, out_f);
-  avx2_->dense(w.data(), wt.data(), b.data(), x.data(), y_simd.data(), in_f,
-               out_f);
+  simd.dense(w.data(), simd.dense_wants_transposed ? wt.data() : nullptr,
+             b.data(), x.data(), y_simd.data(), in_f, out_f);
   expect_bit_identical(y_scalar, y_simd, "faulted dense");
 }
 
+// ---- AVX2 ----------------------------------------------------------------
+
+class Avx2BitIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kernels::avx2_supported())
+      GTEST_SKIP() << "AVX2 backend unavailable on this host";
+    simd_ = kernels::avx2_ops();
+    ASSERT_NE(simd_, nullptr);
+  }
+  const KernelOps* simd_ = nullptr;
+};
+
+TEST_F(Avx2BitIdentity, ConvAcrossShapesAndRemainderLanes) {
+  run_conv_shape_matrix(*simd_);
+}
+
+TEST_F(Avx2BitIdentity, DenseAcrossWidthsAndRemainderLanes) {
+  run_dense_width_matrix(*simd_);
+}
+
+TEST_F(Avx2BitIdentity, ReluIncludingSignedZeroAndRemainder) {
+  run_relu_matrix(*simd_);
+}
+
+TEST_F(Avx2BitIdentity, FaultedWeightImagesStayBitIdentical) {
+  run_faulted_dense(*simd_);
+}
+
+// ---- NEON ----------------------------------------------------------------
+
+class NeonBitIdentity : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!kernels::neon_supported())
+      GTEST_SKIP() << "NEON backend unavailable on this host";
+    simd_ = kernels::neon_ops();
+    ASSERT_NE(simd_, nullptr);
+  }
+  const KernelOps* simd_ = nullptr;
+};
+
+TEST_F(NeonBitIdentity, ConvAcrossShapesAndRemainderLanes) {
+  run_conv_shape_matrix(*simd_);
+}
+
+TEST_F(NeonBitIdentity, DenseAcrossWidthsAndRemainderLanes) {
+  run_dense_width_matrix(*simd_);
+}
+
+TEST_F(NeonBitIdentity, ReluIncludingSignedZeroAndRemainder) {
+  run_relu_matrix(*simd_);
+}
+
+TEST_F(NeonBitIdentity, FaultedWeightImagesStayBitIdentical) {
+  run_faulted_dense(*simd_);
+}
+
+// ---- Dispatch ------------------------------------------------------------
+
 TEST(Kernels, ResolveBackendNamesAndErrors) {
   EXPECT_STREQ(kernels::resolve_backend("scalar").name, "scalar");
-  EXPECT_THROW(kernels::resolve_backend("neon"), std::invalid_argument);
+  EXPECT_THROW(kernels::resolve_backend("sve"), std::invalid_argument);
   if (kernels::avx2_supported())
     EXPECT_STREQ(kernels::resolve_backend("avx2").name, "avx2");
   else
     EXPECT_THROW(kernels::resolve_backend("avx2"), std::runtime_error);
+  if (kernels::neon_supported())
+    EXPECT_STREQ(kernels::resolve_backend("neon").name, "neon");
+  else
+    EXPECT_THROW(kernels::resolve_backend("neon"), std::runtime_error);
   const KernelOps& resolved = kernels::resolve_backend("auto");
-  EXPECT_STREQ(resolved.name,
-               kernels::avx2_supported() ? "avx2" : "scalar");
+  if (kernels::avx2_supported())
+    EXPECT_STREQ(resolved.name, "avx2");
+  else if (kernels::neon_supported())
+    EXPECT_STREQ(resolved.name, "neon");
+  else
+    EXPECT_STREQ(resolved.name, "scalar");
 }
 
 TEST(Kernels, ScopedBackendOverridesActive) {
@@ -198,6 +277,10 @@ TEST(Kernels, ScopedBackendOverridesActive) {
   if (kernels::avx2_supported()) {
     kernels::ScopedKernelBackend pin(*kernels::avx2_ops());
     EXPECT_STREQ(kernels::active().name, "avx2");
+  }
+  if (kernels::neon_supported()) {
+    kernels::ScopedKernelBackend pin(*kernels::neon_ops());
+    EXPECT_STREQ(kernels::active().name, "neon");
   }
 }
 

@@ -1,12 +1,19 @@
 // Tests for fixed-point Q formats: encode/decode round-trips,
-// saturation, bit manipulation, and the paper's specific formats.
+// saturation, bit manipulation, the paper's specific formats, and the
+// bit-exactness of the branchless encode/quantize fast paths against a
+// straightforward std::nearbyint reference.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
 #include <tuple>
+#include <vector>
 
 #include "fixed/qformat.h"
+#include "util/rng.h"
 
 namespace ftnav {
 namespace {
@@ -198,6 +205,117 @@ INSTANTIATE_TEST_SUITE_P(PaperFormats, QFormatSweep,
                                            std::make_tuple(10, 5),
                                            std::make_tuple(1, 6),
                                            std::make_tuple(0, 7)));
+
+// ---- branchless encode/quantize fast paths ----------------------------
+//
+// QFormat::encode rounds with the add-2^52 trick instead of a
+// std::nearbyint call, and QFormat::quantize additionally skips the
+// word pack/unpack. Both claim BIT equality with the straightforward
+// implementations; these sweeps check that claim against an
+// independent nearbyint reference over every rounding edge the formats
+// have, plus a deterministic scan across the whole float range
+// (denormals, infinities, NaN payloads included).
+
+std::uint32_t float_bits(float v) {
+  std::uint32_t out;
+  std::memcpy(&out, &v, sizeof(out));
+  return out;
+}
+
+/// The textbook encode: scale, std::nearbyint, saturate via from_raw.
+Word reference_encode(const QFormat& fmt, double value) {
+  if (std::isnan(value)) return fmt.from_raw(0);
+  double rounded =
+      std::nearbyint(value * std::ldexp(1.0, fmt.fraction_bits()));
+  // Pre-clamp only to keep the int64 cast defined; from_raw saturates
+  // to the real representable range.
+  const double bound = std::ldexp(1.0, fmt.total_bits() + 1);
+  if (rounded > bound) rounded = bound;
+  if (rounded < -bound) rounded = -bound;
+  return fmt.from_raw(static_cast<std::int64_t>(rounded));
+}
+
+std::vector<QFormat> fast_path_formats() {
+  return {QFormat(3, 4),
+          QFormat(3, 4, Encoding::kSignMagnitude),
+          QFormat::drone_weights(),  // Q(1,4,11)sm — the hot campaign format
+          QFormat::q_1_10_5(),
+          QFormat(0, 7)};
+}
+
+/// Every value class with a rounding or saturation decision: the full
+/// representable grid, the exact half-way points between grid steps
+/// (round-to-even edges), their one-ulp neighbours, values beyond both
+/// saturation bounds, and the IEEE specials.
+std::vector<double> rounding_edge_values(const QFormat& fmt) {
+  std::vector<double> values;
+  const double res = fmt.resolution();
+  const auto raw_lo = static_cast<std::int64_t>(fmt.min_value() / res);
+  const auto raw_hi = static_cast<std::int64_t>(fmt.max_value() / res);
+  for (std::int64_t raw = raw_lo - 3; raw <= raw_hi + 3; ++raw) {
+    const double v = static_cast<double>(raw) * res;
+    const double mid = v + res / 2;
+    values.push_back(v);
+    values.push_back(mid);
+    values.push_back(std::nextafter(mid, -1e30));
+    values.push_back(std::nextafter(mid, 1e30));
+  }
+  for (double v :
+       {0.0, -0.0, fmt.max_value() * 2, fmt.min_value() * 2, 1e30, -1e30,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::quiet_NaN(),
+        static_cast<double>(std::numeric_limits<float>::denorm_min()),
+        4503599627370496.0 /* 2^52: the rounding trick's pivot */,
+        -4503599627370496.0, 9007199254740992.0 /* 2^53 */})
+    values.push_back(v);
+  return values;
+}
+
+TEST(QFormatFastPath, EncodeMatchesNearbyintReference) {
+  for (const QFormat& fmt : fast_path_formats()) {
+    for (double v : rounding_edge_values(fmt))
+      ASSERT_EQ(fmt.encode(v), reference_encode(fmt, v))
+          << fmt.name() << " value " << v;
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i) {
+      const double v = rng.normal(0.0, fmt.max_value());
+      ASSERT_EQ(fmt.encode(v), reference_encode(fmt, v))
+          << fmt.name() << " value " << v;
+    }
+  }
+}
+
+TEST(QFormatFastPath, QuantizeMatchesDecodeOfEncodeOnEveryEdge) {
+  for (const QFormat& fmt : fast_path_formats()) {
+    for (double v : rounding_edge_values(fmt)) {
+      const float vf = static_cast<float>(v);
+      ASSERT_EQ(float_bits(fmt.quantize(vf)),
+                float_bits(static_cast<float>(fmt.decode(fmt.encode(vf)))))
+          << fmt.name() << " value " << vf;
+    }
+  }
+}
+
+TEST(QFormatFastPath, QuantizeMatchesAcrossTheWholeFloatRange) {
+  // Deterministic scan of the float bit-pattern space: stepping the
+  // pattern by a fixed stride visits every exponent bucket, denormals,
+  // both infinities and a band of NaN payloads. ~520k values per
+  // format keeps the sweep well under a second.
+  const std::uint64_t stride = 8191;  // prime: hits varied mantissas
+  for (const QFormat& fmt :
+       {QFormat(3, 4), QFormat::drone_weights(), QFormat::q_1_10_5()}) {
+    for (std::uint64_t pattern = 0; pattern <= 0xffffffffu;
+         pattern += stride) {
+      float v;
+      const auto word = static_cast<std::uint32_t>(pattern);
+      std::memcpy(&v, &word, sizeof(v));
+      ASSERT_EQ(float_bits(fmt.quantize(v)),
+                float_bits(static_cast<float>(fmt.decode(fmt.encode(v)))))
+          << fmt.name() << " bit pattern " << word;
+    }
+  }
+}
 
 }  // namespace
 }  // namespace ftnav
