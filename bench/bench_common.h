@@ -20,6 +20,7 @@
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
 #include "nn/kernels/kernels.h"
+#include "obs/shard_timing.h"
 #include "scenario/scenario.h"
 #include "util/env_config.h"
 #include "util/perf.h"
@@ -188,6 +189,11 @@ inline ScenarioResult run_scenario(
     std::fprintf(stderr, "error: %s\n", error.what());
     std::exit(2);
   }
+  // Stamp shard-timing records with the bound-parameter fingerprint so
+  // cost-model calibration can match timings to `describe --cost` rows
+  // (same stamp the fault_campaign CLI applies).
+  obs::set_shard_timing_fingerprint(
+      obs::param_fingerprint(spec->name, params.canonical()));
   ScenarioContext context;
   context.threads = config.threads;
   context.stream = stream_for(config, label);

@@ -61,6 +61,34 @@ def sections_by_name(record: dict) -> dict:
     return {s["name"]: s for s in record.get("sections", [])}
 
 
+def load_cost_predictions(candidate_dir: Path) -> dict:
+    """{campaign label: predicted trials/sec} from an optional
+    cost_report.json next to the candidate records (written by
+    `fault_campaign describe --all --cost --json`; see src/cost/).
+    Campaign labels reuse perf-section names where one exists, so the
+    join is a plain name match. Absent or unreadable file = {} and the
+    predicted column is omitted. Informational only: predictions never
+    gate."""
+    path = candidate_dir / "cost_report.json"
+    if not path.is_file():
+        return {}
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as error:
+        print(f"perf gate: ignoring unreadable {path}: {error}",
+              file=sys.stderr)
+        return {}
+    predictions = {}
+    for scenario in doc.get("scenarios", []):
+        for campaign in scenario.get("campaigns", []):
+            label = campaign.get("label")
+            predicted = campaign.get("predicted_trials_per_sec")
+            if isinstance(label, str) and isinstance(predicted, (int, float)):
+                predictions[label] = float(predicted)
+    return predictions
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--baseline", default="bench/baselines",
@@ -88,6 +116,7 @@ def main() -> int:
 
     baselines = load_records(baseline_dir)
     candidates = load_records(candidate_dir)
+    predictions = load_cost_predictions(candidate_dir)
 
     rows = []
     failures = []
@@ -118,7 +147,7 @@ def main() -> int:
                     f"{(1.0 - ratio) * 100.0:.1f}% below the baseline "
                     f"{base_tps:.0f} (allowed {args.max_regression * 100:.0f}%)")
             rows.append((f"{artifact}/{name}", base_tps, cand_tps, ratio,
-                         status))
+                         predictions.get(name), status))
 
     # Candidate records/sections with no committed baseline: not a
     # failure (the gate can't compare against nothing), but say exactly
@@ -147,13 +176,26 @@ def main() -> int:
         for note in unbaselined:
             print(f"  {note}")
 
+    # The predicted column (cost-model trials/sec with the measured/
+    # predicted ratio) only renders when a cost_report.json rode along
+    # with the candidate records; it is informational and never gates.
+    with_predictions = bool(predictions)
     header = (f"| section | baseline trials/s | candidate trials/s "
-              f"| ratio | status |")
-    rule = "|---|---|---|---|---|"
+              f"| ratio |"
+              + (" predicted trials/s |" if with_predictions else "")
+              + " status |")
+    rule = "|---|---|---|---|" + ("---|" if with_predictions else "") + "---|"
     lines = [header, rule]
-    for name, base_tps, cand_tps, ratio, status in rows:
+    for name, base_tps, cand_tps, ratio, predicted, status in rows:
+        predicted_cell = ""
+        if with_predictions:
+            if predicted is not None and predicted > 0:
+                predicted_cell = (f" {predicted:.0f} "
+                                  f"({cand_tps / predicted:.2f}x measured) |")
+            else:
+                predicted_cell = " - |"
         lines.append(f"| {name} | {base_tps:.0f} | {cand_tps:.0f} "
-                     f"| {ratio:.2f}x | {status} |")
+                     f"| {ratio:.2f}x |{predicted_cell} {status} |")
     table = "\n".join(lines)
     print(table)
 

@@ -10,7 +10,7 @@ Three subcommands, one per artifact family:
                       --min-files N requires at least N trace files
                       (a distributed run should leave one per process).
 
-  timings <file>      <file> is an ftnav-shard-timings-v1 document:
+  timings <file>      <file> is an ftnav-shard-timings-v2 document:
                       numeric fields, no duplicate (tag, shard) pair.
                       --require-complete additionally demands that each
                       tag's shard ids are exactly 0..N-1 (a clean
@@ -121,9 +121,9 @@ def cmd_timings(args: argparse.Namespace) -> int:
         doc = load_json(path)
     except (OSError, ValueError) as error:
         return fail(f"{path}: not valid JSON: {error}")
-    if doc.get("schema") != "ftnav-shard-timings-v1":
+    if doc.get("schema") != "ftnav-shard-timings-v2":
         return fail(f"{path}: schema is {doc.get('schema')!r}, expected "
-                    "ftnav-shard-timings-v1")
+                    "ftnav-shard-timings-v2")
     records = doc.get("records")
     if not isinstance(records, list):
         return fail(f"{path}: records is not a list")
@@ -131,12 +131,15 @@ def cmd_timings(args: argparse.Namespace) -> int:
     for index, record in enumerate(records):
         for key, kind in (("tag", str), ("shard", int), ("worker", int),
                           ("wall_seconds", (int, float)), ("trials", int),
-                          ("backend", str)):
+                          ("threads", int), ("backend", str),
+                          ("fingerprint", str)):
             if not isinstance(record.get(key), kind):
                 return fail(f"{path}: record #{index} field {key!r} is "
                             f"{record.get(key)!r}")
         if record["wall_seconds"] < 0:
             return fail(f"{path}: record #{index} has negative wall_seconds")
+        if record["threads"] < 1:
+            return fail(f"{path}: record #{index} has threads < 1")
         shards = shards_by_tag.setdefault(record["tag"], set())
         if record["shard"] in shards:
             return fail(f"{path}: tag {record['tag']!r} reports shard "

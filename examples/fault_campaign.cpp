@@ -4,7 +4,7 @@
 // built on top of it.
 //
 //   fault_campaign list [--names]
-//   fault_campaign describe <name> | --all [--markdown | --json]
+//   fault_campaign describe <name> | --all [--markdown | --json] [--cost]
 //   fault_campaign run <name> [options]
 //   fault_campaign serve --bind <host:port> [--journal f]
 //       [--auth-token t] [--addr-file f]
@@ -70,12 +70,15 @@
 #include <utility>
 #include <vector>
 
+#include "cost/cost_model.h"
 #include "dist/campaign_server.h"
+#include "dist/dist_campaign.h"
 #include "dist/dist_coordinator.h"
 #include "dist/shard_transport.h"
 #include "dist/status_doc.h"
 #include "dist/tcp_transport.h"
 #include "dist/work_queue.h"
+#include "obs/shard_timing.h"
 #include "obs/trace.h"
 #include "scenario/scenario.h"
 #include "util/binary_io.h"
@@ -136,6 +139,10 @@ constexpr FlagInfo kFlags[] = {
      kCmdDescribe, false},
     {"--json", nullptr, "machine-readable ParamSpec schema dump",
      kCmdDescribe, false},
+    {"--cost", nullptr,
+     "analytic cost estimate at default parameters (with --json: a "
+     "ftnav-cost-report-v1 document)",
+     kCmdDescribe, false},
     {"--param", "k=v", "scenario parameter (repeatable; see describe)",
      kCmdRun | kCmdSubmit, false},
     {"--config", "file", "JSON parameter file {\"k\": value, ...}",
@@ -164,6 +171,10 @@ constexpr FlagInfo kFlags[] = {
     {"--poll-period", "s", "idle poll backoff cap in seconds",
      kLaunchCmds, false},
     {"--lease-batch", "n", "shards leased per claim round-trip",
+     kLaunchCmds, false},
+    {"--sched-policy", "p",
+     "lease sizing: uniform | cost | feedback (default: "
+     "FTNAV_SCHED_POLICY or uniform)",
      kLaunchCmds, false},
     {"--json", "f", "write result artifacts as JSON", kLaunchCmds, false},
     {"--json", nullptr, "machine-readable status document (ftnav-status-v1)",
@@ -289,6 +300,7 @@ struct ParsedFlags {
   double lease_expiry = -1.0;  // < 0 = keep the DistConfig default
   double poll_period = 0.0;    // <= 0 = keep the DistConfig default
   int lease_batch = 0;         // <= 0 = keep the DistConfig default
+  std::string sched_policy;    // "" = FTNAV_SCHED_POLICY, then uniform
   std::string json_path;
   std::string bind;
   std::string journal;
@@ -297,6 +309,7 @@ struct ParsedFlags {
   bool all = false;
   bool markdown = false;
   bool json_schema = false;
+  bool cost = false;
   int worker_id = -1;
   int worker_fail_after = 0;
 };
@@ -342,6 +355,8 @@ ParsedFlags parse_flags(const CommandInfo& command, int argc, char** argv) {
       flags.json_schema = true;
     } else if (arg == "--json") {
       flags.json_path = value;
+    } else if (arg == "--cost") {
+      flags.cost = true;
     } else if (arg == "--param") {
       const std::string kv = value;
       const std::size_t equals = kv.find('=');
@@ -387,6 +402,8 @@ ParsedFlags parse_flags(const CommandInfo& command, int argc, char** argv) {
       const long batch = parse_long_or_die(argv[0], &command, value);
       if (batch < 1 || batch > 1 << 20) usage_error(argv[0], &command);
       flags.lease_batch = static_cast<int>(batch);
+    } else if (arg == "--sched-policy") {
+      flags.sched_policy = value;
     } else if (arg == "--bind") {
       flags.bind = parse_addr_or_die(argv[0], &command, value);
     } else if (arg == "--journal") {
@@ -432,7 +449,58 @@ int cmd_describe(int argc, char** argv) {
                  argv[0]);
     return 2;
   }
+  if (flags.cost && flags.markdown) {
+    std::fprintf(stderr, "%s: --markdown and --cost are exclusive\n",
+                 argv[0]);
+    return 2;
+  }
   const ScenarioRegistry& registry = ScenarioRegistry::instance();
+  if (flags.cost) {
+    // Estimates bind the *declared default* parameters, so the report
+    // is a stable artifact of the binary (CI snapshots it as
+    // cost_report.json; see ci/validate_cost.py).
+    cost::MachineProfile profile;
+    try {
+      profile = cost::MachineProfile::from_env();
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+      return 1;
+    }
+    std::vector<const ScenarioSpec*> specs;
+    if (flags.all) {
+      specs = registry.all();
+    } else {
+      const ScenarioSpec* spec = registry.find(name);
+      if (spec == nullptr) {
+        std::fprintf(stderr, "%s: unknown scenario '%s' (try `%s list`)\n",
+                     argv[0], name.c_str(), argv[0]);
+        return 2;
+      }
+      specs.push_back(spec);
+    }
+    std::vector<cost::CostReportEntry> entries;
+    for (const ScenarioSpec* spec : specs) {
+      if (!spec->cost) {
+        std::fprintf(stderr, "%s: scenario '%s' has no cost estimator\n",
+                     argv[0], spec->name.c_str());
+        return 1;
+      }
+      const ParamSet params = spec->make_params();
+      entries.push_back({spec->name, params.canonical(),
+                         spec->cost(params)});
+    }
+    if (flags.json_schema) {
+      std::printf("%s", cost::cost_report_json(entries, profile).c_str());
+      return 0;
+    }
+    bool first = true;
+    for (const cost::CostReportEntry& entry : entries) {
+      if (!first) std::printf("\n");
+      first = false;
+      std::printf("%s", cost::describe_cost_text(entry, profile).c_str());
+    }
+    return 0;
+  }
   if (flags.all) {
     if (flags.json_schema) {
       std::printf("[");
@@ -691,6 +759,39 @@ int cmd_launch(LaunchMode mode, int argc, char** argv) {
   // must be a declared harness knob or some scenario's parameter.
   warn_unknown_ftnav_vars(registry.known_param_env_names());
 
+  // Scheduling policy: --sched-policy > FTNAV_SCHED_POLICY > uniform.
+  // The per-shard prediction is recomputed by every process from the
+  // same registered estimator over the same canonical parameters, so
+  // coordinator and workers agree without shipping numbers through the
+  // queue. Policy only changes lease sizing, never artifact bytes.
+  DistConfig::SchedPolicy sched_policy = DistConfig::SchedPolicy::kUniform;
+  const std::string sched_policy_text =
+      !flags.sched_policy.empty()
+          ? flags.sched_policy
+          : env_string("FTNAV_SCHED_POLICY", "uniform");
+  try {
+    sched_policy = sched_policy_from_name(sched_policy_text);
+  } catch (const std::invalid_argument& error) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.what());
+    return 2;
+  }
+  double predicted_shard_seconds = 0.0;
+  if (sched_policy != DistConfig::SchedPolicy::kUniform && spec->cost) {
+    try {
+      predicted_shard_seconds = spec->cost(params).mean_shard_seconds(
+          cost::MachineProfile::from_env());
+    } catch (const std::exception& error) {
+      // A broken FTNAV_COST_PROFILE must not kill the campaign: fall
+      // back to batch-size-only lease sizing, but say so.
+      std::fprintf(stderr, "warning: cost profile ignored: %s\n",
+                   error.what());
+    }
+  }
+  // Stamp shard-timing telemetry with this configuration's fingerprint
+  // (shard_timings.json v2 records it for offline prediction joins).
+  obs::set_shard_timing_fingerprint(
+      obs::param_fingerprint(spec->name, params.canonical()));
+
   ScenarioContext context;
   context.threads = flags.threads;
   if (flags.progress_every > 0)
@@ -703,12 +804,14 @@ int cmd_launch(LaunchMode mode, int argc, char** argv) {
         static_cast<std::size_t>(flags.stop_after);
 
   // The lease-protocol knobs apply identically in every role.
-  const auto apply_lease_knobs = [&flags](DistConfig& dist) {
+  const auto apply_lease_knobs = [&](DistConfig& dist) {
     if (flags.lease_expiry >= 0.0)
       dist.lease_expiry_seconds = flags.lease_expiry;
     if (flags.poll_period > 0.0)
       dist.poll_period_seconds = flags.poll_period;
     if (flags.lease_batch >= 1) dist.lease_batch = flags.lease_batch;
+    dist.sched_policy = sched_policy;
+    dist.predicted_shard_seconds = predicted_shard_seconds;
   };
 
   // ---- worker mode: run leased shards into a partial checkpoint ----
@@ -863,6 +966,8 @@ int cmd_launch(LaunchMode mode, int argc, char** argv) {
     }
     if (flags.lease_batch >= 1)
       add("--lease-batch", std::to_string(flags.lease_batch));
+    if (sched_policy != DistConfig::SchedPolicy::kUniform)
+      add("--sched-policy", std::string(sched_policy_name(sched_policy)));
     if (flags.worker_fail_after > 0)
       add("--worker-fail-after", std::to_string(flags.worker_fail_after));
     // The session token travels in the environment, never on the

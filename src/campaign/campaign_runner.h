@@ -527,7 +527,7 @@ class CampaignRunner {
         accumulate(acc, shard, trial, rng);
       }
       obs::record_shard_timing(tag, shard_index, perf::now() - shard_start,
-                               shard.size());
+                               shard.size(), threads_);
       aggregator.commit_shard(shard_index, shard.size(), std::move(acc));
       if (stream.arbiter != nullptr) stream.arbiter->committed(shard_index);
     };

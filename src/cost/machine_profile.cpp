@@ -1,0 +1,167 @@
+#include "cost/machine_profile.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/env_config.h"
+
+namespace ftnav::cost {
+namespace {
+
+constexpr const char* kSchema = "ftnav-machine-profile-v1";
+
+std::string g17(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+[[noreturn]] void bad_profile(const std::string& why) {
+  throw std::runtime_error("machine profile: " + why);
+}
+
+// Minimal parser for the flat string/number object to_json() writes.
+// Not a general JSON parser on purpose: nested values are rejected, so
+// a malformed profile fails loudly instead of half-applying.
+std::map<std::string, std::string> parse_flat_object(
+    const std::string& text) {
+  std::size_t i = 0;
+  const auto skip_ws = [&] {
+    while (i < text.size() &&
+           std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+  };
+  const auto expect = [&](char c) {
+    skip_ws();
+    if (i >= text.size() || text[i] != c)
+      bad_profile(std::string("expected '") + c + "'");
+    ++i;
+  };
+  const auto parse_string = [&] {
+    expect('"');
+    std::string out;
+    while (i < text.size() && text[i] != '"') {
+      if (text[i] == '\\') bad_profile("escapes not supported");
+      out.push_back(text[i++]);
+    }
+    expect('"');
+    return out;
+  };
+
+  std::map<std::string, std::string> fields;
+  expect('{');
+  skip_ws();
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      const std::string key = parse_string();
+      expect(':');
+      skip_ws();
+      std::string value;
+      if (i < text.size() && text[i] == '"') {
+        value = parse_string();
+      } else {
+        while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+               !std::isspace(static_cast<unsigned char>(text[i])))
+          value.push_back(text[i++]);
+        if (value.empty()) bad_profile("empty value for \"" + key + "\"");
+      }
+      if (!fields.emplace(key, value).second)
+        bad_profile("duplicate key \"" + key + "\"");
+      skip_ws();
+      if (i < text.size() && text[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    expect('}');
+  }
+  skip_ws();
+  if (i != text.size()) bad_profile("trailing bytes after object");
+  return fields;
+}
+
+double parse_rate(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double parsed = std::stod(value, &used);
+    if (used != value.size()) throw std::invalid_argument(value);
+    return parsed;
+  } catch (const std::exception&) {
+    bad_profile("key \"" + key + "\": not a number: " + value);
+  }
+}
+
+}  // namespace
+
+bool MachineProfile::valid() const noexcept {
+  for (const double rate : {mac_rate, byte_rate, grid_step_rate,
+                            drone_step_rate, trial_overhead_seconds}) {
+    if (!std::isfinite(rate)) return false;
+  }
+  return mac_rate > 0.0 && byte_rate > 0.0 && grid_step_rate > 0.0 &&
+         drone_step_rate > 0.0 && trial_overhead_seconds >= 0.0;
+}
+
+std::string MachineProfile::to_json() const {
+  std::ostringstream out;
+  out << "{\n"
+      << "  \"schema\": \"" << kSchema << "\",\n"
+      << "  \"mac_rate\": " << g17(mac_rate) << ",\n"
+      << "  \"byte_rate\": " << g17(byte_rate) << ",\n"
+      << "  \"grid_step_rate\": " << g17(grid_step_rate) << ",\n"
+      << "  \"drone_step_rate\": " << g17(drone_step_rate) << ",\n"
+      << "  \"trial_overhead_seconds\": " << g17(trial_overhead_seconds)
+      << "\n}\n";
+  return out.str();
+}
+
+MachineProfile MachineProfile::from_json_text(const std::string& text) {
+  MachineProfile profile;
+  bool saw_schema = false;
+  for (const auto& [key, value] : parse_flat_object(text)) {
+    if (key == "schema") {
+      if (value != kSchema)
+        bad_profile("schema \"" + value + "\" (want \"" + kSchema + "\")");
+      saw_schema = true;
+    } else if (key == "mac_rate") {
+      profile.mac_rate = parse_rate(key, value);
+    } else if (key == "byte_rate") {
+      profile.byte_rate = parse_rate(key, value);
+    } else if (key == "grid_step_rate") {
+      profile.grid_step_rate = parse_rate(key, value);
+    } else if (key == "drone_step_rate") {
+      profile.drone_step_rate = parse_rate(key, value);
+    } else if (key == "trial_overhead_seconds") {
+      profile.trial_overhead_seconds = parse_rate(key, value);
+    } else {
+      bad_profile("unknown key \"" + key + "\"");
+    }
+  }
+  if (!saw_schema) bad_profile("missing \"schema\" key");
+  if (!profile.valid()) bad_profile("rates must be positive and finite");
+  return profile;
+}
+
+MachineProfile MachineProfile::from_json_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) bad_profile("cannot open " + path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  return from_json_text(text.str());
+}
+
+MachineProfile MachineProfile::from_env() {
+  const std::string path = env_string("FTNAV_COST_PROFILE", "");
+  if (path.empty()) return MachineProfile{};
+  return from_json_file(path);
+}
+
+}  // namespace ftnav::cost

@@ -2,13 +2,16 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <condition_variable>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "dist/shard_transport.h"
@@ -17,6 +20,7 @@
 #include "obs/trace.h"
 #include "util/binary_io.h"
 #include "util/clock.h"
+#include "util/perf.h"
 
 namespace ftnav {
 namespace {
@@ -32,7 +36,10 @@ class TransportShardArbiter : public ShardArbiter {
   TransportShardArbiter(ShardTransport& transport, const DistConfig& config)
       : transport_(transport),
         config_(config),
-        batch_(static_cast<std::size_t>(std::max(1, config.lease_batch))) {}
+        batch_(static_cast<std::size_t>(std::max(1, config.lease_batch))),
+        batch_cap_(std::max(
+            batch_, static_cast<std::size_t>(
+                        std::max(1, config.max_lease_batch)))) {}
 
   void begin(std::size_t shard_count,
              const std::vector<std::uint8_t>& restored) override {
@@ -51,10 +58,14 @@ class TransportShardArbiter : public ShardArbiter {
   bool claim(std::size_t shard) override {
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      if (granted_.erase(shard) > 0) return true;  // batched lease in hand
+      if (granted_.erase(shard) > 0) {  // batched lease in hand
+        note_shard_started(shard);
+        return true;
+      }
     }
     obs::TraceSpan span("lease_claim", "dist", "shard", shard);
-    const std::vector<std::size_t> leased = transport_.claim(shard, batch_);
+    const std::vector<std::size_t> leased =
+        transport_.claim(shard, lease_batch(shard));
     bool won = false;
     std::lock_guard<std::mutex> lock(mutex_);
     for (std::size_t granted : leased) {
@@ -63,6 +74,7 @@ class TransportShardArbiter : public ShardArbiter {
       else
         granted_.insert(granted);  // surfaces again via claim or next_wave
     }
+    if (won) note_shard_started(shard);
     return won;
   }
 
@@ -72,6 +84,7 @@ class TransportShardArbiter : public ShardArbiter {
     // transport in bitmap order (see ShardTransport::publish_partial).
     std::lock_guard<std::mutex> lock(commit_mutex_);
     obs::TraceSpan span("lease_commit", "dist", "shard", shard);
+    note_shard_finished(shard);
     transport_.publish_partial();
     // Telemetry rides alongside the partial: ship this process's
     // shard-timing records (a full snapshot; the coordinator dedupes)
@@ -104,7 +117,12 @@ class TransportShardArbiter : public ShardArbiter {
       // expiry <= 0 disables expiry reclaim — matching the
       // coordinator — rather than forcing it.
       transport_.reclaim_expired(config_.lease_expiry_seconds);
-      ShardWave wave = transport_.wave(batch_);
+      // Waves only run once this worker's initial claim sweep is
+      // exhausted — the mop-up phase — so the cost policies ask for
+      // leases one at a time (hint = end of queue → fully decayed
+      // batch) to avoid hoarding reclaimed stragglers; uniform keeps
+      // its fixed batch.
+      ShardWave wave = transport_.wave(lease_batch(shard_count_));
 
       std::vector<std::size_t> result;
       std::vector<std::size_t> already_done;
@@ -139,17 +157,107 @@ class TransportShardArbiter : public ShardArbiter {
   }
 
  private:
+  /// Shards to request in one lease, for a claim whose hint is shard
+  /// `hint` of the ascending claim stream. Uniform policy: the fixed
+  /// configured batch, byte-for-byte the classic behavior. Cost /
+  /// feedback: sized so one lease covers ~target_lease_seconds of
+  /// predicted work, then decayed guided-self-scheduling style — never
+  /// more than half the work past `hint` — so early leases amortize
+  /// claim round-trips while the queue tail is handed out shard by
+  /// shard and no worker strands a large last lease.
+  std::size_t lease_batch(std::size_t hint) {
+    if (config_.sched_policy == DistConfig::SchedPolicy::kUniform)
+      return batch_;
+    std::size_t sized = batch_;
+    const double predicted = predicted_shard_seconds();
+    if (predicted > 0.0 && config_.target_lease_seconds > 0.0) {
+      const double by_time = config_.target_lease_seconds / predicted;
+      sized = by_time <= 1.0
+                  ? 1
+                  : static_cast<std::size_t>(std::min(
+                        by_time, static_cast<double>(batch_cap_)));
+    }
+    const std::size_t remaining =
+        shard_count_ - std::min(hint, shard_count_);
+    const std::size_t decay = std::max<std::size_t>(1, remaining / 2);
+    return std::max<std::size_t>(
+        1, std::min({sized, decay, batch_cap_}));
+  }
+
+  /// Current per-shard prediction: the feedback policy prefers the
+  /// online estimate once a shard has been measured; otherwise the
+  /// cost model's prior rides in on the config. <= 0 means unknown.
+  double predicted_shard_seconds() {
+    if (config_.sched_policy == DistConfig::SchedPolicy::kFeedback) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (measured_shards_ > 0) return ewma_shard_seconds_;
+    }
+    return config_.predicted_shard_seconds;
+  }
+
+  /// Mark `shard` as started now (caller observed the claim succeed
+  /// and holds mutex_). Only the feedback policy pays for the
+  /// bookkeeping.
+  void note_shard_started(std::size_t shard) {
+    if (config_.sched_policy != DistConfig::SchedPolicy::kFeedback) return;
+    started_.insert_or_assign(shard, perf::now());
+  }
+
+  /// Fold the measured claim->commit wall of `shard` into the online
+  /// estimate. Works with telemetry off — the arbiter times the shard
+  /// itself rather than reading shard_timings records.
+  void note_shard_finished(std::size_t shard) {
+    if (config_.sched_policy != DistConfig::SchedPolicy::kFeedback) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto started = started_.find(shard);
+    if (started == started_.end()) return;
+    const double elapsed = perf::now() - started->second;
+    started_.erase(started);
+    if (!(std::isfinite(elapsed)) || elapsed < 0.0) return;
+    constexpr double kAlpha = 0.3;
+    ewma_shard_seconds_ =
+        measured_shards_ == 0
+            ? elapsed
+            : kAlpha * elapsed + (1.0 - kAlpha) * ewma_shard_seconds_;
+    ++measured_shards_;
+  }
+
   ShardTransport& transport_;
   DistConfig config_;
-  std::size_t batch_;
+  std::size_t batch_;      ///< fixed uniform batch (config lease_batch)
+  std::size_t batch_cap_;  ///< upper bound for dynamically-sized leases
   std::size_t shard_count_ = 0;
   std::atomic<std::size_t> done_by_self_{0};
-  std::mutex mutex_;                 // guards granted_
-  std::set<std::size_t> granted_;    // leased but not yet run here
+  std::mutex mutex_;               // guards granted_ + feedback state
+  std::set<std::size_t> granted_;  // leased but not yet run here
+  std::unordered_map<std::size_t, double> started_;  // shard -> claim time
+  double ewma_shard_seconds_ = 0.0;
+  std::size_t measured_shards_ = 0;
   std::mutex commit_mutex_;          // serializes publish->done pairs
 };
 
 }  // namespace
+
+DistConfig::SchedPolicy sched_policy_from_name(std::string_view name) {
+  if (name == "uniform") return DistConfig::SchedPolicy::kUniform;
+  if (name == "cost") return DistConfig::SchedPolicy::kCost;
+  if (name == "feedback") return DistConfig::SchedPolicy::kFeedback;
+  throw std::invalid_argument("unknown scheduling policy '" +
+                              std::string(name) +
+                              "' (want uniform, cost, or feedback)");
+}
+
+std::string_view sched_policy_name(DistConfig::SchedPolicy policy) {
+  switch (policy) {
+    case DistConfig::SchedPolicy::kUniform:
+      return "uniform";
+    case DistConfig::SchedPolicy::kCost:
+      return "cost";
+    case DistConfig::SchedPolicy::kFeedback:
+      return "feedback";
+  }
+  return "uniform";
+}
 
 std::string dist_queue_label(std::string_view tag) {
   // Human-readable prefix (tag up to the config digest, slashes and

@@ -124,6 +124,31 @@ struct DistConfig {
   /// 0 disables.
   int worker_stop_after_shards = 0;
 
+  /// Lease-sizing policy for the shard queue (see sched_policy):
+  ///   uniform  — fixed `lease_batch` per claim, the classic behavior;
+  ///   cost     — batches sized so one lease covers roughly
+  ///              `target_lease_seconds` of predicted work
+  ///              (predicted_shard_seconds from the cost model), and
+  ///              decayed guided-self-scheduling style near the end of
+  ///              the queue so stragglers never hold a large tail;
+  ///   feedback — `cost`, with the per-shard prediction refined online
+  ///              from this worker's measured claim→commit times.
+  /// Scheduling only changes which worker runs what and when — merged
+  /// stdout/JSON/checkpoint bytes are identical across policies (CI-
+  /// enforced), only wall-clock differs.
+  enum class SchedPolicy { kUniform, kCost, kFeedback };
+  SchedPolicy sched_policy = SchedPolicy::kUniform;
+  /// Predicted single-thread seconds for one shard of this campaign
+  /// (cost-model mean_shard_seconds). <= 0 means "unknown": the cost
+  /// and feedback policies then start from uniform-sized leases (the
+  /// feedback policy still adapts once measurements arrive).
+  double predicted_shard_seconds = 0.0;
+  /// Lease duration the cost/feedback policies aim for per claim.
+  double target_lease_seconds = 1.0;
+  /// Upper bound on a dynamically-sized lease batch; also the batch
+  /// cap the uniform policy inherits from `lease_batch`.
+  int max_lease_batch = 64;
+
   enum class Role { kOff, kWorker, kFinalize };
   Role role() const noexcept {
     if (queue_dir.empty() && queue_addr.empty()) return Role::kOff;
@@ -142,6 +167,12 @@ struct DistConfig {
 /// vs permanent grids) get distinct queues deterministically in every
 /// process.
 std::string dist_queue_label(std::string_view tag);
+
+/// "uniform" | "cost" | "feedback" <-> DistConfig::SchedPolicy; the
+/// names the --sched-policy flag and FTNAV_SCHED_POLICY accept.
+/// Parsing an unknown name throws std::invalid_argument.
+DistConfig::SchedPolicy sched_policy_from_name(std::string_view name);
+std::string_view sched_policy_name(DistConfig::SchedPolicy policy);
 
 /// dist_queue_label under `config.queue_namespace` (see DistConfig):
 /// the label every transport actually uses for a stream tag.

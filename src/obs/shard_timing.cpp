@@ -30,6 +30,14 @@ std::vector<ShardTiming>& sink() {
 
 std::atomic<int> g_worker_id{-1};
 
+// Process-wide scenario fingerprint; set once by the front-end before
+// campaigns launch, read per committed shard.
+std::mutex g_fingerprint_mutex;
+std::string& fingerprint_slot() {
+  static std::string* const slot = new std::string();  // leaked, see sink()
+  return *slot;
+}
+
 const char* backend_name() {
   // Same guard bench_common.h uses: campaigns that never touch the NN
   // kernels must not fail because FTNAV_SIMD names an absent backend.
@@ -54,8 +62,33 @@ int shard_timing_worker_id() {
   return g_worker_id.load(std::memory_order_relaxed);
 }
 
+void set_shard_timing_fingerprint(std::string_view fingerprint) {
+  std::lock_guard<std::mutex> lock(g_fingerprint_mutex);
+  fingerprint_slot().assign(fingerprint.data(), fingerprint.size());
+}
+
+std::string shard_timing_fingerprint() {
+  std::lock_guard<std::mutex> lock(g_fingerprint_mutex);
+  return fingerprint_slot();
+}
+
+std::string param_fingerprint(std::string_view scenario,
+                              std::string_view canonical_params) {
+  std::string joined;
+  joined.reserve(scenario.size() + 1 + canonical_params.size());
+  joined.append(scenario);
+  joined.push_back('|');
+  joined.append(canonical_params);
+  char digest[17];
+  std::snprintf(digest, sizeof digest, "%016llx",
+                static_cast<unsigned long long>(
+                    io::fnv1a({joined.data(), joined.size()})));
+  return digest;
+}
+
 void record_shard_timing(std::string_view tag, std::uint64_t shard_id,
-                         double wall_seconds, std::uint64_t trials) {
+                         double wall_seconds, std::uint64_t trials,
+                         int threads) {
   if (trace() == nullptr) return;  // telemetry off: keep shards alloc-free
   ShardTiming record;
   record.tag.assign(tag.data(), tag.size());
@@ -63,7 +96,9 @@ void record_shard_timing(std::string_view tag, std::uint64_t shard_id,
   record.worker_id = shard_timing_worker_id();
   record.wall_seconds = wall_seconds;
   record.trials = trials;
+  record.threads = threads;
   record.backend = backend_name();
+  record.fingerprint = shard_timing_fingerprint();
   std::lock_guard<std::mutex> lock(g_mutex);
   sink().push_back(std::move(record));
 }
@@ -97,7 +132,10 @@ std::string encode_shard_timings(const std::vector<ShardTiming>& records) {
                            static_cast<std::int64_t>(record.worker_id)));
     io::write_f64(out, record.wall_seconds);
     io::write_u64(out, record.trials);
+    io::write_u64(out, static_cast<std::uint64_t>(
+                           static_cast<std::int64_t>(record.threads)));
     io::write_string(out, record.backend);
+    io::write_string(out, record.fingerprint);
   }
   return out.str();
 }
@@ -115,7 +153,10 @@ std::vector<ShardTiming> decode_shard_timings(const std::string& bytes) {
         static_cast<int>(static_cast<std::int64_t>(io::read_u64(in)));
     record.wall_seconds = io::read_f64(in);
     record.trials = io::read_u64(in);
+    record.threads =
+        static_cast<int>(static_cast<std::int64_t>(io::read_u64(in)));
     record.backend = io::read_string(in);
+    record.fingerprint = io::read_string(in);
     records.push_back(std::move(record));
   }
   return records;
@@ -141,7 +182,7 @@ void write_shard_timings_json(const std::string& dir) {
 
   std::string out;
   out.reserve(1u << 12);
-  out += "{\"schema\":\"ftnav-shard-timings-v1\",\"records\":[";
+  out += "{\"schema\":\"ftnav-shard-timings-v2\",\"records\":[";
   bool first = true;
   for (const ShardTiming& record : records) {
     if (!first) out += ',';
@@ -158,8 +199,12 @@ void write_shard_timings_json(const std::string& dir) {
     out += wall;
     out += ",\"trials\":";
     out += std::to_string(record.trials);
+    out += ",\"threads\":";
+    out += std::to_string(record.threads);
     out += ",\"backend\":\"";
     json_escape_into(out, record.backend);
+    out += "\",\"fingerprint\":\"";
+    json_escape_into(out, record.fingerprint);
     out += "\"}";
   }
   out += "]}";

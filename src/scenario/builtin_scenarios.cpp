@@ -1,10 +1,16 @@
 #include "scenario/builtin_scenarios.h"
 
 #include <cstdio>
+#include <memory>
 #include <sstream>
 #include <utility>
 
 #include "envs/drone_world.h"
+#include "envs/gridworld.h"
+#include "nn/c3f2.h"
+#include "nn/layers.h"
+#include "rl/mlp_q.h"
+#include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
@@ -775,6 +781,341 @@ ScenarioResult run_margin_ablation(const ParamSet& params,
   return out;
 }
 
+// ---- analytic cost models (src/cost/) ------------------------------------
+//
+// Each estimator mirrors its driver's trial arithmetic exactly (cell
+// and repeat counts are lifted from the run_* implementations above
+// and in src/experiments/) and prices per-trial work via the machinery
+// the trials actually execute: NN MACs/bytes come from walking the
+// real layer stack (cost::network_forward_work over make_c3f2 / a
+// Dense mirror of the MLP policy), env stepping is counted at the
+// per-episode step budget. Step budgets are upper bounds — episodes
+// end early on goal or collision — so the machine profile's calibrated
+// rates absorb the average-vs-cap gap; the acceptance bar is 3x, not
+// cycle accuracy.
+
+using cost::CampaignCost;
+using cost::CostEstimate;
+using cost::Work;
+
+/// Policy-store word widths: both Grid World formats are 8-bit; the
+/// drone engine streams wider transposed-weight/activation words.
+constexpr double kGridWordBytes = 1.0;
+constexpr double kDroneWordBytes = 2.0;
+
+struct GridPolicyModel {
+  Work forward;        // one Q-evaluation (zero MACs for tabular)
+  double store_words;  // fault-injection target size in words
+};
+
+GridPolicyModel grid_policy_model(GridPolicyKind kind,
+                                  ObstacleDensity density) {
+  const int states = GridWorld::preset(density).state_count();
+  if (kind == GridPolicyKind::kTabular)
+    return {Work{}, 4.0 * static_cast<double>(states)};
+  const MlpQConfig config;
+  Rng rng(1);
+  Network net;
+  net.add(std::make_unique<Dense>(states, config.hidden_units, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Dense>(config.hidden_units, 4, rng));
+  return {cost::network_forward_work(net, Shape{1, 1, states},
+                                     kGridWordBytes),
+          static_cast<double>(net.parameter_count())};
+}
+
+/// One inference rollout: env stepping plus one Q-evaluation per step,
+/// plus the trial's fault-inject + golden-restore pass over the store.
+Work grid_rollout_trial(GridPolicyKind kind, ObstacleDensity density) {
+  const GridPolicyModel model = grid_policy_model(kind, density);
+  const MlpQConfig config;  // max_steps shared by both agent kinds
+  Work work = model.forward.scaled(config.max_steps);
+  work.grid_steps = config.max_steps;
+  work.bytes += cost::inject_restore_bytes(
+      static_cast<std::size_t>(model.store_words), kGridWordBytes);
+  return work;
+}
+
+/// One training run of `episodes` episodes (forward + backward + update
+/// per step for the NN policy), plus one inject/restore pass.
+Work grid_training_trial(GridPolicyKind kind, ObstacleDensity density,
+                         double episodes) {
+  const GridPolicyModel model = grid_policy_model(kind, density);
+  const MlpQConfig config;
+  Work work = model.forward.scaled(3.0 * config.max_steps * episodes);
+  work.grid_steps = static_cast<double>(config.max_steps) * episodes;
+  work.bytes += cost::inject_restore_bytes(
+      static_cast<std::size_t>(model.store_words), kGridWordBytes);
+  return work;
+}
+
+std::size_t bers_of(const ParamSet& params) {
+  return params.get_double_list("bers").size();
+}
+
+std::size_t repeats_of(const ParamSet& params) {
+  return static_cast<std::size_t>(params.get_int("repeats"));
+}
+
+const char* grid_inference_label(GridPolicyKind kind) {
+  return kind == GridPolicyKind::kTabular ? "grid_inference_trials_tabular"
+                                          : "grid_inference_trials_nn";
+}
+
+CostEstimate grid_inference_cost(const ParamSet& params) {
+  const GridPolicyKind kind = policy_of(params);
+  const ObstacleDensity density = density_of(params);
+  CostEstimate est;
+  est.setup = grid_training_trial(
+      kind, density,
+      static_cast<double>(params.get_int("train-episodes")));
+  CampaignCost campaign;
+  campaign.label = grid_inference_label(kind);
+  campaign.trials = 4 * bers_of(params) * repeats_of(params);
+  campaign.per_trial = grid_rollout_trial(kind, density);
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_mitigation_cost(const ParamSet& params) {
+  const GridPolicyKind kind = policy_of(params);
+  const ObstacleDensity density = density_of(params);
+  const double train =
+      static_cast<double>(params.get_int("train-episodes"));
+  CostEstimate est;
+  // Both arms train their own policy before their campaign.
+  est.setup = grid_training_trial(kind, density, 2.0 * train);
+  for (const char* arm : {"baseline", "mitigated"}) {
+    CampaignCost campaign;
+    campaign.label = arm;
+    campaign.trials = 4 * bers_of(params) * repeats_of(params);
+    campaign.per_trial = grid_rollout_trial(kind, density);
+    est.campaigns.push_back(std::move(campaign));
+  }
+  return est;
+}
+
+CostEstimate grid_training_transient_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_training_transient";
+  campaign.trials = bers_of(params) *
+                    params.get_int_list("injection-episodes").size() *
+                    repeats_of(params);
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), density_of(params),
+      static_cast<double>(params.get_int("episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_training_permanent_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_training_permanent";
+  campaign.trials = 2 * bers_of(params) * repeats_of(params);
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), density_of(params),
+      static_cast<double>(params.get_int("episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+/// The convergence / exploration / reward scenarios have no density
+/// knob: their drivers train on the middle preset.
+CostEstimate grid_convergence_transient_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_convergence_transient";
+  campaign.trials = bers_of(params) * repeats_of(params);
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), ObstacleDensity::kMiddle,
+      static_cast<double>(params.get_int("fault-episode") +
+                          params.get_int("max-extra-episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_convergence_permanent_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_convergence_permanent";
+  // Four arms per BER: (SA0, SA1) x (early, late); an arm trains to
+  // its injection point plus the extra budget, so cost the average of
+  // the early and late arms.
+  campaign.trials = 4 * bers_of(params) * repeats_of(params);
+  const double mean_episodes =
+      0.5 * static_cast<double>(params.get_int("early-episode") +
+                                params.get_int("late-episode")) +
+      static_cast<double>(params.get_int("extra-episodes"));
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), ObstacleDensity::kMiddle, mean_episodes);
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_exploration_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_exploration_study";
+  campaign.trials = 3 * bers_of(params) * repeats_of(params);
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), ObstacleDensity::kMiddle,
+      static_cast<double>(params.get_int("episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_reward_curves_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_reward_curves";
+  campaign.trials = 5;  // the five Fig. 3 fault scenarios
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), ObstacleDensity::kMiddle,
+      static_cast<double>(params.get_int("episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate grid_value_histogram_cost(const ParamSet& params) {
+  CostEstimate est;
+  CampaignCost campaign;
+  campaign.label = "grid_value_histogram";
+  campaign.trials = 1;
+  campaign.per_trial = grid_training_trial(
+      policy_of(params), density_of(params),
+      static_cast<double>(params.get_int("episodes")));
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate margin_ablation_cost(const ParamSet& params) {
+  const std::size_t margins = params.get_double_list("margins").size();
+  const double train =
+      static_cast<double>(params.get_int("train-episodes"));
+  CostEstimate est;
+  // Every margin arm retrains the NN policy before its campaign.
+  est.setup =
+      grid_training_trial(GridPolicyKind::kNeuralNet,
+                          ObstacleDensity::kMiddle,
+                          train * static_cast<double>(margins));
+  for (std::size_t i = 0; i < margins; ++i) {
+    CampaignCost campaign;
+    campaign.label = "margin[" + std::to_string(i) + "]";
+    campaign.trials = 4 * repeats_of(params);  // single-BER axis
+    campaign.per_trial = grid_rollout_trial(GridPolicyKind::kNeuralNet,
+                                            ObstacleDensity::kMiddle);
+    est.campaigns.push_back(std::move(campaign));
+  }
+  return est;
+}
+
+// ---- drone cost models ---------------------------------------------------
+
+struct DroneModel {
+  Work forward;        // one C3F2 forward pass
+  double store_words;  // parameter count (weight-fault target)
+  double max_steps;    // per-flight decision-step budget
+};
+
+DroneModel drone_model(const ParamSet& params) {
+  const DronePolicySpec spec = drone_policy_of(params);
+  const C3F2Config c3f2 = C3F2Config::preset(spec.preset);
+  Rng rng(1);
+  const Network net = make_c3f2(c3f2, rng);
+  const DroneEnvConfig env = drone_env_config_for(c3f2);
+  const int max_steps =
+      spec.env_max_steps > 0 ? spec.env_max_steps : env.max_steps;
+  return {cost::network_forward_work(net, c3f2.input_shape(),
+                                     kDroneWordBytes),
+          static_cast<double>(net.parameter_count()),
+          static_cast<double>(max_steps)};
+}
+
+/// One evaluation flight: camera render per step + one forward per
+/// step.
+Work drone_flight(const DroneModel& model) {
+  Work work = model.forward.scaled(model.max_steps);
+  work.drone_steps = model.max_steps;
+  return work;
+}
+
+/// One training episode (imitation or DDQN fine-tune): a flight whose
+/// per-step NN work is forward + backward + update.
+Work drone_training_episode(const DroneModel& model) {
+  Work work = model.forward.scaled(3.0 * model.max_steps);
+  work.drone_steps = model.max_steps;
+  return work;
+}
+
+/// train_drone_policy preamble for `policies` distinct policies.
+Work drone_setup(const ParamSet& params, const DroneModel& model,
+                 double policies) {
+  const DronePolicySpec spec = drone_policy_of(params);
+  const double episodes =
+      static_cast<double>(spec.imitation_episodes + spec.ddqn_episodes);
+  return drone_training_episode(model).scaled(episodes * policies);
+}
+
+/// Shared shape of the Fig. 7b-7e / 10b sweeps: `rows` series x the
+/// BER axis, each cell running `repeats` faulted flights. The runner
+/// shards cells; the perf sections count cells x repeats.
+CostEstimate drone_sweep_cost(const ParamSet& params, std::size_t rows,
+                              const char* label, double policies) {
+  const DroneModel model = drone_model(params);
+  CostEstimate est;
+  est.setup = drone_setup(params, model, policies);
+  const double repeats = static_cast<double>(repeats_of(params));
+  CampaignCost campaign;
+  campaign.label = label;
+  campaign.trials = rows * bers_of(params);
+  campaign.perf_trials =
+      campaign.trials * static_cast<std::size_t>(repeats);
+  campaign.per_trial = drone_flight(model).scaled(repeats);
+  campaign.per_trial.bytes +=
+      repeats * cost::inject_restore_bytes(
+                    static_cast<std::size_t>(model.store_words),
+                    kDroneWordBytes);
+  est.campaigns.push_back(std::move(campaign));
+  return est;
+}
+
+CostEstimate drone_training_campaign_cost(const ParamSet& params) {
+  const DroneModel model = drone_model(params);
+  const double fine_tune =
+      static_cast<double>(params.get_int("fine-tune-episodes"));
+  const double evals =
+      static_cast<double>(params.get_int("eval-repeats"));
+  // One fine-tune run (faulted) plus its MSF evaluation flights.
+  Work per_trial = drone_training_episode(model).scaled(fine_tune);
+  per_trial += drone_flight(model).scaled(evals);
+  per_trial.bytes += cost::inject_restore_bytes(
+      static_cast<std::size_t>(model.store_words), kDroneWordBytes);
+
+  CostEstimate est;
+  est.setup = drone_setup(params, model, 1.0);
+  CampaignCost transient;
+  transient.label = "drone_training_trials";
+  transient.trials =
+      bers_of(params) * params.get_double_list("injection-points").size();
+  transient.per_trial = per_trial;
+  est.campaigns.push_back(std::move(transient));
+  CampaignCost flat;  // fault-free row + the two stuck-at rows
+  flat.label = "drone_training_flat";
+  flat.trials = 1 + 2 * bers_of(params);
+  flat.per_trial = per_trial;
+  est.campaigns.push_back(std::move(flat));
+  return est;
+}
+
+/// Attaches a cost estimator to a spec (registration sugar).
+ScenarioSpec with_cost(ScenarioSpec spec,
+                       std::function<CostEstimate(const ParamSet&)> cost) {
+  spec.cost = std::move(cost);
+  return spec;
+}
+
 }  // namespace
 
 // ---- exported formatters --------------------------------------------------
@@ -823,32 +1164,40 @@ std::string environment_sweep_json(const EnvironmentSweepResult& result) {
 // ---- registration ---------------------------------------------------------
 
 void register_builtin_scenarios(ScenarioRegistry& registry) {
-  registry.add(make_spec(
-      "grid-inference",
-      "faults in the frozen Grid World policy store at inference time: "
-      "success rate vs BER for all four fault modes (Fig. 5)",
-      {"grid", "inference"}, inference_params(), run_grid_inference));
+  registry.add(with_cost(
+      make_spec(
+          "grid-inference",
+          "faults in the frozen Grid World policy store at inference time: "
+          "success rate vs BER for all four fault modes (Fig. 5)",
+          {"grid", "inference"}, inference_params(), run_grid_inference),
+      grid_inference_cost));
 
-  registry.add(make_spec(
-      "grid-inference-mitigation",
-      "range-based anomaly detection on Grid World inference: baseline "
-      "vs mitigated success under Transient-M weight faults (Fig. 10a)",
-      {"grid", "inference", "mitigation", "anomaly-detection"},
-      mitigation_params(), run_grid_inference_mitigation));
+  registry.add(with_cost(
+      make_spec(
+          "grid-inference-mitigation",
+          "range-based anomaly detection on Grid World inference: baseline "
+          "vs mitigated success under Transient-M weight faults (Fig. 10a)",
+          {"grid", "inference", "mitigation", "anomaly-detection"},
+          mitigation_params(), run_grid_inference_mitigation),
+      grid_mitigation_cost));
 
-  registry.add(make_spec(
-      "grid-training-transient",
-      "transient faults during Grid World training: success-rate heatmap "
-      "by (BER, injection episode) (Figs. 2, 8)",
-      {"grid", "training"}, training_params(), run_training_transient));
+  registry.add(with_cost(
+      make_spec(
+          "grid-training-transient",
+          "transient faults during Grid World training: success-rate "
+          "heatmap by (BER, injection episode) (Figs. 2, 8)",
+          {"grid", "training"}, training_params(), run_training_transient),
+      grid_training_transient_cost));
 
-  registry.add(make_spec(
-      "grid-training-permanent",
-      "permanent stuck-at faults throughout Grid World training: success "
-      "vs BER (Figs. 2, 8)",
-      {"grid", "training"}, training_params(), run_training_permanent));
+  registry.add(with_cost(
+      make_spec(
+          "grid-training-permanent",
+          "permanent stuck-at faults throughout Grid World training: "
+          "success vs BER (Figs. 2, 8)",
+          {"grid", "training"}, training_params(), run_training_permanent),
+      grid_training_permanent_cost));
 
-  registry.add(make_spec(
+  registry.add(with_cost(make_spec(
       "grid-convergence-transient",
       "episodes to re-converge after a late transient fault (Fig. 4a/4c)",
       {"grid", "training", "convergence"},
@@ -860,9 +1209,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        ParamSpec::integer("max-extra-episodes", 1000,
                           "training budget after the fault", 1, 1e7),
        repeats_param(10, "runs per BER"), seed_param()},
-      run_convergence_transient));
+      run_convergence_transient), grid_convergence_transient_cost));
 
-  registry.add(make_spec(
+  registry.add(with_cost(make_spec(
       "grid-convergence-permanent",
       "success after extra training under permanent faults injected early "
       "vs late (Fig. 4b/4d)",
@@ -877,9 +1226,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
        ParamSpec::integer("extra-episodes", 500,
                           "extra training granted after injection", 1, 1e7),
        repeats_param(10, "runs per cell"), seed_param()},
-      run_convergence_permanent));
+      run_convergence_permanent), grid_convergence_permanent_cost));
 
-  registry.add(make_spec(
+  registry.add(with_cost(make_spec(
       "grid-exploration-study",
       "exploration-controller telemetry vs BER and fault type (Fig. 9)",
       {"grid", "training", "mitigation"},
@@ -888,9 +1237,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
                               "bit-error-rate axis (fractions)", 0.0, 1.0),
        ParamSpec::integer("episodes", 1000, "training episodes", 1, 1e7),
        repeats_param(8, "runs per (fault, BER) row"), seed_param()},
-      run_exploration));
+      run_exploration), grid_exploration_cost));
 
-  registry.add(make_spec(
+  registry.add(with_cost(make_spec(
       "grid-reward-curves",
       "example cumulative-return traces under transient and permanent "
       "faults (Fig. 3)",
@@ -898,9 +1247,9 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {policy_param("tabular"),
        ParamSpec::integer("episodes", 1000, "training episodes", 1, 1e7),
        seed_param()},
-      run_reward_curve_scenario));
+      run_reward_curve_scenario), grid_reward_curves_cost));
 
-  registry.add(make_spec(
+  registry.add(with_cost(make_spec(
       "grid-value-histogram",
       "trained-value histogram and 0/1-bit statistics of the policy "
       "store (Fig. 2b/2d)",
@@ -908,7 +1257,7 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
       {policy_param("tabular"), density_param(),
        ParamSpec::integer("episodes", 1000, "training episodes", 1, 1e7),
        seed_param()},
-      run_value_histogram));
+      run_value_histogram), grid_value_histogram_cost));
 
   {
     std::vector<ParamSpec> params = {
@@ -929,40 +1278,58 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
     for (ParamSpec& spec : drone_policy_params())
       params.push_back(std::move(spec));
     params.push_back(seed_param());
-    registry.add(make_spec(
-        "drone-training",
-        "faults during the drone policy's online fine-tuning: MSF by "
-        "(BER, injection step) plus stuck-at rows (Fig. 7a)",
-        {"drone", "training"}, std::move(params),
-        run_drone_training_scenario));
+    registry.add(with_cost(
+        make_spec(
+            "drone-training",
+            "faults during the drone policy's online fine-tuning: MSF by "
+            "(BER, injection step) plus stuck-at rows (Fig. 7a)",
+            {"drone", "training"}, std::move(params),
+            run_drone_training_scenario),
+        drone_training_campaign_cost));
   }
 
-  registry.add(make_spec(
-      "drone-environments",
-      "drone inference resilience across environments: MSF vs BER under "
-      "transient weight faults (Fig. 7b)",
-      {"drone", "inference"}, drone_inference_params(false),
-      run_drone_environments));
+  registry.add(with_cost(
+      make_spec(
+          "drone-environments",
+          "drone inference resilience across environments: MSF vs BER "
+          "under transient weight faults (Fig. 7b)",
+          {"drone", "inference"}, drone_inference_params(false),
+          run_drone_environments),
+      [](const ParamSet& params) {  // 2 worlds, one policy per world
+        return drone_sweep_cost(params, 2, "drone_env_trials", 2.0);
+      }));
 
-  registry.add(make_spec(
-      "drone-fault-locations",
-      "fault-location sensitivity of drone inference: input, weight, and "
-      "activation faults (Fig. 7c)",
-      {"drone", "inference"}, drone_inference_params(true),
-      run_drone_locations));
+  registry.add(with_cost(
+      make_spec(
+          "drone-fault-locations",
+          "fault-location sensitivity of drone inference: input, weight, "
+          "and activation faults (Fig. 7c)",
+          {"drone", "inference"}, drone_inference_params(true),
+          run_drone_locations),
+      [](const ParamSet& params) {  // input / weight-T / weight-P / act
+        return drone_sweep_cost(params, 4, "drone_location_trials", 1.0);
+      }));
 
-  registry.add(make_spec(
-      "drone-layers",
-      "per-layer weight-fault sensitivity of the C3F2 policy (Fig. 7d)",
-      {"drone", "inference"}, drone_inference_params(true),
-      run_drone_layers));
+  registry.add(with_cost(
+      make_spec(
+          "drone-layers",
+          "per-layer weight-fault sensitivity of the C3F2 policy (Fig. 7d)",
+          {"drone", "inference"}, drone_inference_params(true),
+          run_drone_layers),
+      [](const ParamSet& params) {  // conv1..3, fc1, fc2
+        return drone_sweep_cost(params, 5, "drone_layer_trials", 1.0);
+      }));
 
-  registry.add(make_spec(
-      "drone-data-types",
-      "fixed-point data-type sensitivity: MSF vs BER per weight encoding "
-      "(Fig. 7e)",
-      {"drone", "inference"}, drone_inference_params(true),
-      run_drone_data_types));
+  registry.add(with_cost(
+      make_spec(
+          "drone-data-types",
+          "fixed-point data-type sensitivity: MSF vs BER per weight "
+          "encoding (Fig. 7e)",
+          {"drone", "inference"}, drone_inference_params(true),
+          run_drone_data_types),
+      [](const ParamSet& params) {  // the three fixed-point encodings
+        return drone_sweep_cost(params, 3, "drone_data_type_trials", 1.0);
+      }));
 
   {
     std::vector<ParamSpec> params = drone_inference_params(true);
@@ -970,26 +1337,32 @@ void register_builtin_scenarios(ScenarioRegistry& registry) {
         "improvement-threshold", 0.001,
         "BERs at or above this average into the improvement summary",
         0.0, 1.0));
-    registry.add(make_spec(
-        "drone-mitigation",
-        "range-based anomaly detection on drone inference: baseline vs "
-        "mitigated MSF under weight faults (Fig. 10b)",
-        {"drone", "inference", "mitigation", "anomaly-detection"},
-        std::move(params), run_drone_mitigation_scenario));
+    registry.add(with_cost(
+        make_spec(
+            "drone-mitigation",
+            "range-based anomaly detection on drone inference: baseline vs "
+            "mitigated MSF under weight faults (Fig. 10b)",
+            {"drone", "inference", "mitigation", "anomaly-detection"},
+            std::move(params), run_drone_mitigation_scenario),
+        [](const ParamSet& params) {  // baseline + mitigated rows
+          return drone_sweep_cost(params, 2, "drone_mitigation_trials", 1.0);
+        }));
   }
 
-  registry.add(make_spec(
-      "ablation-detector-margin",
-      "anomaly-detector margin sweep on NN Grid World inference (the "
-      "paper fixes 10%)",
-      {"grid", "inference", "mitigation", "ablation"},
-      {ParamSpec::double_list("margins", {0.0, 0.05, 0.10, 0.25, 0.50},
-                              "detector margins to sweep", 0.0, 10.0),
-       ParamSpec::real("ber", 0.008, "weight-fault BER", 0.0, 1.0),
-       ParamSpec::integer("train-episodes", 1000,
-                          "fault-free training episodes", 1, 1e7),
-       repeats_param(40, "fault draws per margin"), seed_param()},
-      run_margin_ablation));
+  registry.add(with_cost(
+      make_spec(
+          "ablation-detector-margin",
+          "anomaly-detector margin sweep on NN Grid World inference (the "
+          "paper fixes 10%)",
+          {"grid", "inference", "mitigation", "ablation"},
+          {ParamSpec::double_list("margins", {0.0, 0.05, 0.10, 0.25, 0.50},
+                                  "detector margins to sweep", 0.0, 10.0),
+           ParamSpec::real("ber", 0.008, "weight-fault BER", 0.0, 1.0),
+           ParamSpec::integer("train-episodes", 1000,
+                              "fault-free training episodes", 1, 1e7),
+           repeats_param(40, "fault draws per margin"), seed_param()},
+          run_margin_ablation),
+      margin_ablation_cost));
 }
 
 }  // namespace ftnav

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "campaign/streaming.h"
+#include "cost/cost_model.h"
 #include "dist/dist_campaign.h"
 #include "scenario/param_set.h"
 
@@ -91,6 +92,12 @@ struct ScenarioSpec {
   /// Binds an applied ParamSet into a runnable Scenario. Parameter
   /// errors surface as ParamError from ParamSet getters.
   std::function<std::unique_ptr<Scenario>(const ParamSet&)> factory;
+  /// Optional analytic cost estimator (src/cost/): maps the same
+  /// applied ParamSet to per-campaign, per-shard work estimates.
+  /// Consumed by `describe --cost`, cost_report.json, and the
+  /// cost-aware scheduling policies; null means "no model" (the
+  /// scheduler then falls back to uniform lease sizing).
+  std::function<cost::CostEstimate(const ParamSet&)> cost;
 
   /// Fresh ParamSet over this scenario's schema, defaults applied.
   ParamSet make_params() const { return ParamSet(params); }

@@ -86,6 +86,10 @@ const std::vector<EnvKnob>& declared_env_knobs() {
       {"FTNAV_QUEUE_DIR", "shared work-queue directory"},
       {"FTNAV_QUEUE_ADDR", "TCP work-server host:port"},
       {"FTNAV_LEASE_BATCH", "shards leased per claim round-trip"},
+      {"FTNAV_SCHED_POLICY",
+       "lease sizing policy: uniform|cost|feedback (results identical)"},
+      {"FTNAV_COST_PROFILE",
+       "machine-profile JSON for the analytic cost model"},
       {"FTNAV_WORKER_ID", "set by the coordinator in worker processes"},
       {"FTNAV_AUTH_TOKEN", "campaign-server session token"},
       {"FTNAV_SERVER", "default campaign-server host:port for "

@@ -28,6 +28,17 @@
 //                         (port 0 picks a free port)
 //   FTNAV_LEASE_BATCH     shards leased per claim round-trip (>= 1;
 //                         results identical for every value)
+//   FTNAV_SCHED_POLICY    lease sizing policy: uniform (default,
+//                         fixed batch) | cost (batches sized from the
+//                         scenario's analytic per-shard prediction) |
+//                         feedback (cost, refined online from measured
+//                         shard wall clock). Artifact bytes identical
+//                         for every policy; only wall clock changes.
+//                         fault_campaign --sched-policy overrides
+//   FTNAV_COST_PROFILE    path to a machine-profile JSON
+//                         (ftnav-machine-profile-v1) calibrating the
+//                         analytic cost model's rates; empty = builtin
+//                         defaults. See src/cost/
 //   FTNAV_WORKER_ID       set by the coordinator in worker processes;
 //                         not meant to be set by hand
 //   FTNAV_AUTH_TOKEN      session token for an auth-enabled campaign

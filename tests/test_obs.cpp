@@ -433,12 +433,14 @@ TEST(ShardTimings, CodecDedupeAndJsonArtifact) {
   {
     obs::TraceSession session(scratch.path);
     obs::set_shard_timing_worker_id(3);
-    obs::record_shard_timing("camp", 1, 0.25, 100);
-    obs::record_shard_timing("camp", 0, 0.5, 120);
+    obs::set_shard_timing_fingerprint(
+        obs::param_fingerprint("grid-inference", "repeats=8 seed=42"));
+    obs::record_shard_timing("camp", 1, 0.25, 100, 2);
+    obs::record_shard_timing("camp", 0, 0.5, 120, 2);
     obs::set_shard_timing_worker_id(-1);
     // A reclaimed re-run reports shard 0 again; the original commit
     // must win the dedupe.
-    obs::record_shard_timing("camp", 0, 9.0, 120);
+    obs::record_shard_timing("camp", 0, 9.0, 120, 4);
 
     const std::vector<obs::ShardTiming> records =
         obs::snapshot_shard_timings();
@@ -454,31 +456,39 @@ TEST(ShardTimings, CodecDedupeAndJsonArtifact) {
     EXPECT_EQ(decoded[0].worker_id, 3);
     EXPECT_EQ(decoded[0].wall_seconds, 0.25);
     EXPECT_EQ(decoded[0].trials, 100u);
+    EXPECT_EQ(decoded[0].threads, 2);
+    EXPECT_EQ(decoded[0].fingerprint,
+              obs::param_fingerprint("grid-inference", "repeats=8 seed=42"));
     EXPECT_EQ(decoded[2].worker_id, -1);
+    EXPECT_EQ(decoded[2].threads, 4);
 
     obs::write_shard_timings_json(scratch.path);
   }
   obs::clear_shard_timings();
+  obs::set_shard_timing_fingerprint("");
 
   const Json doc = parse_json_file(scratch.path + "/shard_timings.json");
-  EXPECT_EQ(doc.at("schema").text, "ftnav-shard-timings-v1");
+  EXPECT_EQ(doc.at("schema").text, "ftnav-shard-timings-v2");
   const Json& records = doc.at("records");
   ASSERT_EQ(records.items.size(), 2u);  // duplicate shard 0 deduped
   EXPECT_EQ(records.items[0].at("shard").number, 0.0);
   EXPECT_EQ(records.items[0].at("worker").number, 3.0);  // first wins
   EXPECT_EQ(records.items[0].at("wall_seconds").number, 0.5);
   EXPECT_EQ(records.items[0].at("trials").number, 120.0);
+  EXPECT_EQ(records.items[0].at("threads").number, 2.0);
   EXPECT_EQ(records.items[1].at("shard").number, 1.0);
   for (const Json& record : records.items) {
     EXPECT_EQ(record.at("tag").text, "camp");
     EXPECT_FALSE(record.at("backend").text.empty());
+    EXPECT_EQ(record.at("fingerprint").text,
+              obs::param_fingerprint("grid-inference", "repeats=8 seed=42"));
   }
 }
 
 TEST(ShardTimings, RecordingIsGatedOnTracing) {
   obs::clear_shard_timings();
   ASSERT_EQ(obs::trace(), nullptr);
-  obs::record_shard_timing("camp", 0, 1.0, 10);
+  obs::record_shard_timing("camp", 0, 1.0, 10, 1);
   EXPECT_TRUE(obs::snapshot_shard_timings().empty());
 }
 
@@ -574,7 +584,8 @@ TEST(StatsRpc, AuthenticatedStatsReportServerCounters) {
   client.done("q", 0, claim.leased);
   client.publish_timings("q", 0,
                          obs::encode_shard_timings(
-                             {{"q", claim.leased[0], 0, 0.5, 10, "test"}}));
+                             {{"q", claim.leased[0], 0, 0.5, 10, 1, "test",
+                               ""}}));
   const std::vector<std::string> blobs = client.drain_timings("q");
   ASSERT_EQ(blobs.size(), 1u);
   EXPECT_EQ(obs::decode_shard_timings(blobs[0]).size(), 1u);
